@@ -1,0 +1,354 @@
+(* The beast command-line tool: sweep, visualize, translate and tune the
+   bundled search spaces. *)
+
+open Cmdliner
+open Beast_core
+open Beast_gpu
+open Beast_kernels
+open Beast_autotune
+open Beast_dsl
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let device_arg =
+  let doc = "Device preset: k40c, gtx680, c2050 or gtx750ti." in
+  Arg.(value & opt string "k40c" & info [ "device" ] ~docv:"NAME" ~doc)
+
+let max_dim_arg =
+  let doc =
+    "Scale the device's thread-grid dimensions down to $(docv) so the sweep \
+     is tractable (the unscaled K40c GEMM space is astronomically large)."
+  in
+  Arg.(value & opt int 32 & info [ "max-dim" ] ~docv:"N" ~doc)
+
+let max_threads_arg =
+  let doc = "Scale the device's threads-per-block limit down to $(docv)." in
+  Arg.(value & opt int 128 & info [ "max-threads" ] ~docv:"N" ~doc)
+
+let engine_arg =
+  let engines =
+    [
+      ("interp-naive", Sweep.Interp_naive);
+      ("interp", Sweep.Interp);
+      ("vm", Sweep.Vm);
+      ("staged", Sweep.Staged);
+      ("parallel", Sweep.Parallel 4);
+    ]
+  in
+  let doc =
+    Printf.sprintf "Evaluation engine: %s."
+      (String.concat ", " (List.map fst engines))
+  in
+  Arg.(
+    value
+    & opt (enum engines) Sweep.Staged
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let resolve_device name max_dim max_threads =
+  match Device.find name with
+  | Some d -> Device.scale ~max_dim ~max_threads d
+  | None ->
+    Format.eprintf "unknown device %s (try: %s)@." name
+      (String.concat ", " (List.map fst Device.presets));
+    exit 2
+
+let resolve_space name device =
+  if Filename.check_suffix name ".beast" then
+    match Parse.space_of_file name with
+    | Ok sp -> sp
+    | Error e ->
+      Format.eprintf "%s: %a@." name Parse.pp_error e;
+      exit 2
+  else
+  match name with
+  | "gemm" ->
+    Gemm.space ~settings:{ Gemm.default_settings with Gemm.device } ()
+  | "cholesky" ->
+    Cholesky_batched.space
+      ~workload:{ Cholesky_batched.default_workload with Cholesky_batched.device }
+      ()
+  | "trsm" ->
+    Trsm_batched.space
+      ~workload:{ Trsm_batched.default_workload with Trsm_batched.device }
+      ()
+  | "lu" ->
+    Lu_batched.space
+      ~workload:{ Lu_batched.default_workload with Lu_batched.device }
+      ()
+  | "als" ->
+    Als.space ~workload:{ Als.default_workload with Als.device } ()
+  | "conv2d" ->
+    Conv2d.space ~workload:{ Conv2d.default_workload with Conv2d.device } ()
+  | "gemm-opt" ->
+    Gemm.space_divisor_opt ~settings:{ Gemm.default_settings with Gemm.device } ()
+  | "fft" -> Fft.space ~max_size:64 ()
+  | other ->
+    Format.eprintf
+      "unknown space %s (try: gemm, gemm-opt, cholesky, trsm, lu, als, conv2d, fft)@."
+      other;
+    exit 2
+
+let space_arg =
+  let doc = "Search space: gemm, gemm-opt, cholesky, trsm, lu, als, fft, or a \\.beast file written in the textual notation (see doc/LANGUAGE.md)." in
+  Arg.(value & pos 0 string "gemm" & info [] ~docv:"SPACE" ~doc)
+
+let objective_for space_name device =
+  match space_name with
+  | "gemm" | "gemm-opt" ->
+    let settings = { Gemm.default_settings with Gemm.device } in
+    ( Gemm.objective settings,
+      Some (Device.peak_gflops device Device.Double),
+      None )
+  | "cholesky" ->
+    let w = { Cholesky_batched.default_workload with Cholesky_batched.device } in
+    ( Cholesky_batched.objective w,
+      Some (Device.peak_gflops device Device.Double),
+      Some (Cholesky_batched.baseline_gflops w) )
+  | "trsm" ->
+    let w = { Trsm_batched.default_workload with Trsm_batched.device } in
+    ( Trsm_batched.objective w,
+      Some (Device.peak_gflops device Device.Double),
+      Some (Trsm_batched.baseline_gflops w) )
+  | "lu" ->
+    let w = { Lu_batched.default_workload with Lu_batched.device } in
+    ( Lu_batched.objective w,
+      Some (Device.peak_gflops device Device.Double),
+      Some (Lu_batched.baseline_gflops w) )
+  | "als" ->
+    let w = { Als.default_workload with Als.device } in
+    ( Als.objective w,
+      Some (Device.peak_gflops device w.Als.precision),
+      Some (Als.cpu_baseline_gflops w) )
+  | "conv2d" ->
+    let w = { Conv2d.default_workload with Conv2d.device } in
+    ( Conv2d.objective w,
+      Some (Device.peak_gflops device w.Conv2d.precision),
+      None )
+  | "fft" -> (Fft.objective, None, None)
+  | other ->
+    Format.eprintf
+      "no benchmark objective is bundled for %s; tune/search need one of the \
+       built-in spaces (use sweep/dot/codegen/funnel for .beast files)@."
+      other;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run space_name device max_dim max_threads engine =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let t0 = Unix.gettimeofday () in
+    let stats = Sweep.run ~engine sp in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "space %s on %s, engine %s: %.3fs@." space_name
+      device.Device.name (Sweep.engine_name engine) dt;
+    Format.printf "%a" Engine.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Enumerate and prune a search space")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ engine_arg)
+
+let dot_cmd =
+  let run space_name device max_dim max_threads =
+    let device = resolve_device device max_dim max_threads in
+    print_string (Space.to_dot (resolve_space space_name device))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Print the dependency DAG (iterators, derived variables, \
+          constraints) as GraphViz - Figure 16 of the paper")
+    Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg)
+
+let codegen_cmd =
+  let lang_arg =
+    let lang_conv =
+      Arg.enum (List.map (fun l -> (Codegen.lang_name l, l)) Codegen.all_langs)
+    in
+    Arg.(value & opt lang_conv Codegen.C & info [ "lang" ] ~docv:"LANG"
+           ~doc:"Backend: c, python, lua, fortran or java.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N"
+           ~doc:"pthread fan-out (C backend only).")
+  in
+  let run space_name device max_dim max_threads lang threads =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    match Codegen.generate ~threads lang (Plan.make_exn sp) with
+    | Ok source -> print_string source
+    | Error e ->
+      Format.eprintf "cannot translate: %a@." Codegen_c.pp_error e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Translate a space to a standalone enumeration program")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ lang_arg $ threads_arg)
+
+let tune_cmd =
+  let top_arg =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the N best.")
+  in
+  let run space_name device max_dim max_threads engine top =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let objective, peak, baseline = objective_for space_name device in
+    let r = Tuner.tune ~engine ~top_n:top ~objective sp in
+    Format.printf "%a" (Tuner.pp_result ?peak) r;
+    match baseline with
+    | Some b -> (
+      match Tuner.improvement r ~baseline:b with
+      | Some ratio ->
+        Format.printf "improvement over the cuBLAS model: %.2fx@." ratio
+      | None -> ())
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Enumerate, prune, benchmark on the device model, and rank")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ engine_arg $ top_arg)
+
+let occupancy_cmd =
+  let threads = Arg.(required & pos 0 (some int) None & info [] ~docv:"THREADS") in
+  let regs = Arg.(required & pos 1 (some int) None & info [] ~docv:"REGS") in
+  let shmem = Arg.(required & pos 2 (some int) None & info [] ~docv:"SHMEM") in
+  let run device threads regs shmem =
+    let d =
+      match Device.find device with
+      | Some d -> d
+      | None -> exit 2
+    in
+    let usage =
+      {
+        Occupancy.threads_per_block = threads;
+        regs_per_thread = regs;
+        shmem_per_block = shmem;
+      }
+    in
+    match Occupancy.calculate d usage with
+    | Error e -> Format.printf "infeasible: %s@." (Occupancy.infeasible_name e)
+    | Ok r ->
+      Format.printf
+        "active blocks %d (warps %d, regs %d, shmem %d, hw %d)@.occupancy %.2f, limited by %s@."
+        r.Occupancy.active_blocks r.Occupancy.blocks_by_warps
+        r.Occupancy.blocks_by_regs r.Occupancy.blocks_by_shmem
+        r.Occupancy.blocks_hw_limit r.Occupancy.occupancy
+        (Occupancy.limiting_factor r)
+  in
+  Cmd.v
+    (Cmd.info "occupancy"
+       ~doc:"The automated occupancy calculator (paper Section II)")
+    Term.(const run $ device_arg $ threads $ regs $ shmem)
+
+let funnel_cmd =
+  let svg_arg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
+           ~doc:"Also write the radial visualization (paper ref. [7]).")
+  in
+  let run space_name device max_dim max_threads svg =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let f = Stats.funnel sp in
+    Format.printf "%a" Stats.pp f;
+    match svg with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Visualize.svg f);
+      close_out oc;
+      Format.printf "wrote %s@." file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "funnel"
+       ~doc:"Measure how much of the space each constraint removes")
+    Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+          $ svg_arg)
+
+let search_cmd =
+  let method_arg =
+    Arg.(value & opt (enum [ ("random", `Random); ("hill", `Hill) ]) `Random
+         & info [ "method" ] ~docv:"METHOD"
+             ~doc:"random (budgeted sampling) or hill (stochastic climbing).")
+  in
+  let budget_arg =
+    Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N"
+           ~doc:"Objective evaluations (random) or restarts x steps (hill).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run space_name device max_dim max_threads method_ budget seed =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let objective, peak, _ = objective_for space_name device in
+    let plan = Plan.make_exn sp in
+    let rng = Random.State.make [| seed |] in
+    Search.reset_counters ();
+    let result =
+      match method_ with
+      | `Random -> Search.random_search ~rng ~budget ~objective plan
+      | `Hill ->
+        Search.hill_climb ~rng ~restarts:(max 1 (budget / 100))
+          ~steps:100 ~objective plan
+    in
+    match result with
+    | None -> Format.printf "no feasible point found@."
+    | Some c ->
+      Format.printf "best score %.2f" c.Search.score;
+      (match peak with
+      | Some p when p > 0.0 ->
+        Format.printf " (%.1f%% of peak)" (100.0 *. c.Search.score /. p)
+      | _ -> ());
+      Format.printf " after %d evaluations@." (Search.evaluations ());
+      List.iter
+        (fun (n, v) -> Format.printf "  %s = %s@." n (Value.to_string v))
+        c.Search.bindings
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Statistical search instead of exhaustive sweeping (the paper's           future-work direction)")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ method_arg $ budget_arg $ seed_arg)
+
+let export_cmd =
+  let run space_name device max_dim max_threads =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    match Print.space_to_string sp with
+    | Ok text -> print_string text
+    | Error e ->
+      Format.eprintf "cannot serialize: %a@." Print.pp_error e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Serialize a space to the textual notation (the inverse of \
+          loading a .beast file); closure-backed spaces cannot be \
+          serialized")
+    Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "beast" ~version:"1.0.0"
+       ~doc:
+         "Search space generation and pruning for autotuners (IPDPSW'16 \
+          reproduction)")
+    [ sweep_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd; funnel_cmd;
+      search_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main)

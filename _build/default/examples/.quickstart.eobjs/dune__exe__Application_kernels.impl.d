@@ -1,0 +1,1 @@
+examples/application_kernels.ml: Als Beast_autotune Beast_gpu Beast_kernels Cholesky_batched Device Gemm List Lu_batched Printf String Trsm_batched Tuner

@@ -1,0 +1,1 @@
+examples/application_kernels.mli:

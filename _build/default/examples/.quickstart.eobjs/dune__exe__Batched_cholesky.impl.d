@@ -1,0 +1,1 @@
+examples/batched_cholesky.ml: Beast_autotune Beast_kernels Cholesky_batched Format List Trsm_batched Tuner

@@ -1,0 +1,1 @@
+examples/batched_cholesky.mli:

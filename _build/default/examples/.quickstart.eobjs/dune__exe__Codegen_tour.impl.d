@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Beast_core Codegen Codegen_c Engine Engine_staged Engine_vm Expr Format Iter List Plan Space

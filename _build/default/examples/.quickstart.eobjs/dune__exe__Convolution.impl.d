@@ -1,0 +1,1 @@
+examples/convolution.ml: Beast_autotune Beast_core Beast_gpu Beast_kernels Conv2d Dag Device Engine Format List Space String Sweep Tuner

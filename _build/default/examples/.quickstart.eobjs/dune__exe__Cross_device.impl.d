@@ -1,0 +1,1 @@
+examples/cross_device.ml: Beast_autotune Beast_gpu Beast_kernels Device Gemm List Perf_model Printf Tuner

@@ -1,0 +1,1 @@
+examples/energy_tradeoff.ml: Beast_autotune Beast_core Beast_gpu Beast_kernels Device Format Gemm List Perf_model Tuner

@@ -1,0 +1,1 @@
+examples/gemm_tuning.ml: Array Baseline Beast_autotune Beast_core Beast_gpu Beast_kernels Device Format Gemm List Perf_model Sim Sys Tuner

@@ -1,0 +1,1 @@
+examples/prime_fft.ml: Array Beast_autotune Beast_core Beast_kernels Engine Fft Format Hashtbl Iter List String Sweep Tuner Value

@@ -1,0 +1,1 @@
+examples/pruning_funnel.ml: Beast_core Beast_gpu Beast_kernels Device Format Gemm Space Stats Visualize

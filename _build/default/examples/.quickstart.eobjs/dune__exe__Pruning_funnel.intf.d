@@ -1,0 +1,1 @@
+examples/pruning_funnel.mli:

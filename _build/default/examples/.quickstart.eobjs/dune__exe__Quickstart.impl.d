@@ -1,0 +1,1 @@
+examples/quickstart.ml: Beast_core Codegen_c Dag Engine Expr Format Iter List Plan Space String Sweep Value

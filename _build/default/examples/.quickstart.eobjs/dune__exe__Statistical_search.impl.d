@@ -1,0 +1,1 @@
+examples/statistical_search.ml: Beast_autotune Beast_core Beast_gpu Beast_kernels Device Format Gemm List Plan Random Search Tuner Value

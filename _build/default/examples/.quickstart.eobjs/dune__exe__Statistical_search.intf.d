@@ -1,0 +1,1 @@
+examples/statistical_search.mli:

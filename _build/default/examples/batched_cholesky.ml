@@ -1,0 +1,51 @@
+(* Table I's batched-factorization rows: tune the batched Cholesky and
+   triangular-solve kernels across matrix sizes and compare with the
+   cuBLAS baseline model (paper references [5], [34]-[36]).
+
+   Run with: dune exec examples/batched_cholesky.exe *)
+
+open Beast_kernels
+open Beast_autotune
+
+let tune_size n batch =
+  let w = { Cholesky_batched.default_workload with Cholesky_batched.n; batch } in
+  let r =
+    Tuner.tune ~objective:(Cholesky_batched.objective w)
+      (Cholesky_batched.space ~workload:w ())
+  in
+  let baseline = Cholesky_batched.baseline_gflops w in
+  match r.Tuner.best with
+  | None -> Format.printf "n=%4d: no feasible kernel@." n
+  | Some best ->
+    let lookup name = List.assoc name best.Tuner.bindings in
+    let c = Cholesky_batched.decode lookup in
+    Format.printf
+      "n=%4d batch=%6d  tuned %8.1f GF  cublas-model %7.1f GF  %5.2fx  (dim_x=%d bpb=%d blk=%d shmem=%b unroll=%d)@."
+      n batch best.Tuner.score baseline
+      (best.Tuner.score /. baseline)
+      c.Cholesky_batched.dim_x c.Cholesky_batched.batch_per_block
+      c.Cholesky_batched.blk c.Cholesky_batched.use_shmem
+      c.Cholesky_batched.unroll
+
+let () =
+  Format.printf "--- batched Cholesky (dp, K40c model) ---@.";
+  Format.printf "small sizes (paper: 3x-10x over cuBLAS):@.";
+  List.iter (fun n -> tune_size n 10_000) [ 8; 16; 24; 32 ];
+  Format.printf "medium sizes (paper: up to 3x):@.";
+  List.iter (fun n -> tune_size n 2_000) [ 128; 192; 256 ];
+  Format.printf "@.--- batched TRSM (dp, K40c model) ---@.";
+  List.iter
+    (fun (n, batch) ->
+      let w = { Trsm_batched.default_workload with Trsm_batched.n; batch } in
+      let r =
+        Tuner.tune ~objective:(Trsm_batched.objective w)
+          (Trsm_batched.space ~workload:w ())
+      in
+      let baseline = Trsm_batched.baseline_gflops w in
+      match r.Tuner.best with
+      | None -> Format.printf "n=%4d: no feasible kernel@." n
+      | Some best ->
+        Format.printf "n=%4d batch=%6d  tuned %8.1f GF  cublas-model %7.1f GF  %5.2fx@."
+          n batch best.Tuner.score baseline
+          (best.Tuner.score /. baseline))
+    [ (16, 10_000); (32, 10_000); (128, 2_000) ]

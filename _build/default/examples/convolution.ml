@@ -1,0 +1,43 @@
+(* The doc/TUTORIAL.md kernel end to end: a 2D direct convolution space
+   built, inspected, pruned and tuned - the workflow a downstream user
+   follows for a kernel the paper never saw.
+
+   Run with: dune exec examples/convolution.exe *)
+
+open Beast_core
+open Beast_gpu
+open Beast_kernels
+open Beast_autotune
+
+let () =
+  let w = Conv2d.default_workload in
+  let sp = Conv2d.space ~workload:w () in
+  Format.printf "conv2d %dx%d, %d->%d channels, %dx%d filters (%s)@."
+    w.Conv2d.height w.Conv2d.width w.Conv2d.channels w.Conv2d.filters
+    w.Conv2d.kernel w.Conv2d.kernel
+    (Device.precision_name w.Conv2d.precision);
+  (* Step 5 of the tutorial: inspect before running. *)
+  (match Space.dag sp with
+  | Ok dag ->
+    List.iteri
+      (fun level set ->
+        Format.printf "  L%d: %s@." level (String.concat " " set))
+      (Dag.level_sets dag)
+  | Error e -> Format.printf "invalid space: %a@." Space.pp_error e);
+  let stats = Sweep.run sp in
+  Format.printf "%a" Engine.pp_stats stats;
+  (* Step 6: tune on the device model. *)
+  let objective = Conv2d.objective w in
+  let r = Tuner.tune ~top_n:3 ~objective sp in
+  let peak = Device.peak_gflops w.Conv2d.device w.Conv2d.precision in
+  Format.printf "%a" (Tuner.pp_result ~peak) r;
+  match r.Tuner.best with
+  | None -> Format.printf "nothing feasible!@."
+  | Some best ->
+    let c = Conv2d.decode (fun n -> List.assoc n best.Tuner.bindings) in
+    Format.printf
+      "winner: tile %dx%d, threads %dx%d, %d chans/iter, staging input=%b weights=%b@."
+      c.Conv2d.tile_h c.Conv2d.tile_w c.Conv2d.dim_y c.Conv2d.dim_x
+      c.Conv2d.chans_per_iter c.Conv2d.stage_input c.Conv2d.stage_weights;
+    Format.printf "modeled time for the full image: %.2f ms@."
+      (Conv2d.total_flops w /. (best.Tuner.score *. 1e9) *. 1000.0)

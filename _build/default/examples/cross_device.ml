@@ -1,0 +1,53 @@
+(* Tuning the same declarative space across architectures - the BEAST
+   project's history in one run: Fermi (references [1], [2]), the GTX 680
+   Kepler (reference [3]), the K40c of this paper, and Maxwell (Figure
+   2's architecture dispatch). One space definition; four devices; four
+   different winning kernels - the argument for autotuning over
+   hand-tuning.
+
+   Run with: dune exec examples/cross_device.exe *)
+
+open Beast_gpu
+open Beast_kernels
+open Beast_autotune
+
+let () =
+  Printf.printf "%-22s %-10s %10s %8s   %s\n" "device" "cc" "GFLOP/s"
+    "% peak" "winning configuration";
+  let winners =
+    List.map
+      (fun (_, device) ->
+        let scaled = Device.scale ~max_dim:64 ~max_threads:256 device in
+        let settings =
+          { Gemm.default_settings with Gemm.device = scaled }
+        in
+        let r =
+          Tuner.tune ~objective:(Gemm.objective settings)
+            (Gemm.space ~settings ())
+        in
+        match r.Tuner.best with
+        | Some best ->
+          let peak = Device.peak_gflops scaled Device.Double in
+          let lookup name = List.assoc name best.Tuner.bindings in
+          let c = Gemm.decode settings lookup in
+          Printf.printf "%-22s %d.%-8d %10.1f %7.1f%%   dim %dx%d blk %dx%dx%d vec %d banks %d\n"
+            device.Device.name device.Device.cuda_major device.Device.cuda_minor
+            best.Tuner.score
+            (100.0 *. best.Tuner.score /. peak)
+            c.Perf_model.dim_m c.Perf_model.dim_n c.Perf_model.blk_m
+            c.Perf_model.blk_n c.Perf_model.blk_k c.Perf_model.dim_vec
+            c.Perf_model.shmem_banks;
+          Some (device.Device.name, c)
+        | None ->
+          Printf.printf "%-22s no feasible kernel\n" device.Device.name;
+          None)
+      Device.presets
+  in
+  let configs = List.filter_map (fun x -> x) winners in
+  let distinct =
+    List.sort_uniq compare (List.map (fun (_, c) -> c) configs)
+  in
+  Printf.printf
+    "\n%d devices, %d distinct winning configurations - per-architecture\n\
+     tuning matters, which is the BEAST project's reason to exist.\n"
+    (List.length configs) (List.length distinct)

@@ -1,0 +1,69 @@
+(* The performance/energy trade-off study of the paper's reference [4]
+   ("Experiences in autotuning matrix multiplication for energy
+   minimization on GPUs"): tune the same GEMM space for speed and for
+   energy efficiency at once and print the Pareto front.
+
+   Run with: dune exec examples/energy_tradeoff.exe *)
+
+open Beast_gpu
+open Beast_kernels
+open Beast_autotune
+
+let () =
+  let device = Device.scale ~max_dim:48 ~max_threads:256 Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let sp = Gemm.space ~settings () in
+  let perf lookup = Gemm.objective settings lookup in
+  let efficiency lookup =
+    Perf_model.gflops_per_watt device (Gemm.decode settings lookup)
+  in
+  Format.printf "device: %a (TDP %.0f W)@." Device.pp device
+    device.Device.tdp_watts;
+  let front = Tuner.pareto ~max_front:12 ~objectives:(perf, efficiency) sp in
+  Format.printf
+    "Pareto front (%d points): fastest kernels are not the most efficient@."
+    (List.length front);
+  Format.printf "%-12s %-14s %-10s %s@." "GFLOP/s" "GFLOP/s/W" "watts"
+    "configuration";
+  List.iter
+    (fun c ->
+      let gf, eff = c.Tuner.bi_scores in
+      let lookup name = List.assoc name c.Tuner.bi_bindings in
+      let cfg = Gemm.decode settings lookup in
+      let watts =
+        match Perf_model.energy device cfg with
+        | Some e -> e.Perf_model.power_watts
+        | None -> nan
+      in
+      Format.printf "%-12.1f %-14.3f %-10.1f dim %dx%d blk %dx%dx%d vec %d@."
+        gf eff watts cfg.Perf_model.dim_m cfg.Perf_model.dim_n
+        cfg.Perf_model.blk_m cfg.Perf_model.blk_n cfg.Perf_model.blk_k
+        cfg.Perf_model.dim_vec)
+    front;
+  (* Scatter of every survivor with the front highlighted, as the
+     paper's reference [4] plots the trade-off. *)
+  let cloud = ref [] in
+  ignore
+    (Beast_core.Sweep.run
+       ~on_hit:(fun lookup -> cloud := (perf lookup, efficiency lookup) :: !cloud)
+       sp);
+  let svg =
+    Beast_core.Visualize.scatter_svg ~x_label:"GFLOP/s" ~y_label:"GFLOP/s per watt"
+      ~highlight:(List.map (fun c -> c.Tuner.bi_scores) front)
+      !cloud
+  in
+  let oc = open_out "energy_tradeoff.svg" in
+  output_string oc svg;
+  close_out oc;
+  Format.printf "wrote energy_tradeoff.svg (%d survivors, front highlighted)@."
+    (List.length !cloud);
+  (* Single-objective extremes for contrast. *)
+  let fastest = Tuner.tune ~objective:perf sp in
+  let greenest = Tuner.tune ~objective:efficiency sp in
+  match fastest.Tuner.best, greenest.Tuner.best with
+  | Some f, Some g ->
+    Format.printf
+      "@.fastest: %.1f GF; most efficient: %.3f GF/W - distinct optima: %b@."
+      f.Tuner.score g.Tuner.score
+      (f.Tuner.bindings <> g.Tuner.bindings)
+  | _ -> ()

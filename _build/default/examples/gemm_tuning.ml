@@ -1,0 +1,47 @@
+(* The paper's model problem end to end: build the 15-dimensional GEMM
+   search space (Figures 10-15), prune it with the 12 constraints, score
+   every survivor on the device model, and report the best kernels -
+   Table I's "GEMM: 80% of peak" experiment at laptop scale.
+
+   Run with: dune exec examples/gemm_tuning.exe -- [max_dim] [max_threads] *)
+
+open Beast_gpu
+open Beast_kernels
+open Beast_autotune
+
+let () =
+  let max_dim = try int_of_string Sys.argv.(1) with _ -> 48 in
+  let max_threads = try int_of_string Sys.argv.(2) with _ -> 256 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  Format.printf "device: %a@." Device.pp device;
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let sp = Gemm.space ~settings () in
+  Format.printf "space: %d iterators, %d constraints@."
+    (List.length (Beast_core.Space.iterators sp))
+    (List.length (Beast_core.Space.constraints sp));
+  let result = Tuner.tune ~top_n:5 ~objective:(Gemm.objective settings) sp in
+  let peak = Device.peak_gflops device Device.Double in
+  Format.printf "%a" (Tuner.pp_result ~peak) result;
+  match result.Tuner.best with
+  | None -> Format.printf "no feasible kernel!@."
+  | Some best ->
+    let lookup name = List.assoc name best.Tuner.bindings in
+    let config = Gemm.decode settings lookup in
+    Format.printf "@.model breakdown of the winner:@.  %a@."
+      Perf_model.pp_breakdown
+      (Perf_model.evaluate device config);
+    (match Sim.simulate device config with
+    | Some sim ->
+      Format.printf
+        "  warp-level simulator: %.0f GF (%d resident blocks, %s-bound)@."
+        sim.Sim.gflops sim.Sim.resident_blocks
+        (match sim.Sim.bound with
+        | `Compute -> "compute"
+        | `Memory -> "memory"
+        | `Issue -> "issue"
+        | `Latency -> "latency")
+    | None -> ());
+    Format.printf "  cuBLAS model at n=4096: %.0f GF@."
+      (Baseline.gemm_gflops device Device.Double Device.Real ~n:4096);
+    Format.printf "  paper's Table I row: 80%% of peak; we reach %.1f%%@."
+      (100.0 *. best.Tuner.score /. peak)

@@ -1,0 +1,61 @@
+(* Closure iterators in anger: the prime-size FFT space of Section V.
+   The prime generator of Figure 3 drives the outer dimension; the
+   divisors of p-1 (a data-dependent set no static range can express)
+   drive the Rader-convolution radix.
+
+   Run with: dune exec examples/prime_fft.exe *)
+
+open Beast_core
+open Beast_kernels
+open Beast_autotune
+
+let () =
+  (* The generator by itself, exactly as Figure 3 yields. *)
+  let env name = if name = "max_size" then Value.Int 31 else raise Not_found in
+  let primes =
+    Iter.materialize env Fft.primes_iter
+    |> Array.to_list
+    |> List.map Value.to_string
+  in
+  Format.printf "figure 3 primes up to 31: %s@." (String.concat " " primes);
+
+  let sp = Fft.space ~max_size:97 () in
+  let stats = Sweep.run sp in
+  Format.printf "space: %d survivors, %d pruned@." stats.Engine.survivors
+    (Engine.total_pruned stats);
+
+  (* Best plan per prime size. *)
+  let best_per_size : (int, float * Fft.config) Hashtbl.t = Hashtbl.create 32 in
+  let on_hit lookup =
+    let c = Fft.decode lookup in
+    let score = Fft.objective lookup in
+    match Hashtbl.find_opt best_per_size c.Fft.size with
+    | Some (s, _) when s >= score -> ()
+    | _ -> Hashtbl.replace best_per_size c.Fft.size (score, c)
+  in
+  ignore (Sweep.run ~on_hit sp);
+  let sizes =
+    Hashtbl.fold (fun k _ acc -> k :: acc) best_per_size [] |> List.sort compare
+  in
+  List.iter
+    (fun size ->
+      let _, c = Hashtbl.find best_per_size size in
+      Format.printf
+        "p=%3d: best %s (radix %2d%s), %.2f us modeled@."
+        size
+        (if c.Fft.strategy = 0 then "pad-to-pow2" else "direct Rader")
+        c.Fft.radix
+        (if c.Fft.twiddle_in_shmem then ", twiddles in shmem" else "")
+        (Fft.modeled_time_us c))
+    sizes;
+
+  (* And the single best size/plan overall via the tuner. *)
+  let r = Tuner.tune ~objective:Fft.objective sp in
+  match r.Tuner.best with
+  | Some best ->
+    Format.printf "@.overall winner:";
+    List.iter
+      (fun (n, v) -> Format.printf " %s=%s" n (Value.to_string v))
+      best.Tuner.bindings;
+    Format.printf "@."
+  | None -> ()

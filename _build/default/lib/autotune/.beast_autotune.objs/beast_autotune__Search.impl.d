@@ -1,0 +1,1 @@
+lib/autotune/search.ml: Array Beast_core Expr List Plan Random Value

@@ -1,0 +1,1 @@
+lib/autotune/search.mli: Beast_core Expr Plan Random Value

@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Array Beast_core Engine Format List Mutex Plan Sweep Unix Value

@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Beast_core Engine Expr Format Space Sweep Value

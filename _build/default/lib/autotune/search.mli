@@ -1,0 +1,59 @@
+(** Statistical search over a pruned space — the paper's announced future
+    work ("the plan is to incorporate statistical search methods to
+    address the multidimensional search space growth", Section XII),
+    implemented here as an extension.
+
+    Instead of enumerating every surviving point, these methods draw
+    candidate points directly through the loop-nest plan: outer
+    dimensions are sampled first so that dependent iterator ranges and
+    hoisted constraints apply exactly as in a full sweep — a sample is
+    drawn from the {e pruned} space, never from the raw cross product. *)
+
+open Beast_core
+
+type candidate = {
+  score : float;
+  slots : int array;
+  bindings : (string * Value.t) list;  (** iterators, in loop order *)
+}
+
+val sample :
+  ?rng:Random.State.t -> ?max_tries:int -> Plan.t -> int array option
+(** One random draw of a surviving point, by randomized backtracking
+    DFS through the nest: loop values are visited in random order and
+    hoisted constraints cut partial assignments, so even spaces whose
+    survivors are ~1 in 10⁶ of the raw cross product (GEMM's exact
+    reshape constraints) sample in microseconds. The draw is {e not}
+    uniform over survivors — sparse subtrees are over-represented —
+    which is fine for the heuristics below. [None] once a node budget
+    derived from [max_tries] (default 1000) is exhausted. The returned
+    array is the slot vector, iterators and derived variables filled. *)
+
+val random_search :
+  ?rng:Random.State.t ->
+  ?max_tries:int ->
+  budget:int ->
+  objective:(Expr.lookup -> float) ->
+  Plan.t ->
+  candidate option
+(** Best of [budget] valid samples. *)
+
+val hill_climb :
+  ?rng:Random.State.t ->
+  ?restarts:int ->
+  ?steps:int ->
+  objective:(Expr.lookup -> float) ->
+  Plan.t ->
+  candidate option
+(** Stochastic hill climbing: start from a random sample; repeatedly
+    nudge one loop dimension to a neighbouring value of its (dependent)
+    range, re-clamping the inner dimensions and re-checking every
+    constraint; accept improvements. [restarts] (default 5) independent
+    climbs of at most [steps] (default 200) accepted or rejected moves
+    each; returns the best point seen. *)
+
+val evaluations : unit -> int
+(** Number of objective evaluations since the last {!reset_counters} —
+    lets examples compare search cost against exhaustive sweeps. *)
+
+val reset_counters : unit -> unit

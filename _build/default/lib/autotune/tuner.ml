@@ -1,0 +1,132 @@
+open Beast_core
+
+type candidate = {
+  score : float;
+  bindings : (string * Value.t) list;
+}
+
+type result = {
+  best : candidate option;
+  top : candidate list;
+  evaluated : int;
+  stats : Engine.stats;
+  elapsed_s : float;
+}
+
+(* Insert into a best-first list capped at [n]; n is small (default 10),
+   so linear insertion is fine even for hundreds of thousands of
+   survivors. *)
+let insert_top n candidate top =
+  let rec go = function
+    | [] -> [ candidate ]
+    | c :: rest ->
+      if candidate.score > c.score then candidate :: c :: rest
+      else c :: go rest
+  in
+  let inserted = go top in
+  if List.length inserted > n then List.filteri (fun i _ -> i < n) inserted
+  else inserted
+
+let tune ?engine ?(top_n = 10) ~objective space =
+  let plan = Plan.make_exn space in
+  let iter_order = plan.Plan.iter_order in
+  let mutex = Mutex.create () in
+  let top = ref [] in
+  let evaluated = ref 0 in
+  let worst_of top =
+    match top with
+    | [] -> neg_infinity
+    | _ -> (List.nth top (List.length top - 1)).score
+  in
+  let on_hit lookup =
+    let score = objective lookup in
+    Mutex.lock mutex;
+    incr evaluated;
+    if List.length !top < top_n || score > worst_of !top then begin
+      let bindings = List.map (fun n -> (n, lookup n)) iter_order in
+      top := insert_top top_n { score; bindings } !top
+    end;
+    Mutex.unlock mutex
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats = Sweep.run ?engine ~on_hit space in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let top = !top in
+  {
+    best =
+      (match top with
+      | [] -> None
+      | c :: _ -> Some c);
+    top;
+    evaluated = !evaluated;
+    stats;
+    elapsed_s;
+  }
+
+let improvement result ~baseline =
+  match result.best with
+  | None -> None
+  | Some c ->
+    if baseline <= 0.0 then None else Some (c.score /. baseline)
+
+type bi_candidate = {
+  bi_scores : float * float;
+  bi_bindings : (string * Value.t) list;
+}
+
+let dominates (a1, a2) (b1, b2) =
+  a1 >= b1 && a2 >= b2 && (a1 > b1 || a2 > b2)
+
+let pareto ?engine ?(max_front = 64) ~objectives space =
+  let f1, f2 = objectives in
+  let plan = Plan.make_exn space in
+  let iter_order = plan.Plan.iter_order in
+  let mutex = Mutex.create () in
+  let front = ref [] in
+  let on_hit lookup =
+    let scores = (f1 lookup, f2 lookup) in
+    Mutex.lock mutex;
+    let dominated =
+      List.exists
+        (fun c -> dominates c.bi_scores scores || c.bi_scores = scores)
+        !front
+    in
+    if not dominated then begin
+      let bindings = List.map (fun n -> (n, lookup n)) iter_order in
+      front :=
+        { bi_scores = scores; bi_bindings = bindings }
+        :: List.filter (fun c -> not (dominates scores c.bi_scores)) !front
+    end;
+    Mutex.unlock mutex
+  in
+  ignore (Sweep.run ?engine ~on_hit space);
+  let sorted =
+    List.sort
+      (fun a b -> compare (fst b.bi_scores) (fst a.bi_scores))
+      !front
+  in
+  if List.length sorted <= max_front then sorted
+  else begin
+    (* Keep the extremes and an even subsample of the interior. *)
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    List.init max_front (fun i -> arr.(i * (n - 1) / (max_front - 1)))
+  end
+
+let pp_result ?peak ppf r =
+  Format.fprintf ppf
+    "tuned %d survivors in %.2fs (%d loop iterations, %d pruned)@\n"
+    r.evaluated r.elapsed_s r.stats.Engine.loop_iterations
+    (Engine.total_pruned r.stats);
+  List.iteri
+    (fun i c ->
+      Format.fprintf ppf "  #%-2d score %10.2f" (i + 1) c.score;
+      (match peak with
+      | Some p when p > 0.0 ->
+        Format.fprintf ppf " (%5.1f%% of peak)" (100.0 *. c.score /. p)
+      | _ -> ());
+      List.iter
+        (fun (n, v) -> Format.fprintf ppf " %s=%s" n (Value.to_string v))
+        c.bindings;
+      Format.fprintf ppf "@\n")
+    r.top

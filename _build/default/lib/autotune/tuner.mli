@@ -1,0 +1,59 @@
+(** The autotuning pipeline of Section I: "the variants that pass the
+    pruning process are compiled, run and benchmarked, and the best
+    performers are identified". Enumeration and pruning run through the
+    engines of {!Beast_core}; benchmarking is the caller's objective
+    function (for GPU kernels, the {!Beast_gpu} performance model or
+    simulator standing in for the physical card). *)
+
+open Beast_core
+
+type candidate = {
+  score : float;
+  bindings : (string * Value.t) list;  (** iterators, in loop order *)
+}
+
+type result = {
+  best : candidate option;
+  top : candidate list;  (** best-first, at most [top_n] *)
+  evaluated : int;  (** survivors benchmarked *)
+  stats : Engine.stats;  (** enumeration/pruning statistics *)
+  elapsed_s : float;
+}
+
+val tune :
+  ?engine:Sweep.engine ->
+  ?top_n:int ->
+  objective:(Expr.lookup -> float) ->
+  Space.t ->
+  result
+(** Sweep the space, score every survivor, keep the [top_n] (default 10)
+    best. The objective must be pure; with [Parallel _] engines it is
+    called concurrently. @raise Plan.Error if the space does not plan. *)
+
+val improvement : result -> baseline:float -> float option
+(** best score / baseline, the "Improvement" column of Table I. *)
+
+val pp_result : ?peak:float -> Format.formatter -> result -> unit
+(** Human-readable report; [peak] adds a %-of-peak column (Table I's
+    GEMM row reports "80% of peak"). *)
+
+(** {1 Multi-objective tuning}
+
+    The paper's reference [4] explored performance/energy trade-offs —
+    "two objective functions at once". [pareto] sweeps once, scores every
+    survivor under both objectives and keeps the non-dominated front. *)
+
+type bi_candidate = {
+  bi_scores : float * float;
+  bi_bindings : (string * Value.t) list;
+}
+
+val pareto :
+  ?engine:Sweep.engine ->
+  ?max_front:int ->
+  objectives:(Expr.lookup -> float) * (Expr.lookup -> float) ->
+  Space.t ->
+  bi_candidate list
+(** The Pareto-optimal survivors, sorted by descending first objective.
+    Both objectives are maximized. [max_front] (default 64) caps the
+    retained front size (the extremes are always kept). *)

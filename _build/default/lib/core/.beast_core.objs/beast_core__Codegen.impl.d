@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Buffer Codegen_c Expr List Plan Printf String

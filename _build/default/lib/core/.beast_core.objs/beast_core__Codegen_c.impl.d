@@ -1,0 +1,1 @@
+lib/core/codegen_c.ml: Array Buffer Expr Format List Plan Printf Result String Value

@@ -1,0 +1,1 @@
+lib/core/codegen_c.mli: Format Plan

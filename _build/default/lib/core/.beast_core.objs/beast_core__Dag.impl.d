@@ -1,0 +1,1 @@
+lib/core/dag.ml: Array Buffer Format Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Expr Format Plan Space

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Expr Format Plan Space

@@ -1,0 +1,1 @@
+lib/core/engine_interp.ml: Array Engine Expr Hashtbl Iter List Plan Space Value

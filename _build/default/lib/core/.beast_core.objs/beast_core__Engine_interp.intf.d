@@ -1,0 +1,1 @@
+lib/core/engine_interp.mli: Engine Space

@@ -1,0 +1,1 @@
+lib/core/engine_parallel.ml: Array Domain Engine Engine_staged List Plan

@@ -1,0 +1,1 @@
+lib/core/engine_parallel.mli: Engine Plan Space

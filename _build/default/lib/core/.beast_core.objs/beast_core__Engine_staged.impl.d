@@ -1,0 +1,1 @@
+lib/core/engine_staged.ml: Array Engine Expr Plan Printf

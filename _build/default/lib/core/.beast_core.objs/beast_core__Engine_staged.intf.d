@@ -1,0 +1,1 @@
+lib/core/engine_staged.mli: Engine Plan Space

@@ -1,0 +1,1 @@
+lib/core/engine_vm.ml: Array Buffer Engine Expr List Plan Printf

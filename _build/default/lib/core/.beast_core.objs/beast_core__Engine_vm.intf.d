@@ -1,0 +1,1 @@
+lib/core/engine_vm.mli: Engine Plan Space

@@ -1,0 +1,1 @@
+lib/core/iter.ml: Array Expr Format List Seq Set String Value

@@ -1,0 +1,1 @@
+lib/core/iter.mli: Expr Format Seq Value

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Dag Expr Format Hashtbl Int Iter List Map Printf Result Set Space String Value

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Expr Format Hashtbl Space Value

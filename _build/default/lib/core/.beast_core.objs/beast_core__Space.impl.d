@@ -1,0 +1,1 @@
+lib/core/space.ml: Dag Expr Format Hashtbl Iter List String Value

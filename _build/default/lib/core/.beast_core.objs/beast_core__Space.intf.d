@@ -1,0 +1,1 @@
+lib/core/space.mli: Dag Expr Format Iter Value

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Buffer Engine Engine_staged Format List Plan Printf Space

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Engine_interp Engine_parallel Engine_staged Engine_vm List Mutex Plan Printf Space

@@ -1,0 +1,1 @@
+lib/core/value.ml: Float Format Hashtbl Int Printf String

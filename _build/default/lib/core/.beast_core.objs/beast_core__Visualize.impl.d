@@ -1,0 +1,1 @@
+lib/core/visualize.ml: Buffer Float List Printf Space Stats

@@ -1,0 +1,1 @@
+lib/core/visualize.mli: Stats

@@ -1,0 +1,32 @@
+(** Multi-language code generation — contribution (4) of the paper is a
+    "performance analysis of various language backends for our code
+    generator"; Section XI compares Python, Lua, C, Java and Fortran.
+    This module emits a complete enumeration program in each of those
+    languages from the same plan.
+
+    All backends print the same stable protocol as the C backend
+    ([survivors N] / [iterations N] / [pruned <name> N] lines), so any of
+    them can be validated against the in-process engines. The C backend
+    is the production path (and supports pthreads); the others share its
+    translatable-subset restrictions. Division truncates toward zero in
+    every emitted program (the Python backend uses [int(a / b)] and Lua
+    emits an explicit helper) so all backends agree with the OCaml
+    engines on negative operands. *)
+
+type lang =
+  | C
+  | Python
+  | Lua
+  | Fortran
+  | Java
+
+val lang_name : lang -> string
+val all_langs : lang list
+
+val file_extension : lang -> string
+
+val generate : ?threads:int -> lang -> Plan.t -> (string, Codegen_c.error) result
+(** [threads] only affects [C]; other backends are single-threaded, as in
+    the paper's evaluation (Section XI-A presents sequential runs). *)
+
+val generate_exn : ?threads:int -> lang -> Plan.t -> string

@@ -1,0 +1,58 @@
+(** Directed acyclic graph of iterators and constraints (paper Section X).
+
+    Vertices are the user-defined iterators, derived variables and
+    constraints; an edge [(v, w)] exists iff [v] is used to express [w].
+    The level sets of the DAG induce the weak order used to generate loop
+    nests, and within a level loops may be interchanged freely — e.g. to
+    parallelize close to level 0 (Section X-B, Figure 16). *)
+
+type t
+
+type error =
+  | Unknown_node of string * string
+      (** [(referrer, missing)] — an edge mentions an undeclared node. *)
+  | Cycle of string list  (** a dependency cycle, in order *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  nodes:string list -> edges:(string * string) list -> (t, error) result
+(** [create ~nodes ~edges] with edge [(u, v)] meaning "u is used to
+    express v" (so v depends on u). Duplicate edges are tolerated. *)
+
+val nodes : t -> string list
+(** In declaration order. *)
+
+val deps_of : t -> string -> string list
+(** Direct dependencies (predecessors). *)
+
+val users_of : t -> string -> string list
+(** Direct dependents (successors). *)
+
+val level : t -> string -> int
+(** 0 for nodes with no dependencies, else 1 + max level of deps. *)
+
+val level_sets : t -> string list list
+(** Nodes grouped by {!level}, ascending; within a set, declaration
+    order. The paper's L₀, L₁, … *)
+
+val topo_order : t -> string list
+(** A topological linearization: every node after all of its deps.
+    Stable: ties break by declaration order (Kahn's algorithm with a
+    priority on declaration index). *)
+
+val transitive_deps : t -> string -> string list
+(** All ancestors, sorted. *)
+
+val transitive_users : t -> string -> string list
+(** All descendants, sorted. *)
+
+val to_dot :
+  ?name:string ->
+  ?attrs:(string -> string) ->
+  t ->
+  string
+(** GraphViz rendering reproducing Figure 16's styling conventions when
+    [attrs] classifies nodes (e.g. blue circles for iterators, red
+    octagons for constraints). [attrs node] returns extra attribute text
+    such as ["shape=octagon, color=red"]. *)

@@ -1,0 +1,40 @@
+type stats = {
+  survivors : int;
+  loop_iterations : int;
+  pruned : (string * Space.constraint_class * int) array;
+}
+
+type on_hit = Expr.lookup -> unit
+
+let empty_stats (plan : Plan.t) =
+  {
+    survivors = 0;
+    loop_iterations = 0;
+    pruned = Array.map (fun (n, c) -> (n, c, 0)) plan.Plan.constraint_info;
+  }
+
+let total_pruned s = Array.fold_left (fun acc (_, _, k) -> acc + k) 0 s.pruned
+
+let merge a b =
+  if Array.length a.pruned <> Array.length b.pruned then
+    invalid_arg "Engine.merge: stats from different plans";
+  {
+    survivors = a.survivors + b.survivors;
+    loop_iterations = a.loop_iterations + b.loop_iterations;
+    pruned =
+      Array.mapi
+        (fun i (n, c, k) ->
+          let _, _, k' = b.pruned.(i) in
+          (n, c, k + k'))
+        a.pruned;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "survivors: %d@\nloop iterations: %d@\n" s.survivors
+    s.loop_iterations;
+  Array.iter
+    (fun (n, c, k) ->
+      Format.fprintf ppf "  %-28s [%s] fired %d@\n" n
+        (Space.constraint_class_name c)
+        k)
+    s.pruned

@@ -1,0 +1,37 @@
+(** Types shared by the evaluation engines.
+
+    The paper's translation system targets several backends; we provide
+    four in-process engines with deliberately different cost models plus
+    the C code generator (see {!Codegen_c}):
+
+    - {!Engine_interp} — tree-walking over named environments, the
+      scripting-language tier of Figure 17;
+    - {!Engine_vm} — flat bytecode on an integer register file, the
+      Lua-like tier of Figure 18;
+    - {!Engine_staged} — the plan compiled to nested OCaml closures, the
+      compiled tier of Figure 19;
+    - {!Engine_parallel} — the staged engine fanned out over OCaml 5
+      domains (the paper's "multithreaded for extra performance"). *)
+
+type stats = {
+  survivors : int;  (** points that passed every constraint *)
+  loop_iterations : int;
+      (** loop-body entries summed over every nesting depth — the
+          iteration count whose rate Figures 17–19 report *)
+  pruned : (string * Space.constraint_class * int) array;
+      (** per constraint: how many times it fired (each firing abandons
+          the entire subtree below its hoisting depth) *)
+}
+
+type on_hit = Expr.lookup -> unit
+(** Survivor callback. The lookup resolves every iterator, derived
+    variable and setting of the space at the surviving point. It is only
+    valid for the duration of the call. *)
+
+val empty_stats : Plan.t -> stats
+val total_pruned : stats -> int
+
+val merge : stats -> stats -> stats
+(** Pointwise sum; the constraint arrays must describe the same plan. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,72 @@
+(* The interpreter reuses the plan only for structure (loop order and step
+   placement); all evaluation goes through the original named bodies and a
+   string-keyed hash table, so each variable access costs an associative
+   lookup — the scripting-tier cost model of Section XI-B. *)
+
+let run ?on_hit ?(variant = `Hoisted) space =
+  let hoist =
+    match variant with
+    | `Hoisted -> true
+    | `Naive -> false
+  in
+  let plan = Plan.make_exn ~hoist space in
+  let env : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (n, v) -> Hashtbl.replace env n v) (Space.settings space);
+  let lookup name = Hashtbl.find env name in
+  let body_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun dv -> Hashtbl.replace body_by_name dv.Space.dv_name dv.Space.dv_body)
+    (Space.deriveds space);
+  List.iter
+    (fun cn -> Hashtbl.replace body_by_name cn.Space.cn_name cn.Space.cn_body)
+    (Space.constraints space);
+  let iter_by_name = Hashtbl.create 16 in
+  List.iter
+    (fun it -> Hashtbl.replace iter_by_name it.Space.it_name it.Space.it_iter)
+    (Space.iterators space);
+  let eval_body name =
+    match Hashtbl.find body_by_name name with
+    | Space.E e -> Expr.eval lookup e
+    | Space.F { fn; _ } -> fn lookup
+  in
+  let n_constraints = Array.length plan.Plan.constraint_info in
+  let pruned = Array.make n_constraints 0 in
+  let survivors = ref 0 in
+  let loop_iterations = ref 0 in
+  let rec exec_steps (steps : Plan.step list) =
+    match steps with
+    | [] -> ()
+    | Yield :: rest ->
+      incr survivors;
+      (match on_hit with
+      | None -> ()
+      | Some f -> f lookup);
+      exec_steps rest
+    | Derive { d_name; _ } :: rest ->
+      Hashtbl.replace env d_name (eval_body d_name);
+      exec_steps rest
+    | Check { c_name; c_index; _ } :: rest ->
+      if Value.truthy (eval_body c_name) then
+        pruned.(c_index) <- pruned.(c_index) + 1
+      else exec_steps rest
+    | Loop { l_var; l_body; _ } :: rest ->
+      let it = Hashtbl.find iter_by_name l_var in
+      (* Materializing the whole iterator before looping mirrors Python's
+         range() building its value list (Section XI-B). *)
+      let vs = Iter.materialize lookup it in
+      Array.iter
+        (fun v ->
+          Hashtbl.replace env l_var v;
+          incr loop_iterations;
+          exec_steps l_body)
+        vs;
+      Hashtbl.remove env l_var;
+      exec_steps rest
+  in
+  exec_steps plan.Plan.steps;
+  {
+    Engine.survivors = !survivors;
+    loop_iterations = !loop_iterations;
+    pruned =
+      Array.mapi (fun i (n, c) -> (n, c, pruned.(i))) plan.Plan.constraint_info;
+  }

@@ -1,0 +1,21 @@
+(** The tree-walking engine: names resolved through an associative table
+    at every access and expression ASTs re-walked on every evaluation —
+    deliberately reproducing the cost structure the paper measures for
+    Python in Section XI-B ("Python's access to variables is through
+    associative array lookup"). This is the baseline the generated-code
+    engines are compared against.
+
+    Two variants:
+    - [`Naive] evaluates every derived variable and constraint at the
+      innermost loop level, like a hand-written scripting enumerator with
+      no dependency analysis;
+    - [`Hoisted] uses the plan's DAG placement, isolating the benefit of
+      hoisting from the benefit of compilation (the ablation of
+      DESIGN.md §4). *)
+
+val run :
+  ?on_hit:Engine.on_hit ->
+  ?variant:[ `Naive | `Hoisted ] ->
+  Space.t ->
+  Engine.stats
+(** Default variant [`Hoisted]. @raise Plan.Error if planning fails. *)

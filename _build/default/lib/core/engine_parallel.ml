@@ -1,0 +1,43 @@
+(* Depth-0 checks run in every slice; when merging we keep a single
+   domain's counts for the constraints that appear before the first loop
+   so totals match a sequential sweep. *)
+let depth0_constraints (plan : Plan.t) =
+  let rec go acc = function
+    | [] | Plan.Loop _ :: _ -> acc
+    | Plan.Check { c_index; _ } :: rest -> go (c_index :: acc) rest
+    | (Plan.Derive _ | Plan.Yield) :: rest -> go acc rest
+  in
+  go [] plan.Plan.steps
+
+let run ?on_hit ~domains (plan : Plan.t) =
+  if domains < 1 then invalid_arg "Engine_parallel.run: domains < 1";
+  if domains = 1 then Engine_staged.run ?on_hit plan
+  else begin
+    let slices =
+      List.init domains (fun index -> Plan.slice_outer plan ~index ~of_:domains)
+    in
+    let spawned =
+      List.map
+        (fun slice -> Domain.spawn (fun () -> Engine_staged.run ?on_hit slice))
+        slices
+    in
+    let results = List.map Domain.join spawned in
+    match results with
+    | [] -> assert false
+    | first :: rest ->
+      let merged = List.fold_left Engine.merge first rest in
+      let dup = depth0_constraints plan in
+      let pruned =
+        Array.mapi
+          (fun i (n, c, k) ->
+            if List.mem i dup then
+              let _, _, k0 = first.Engine.pruned.(i) in
+              (n, c, k0)
+            else (n, c, k))
+          merged.Engine.pruned
+      in
+      { merged with Engine.pruned }
+  end
+
+let run_space ?on_hit ~domains space =
+  run ?on_hit ~domains (Plan.make_exn space)

@@ -1,0 +1,17 @@
+(** Multithreaded sweep: the staged engine fanned out over OCaml 5
+    domains. The outermost loop — level 0 of the DAG, exactly where the
+    paper says parallelization belongs (Section X-B) — is decomposed
+    round-robin with {!Plan.slice_outer}; each domain runs an independent
+    staged sweep and the statistics are merged.
+
+    Steps placed before the first loop (depth-0 derived variables and
+    constraints) execute once per domain; their prune counters are
+    de-duplicated during the merge so the reported statistics match a
+    sequential run. *)
+
+val run : ?on_hit:Engine.on_hit -> domains:int -> Plan.t -> Engine.stats
+(** [on_hit] is invoked concurrently from every domain and must be
+    thread-safe. @raise Invalid_argument if [domains < 1]. *)
+
+val run_space :
+  ?on_hit:Engine.on_hit -> domains:int -> Space.t -> Engine.stats

@@ -1,0 +1,167 @@
+(* Staging: every expression is compiled once into a [unit -> int] closure
+   reading the shared slot array; the step list is compiled into a single
+   [unit -> unit] continuation chain. After compilation the sweep runs
+   without looking at the plan again. *)
+
+let run ?on_hit (plan : Plan.t) =
+  let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
+  let n_constraints = Array.length plan.Plan.constraint_info in
+  let pruned = Array.make n_constraints 0 in
+  let survivors = ref 0 in
+  let loop_iterations = ref 0 in
+  let rec compile_cexpr (e : Plan.cexpr) : unit -> int =
+    match e with
+    | CLit k -> fun () -> k
+    | CSlot i -> fun () -> slots.(i)
+    | CUn (Neg, a) ->
+      let fa = compile_cexpr a in
+      fun () -> -fa ()
+    | CUn (Not, a) ->
+      let fa = compile_cexpr a in
+      fun () -> if fa () = 0 then 1 else 0
+    | CBin (And, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () = 0 then 0 else if fb () = 0 then 0 else 1
+    | CBin (Or, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () <> 0 then 1 else if fb () <> 0 then 1 else 0
+    | CBin (Add, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> fa () + fb ()
+    | CBin (Sub, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> fa () - fb ()
+    | CBin (Mul, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> fa () * fb ()
+    | CBin (Div, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> fa () / fb ()
+    | CBin (Mod, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> fa () mod fb ()
+    | CBin (Eq, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () = fb () then 1 else 0
+    | CBin (Ne, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () <> fb () then 1 else 0
+    | CBin (Lt, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () < fb () then 1 else 0
+    | CBin (Le, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () <= fb () then 1 else 0
+    | CBin (Gt, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () > fb () then 1 else 0
+    | CBin (Ge, a, b) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> if fa () >= fb () then 1 else 0
+    | CIf (c, t, f) ->
+      let fc = compile_cexpr c and ft = compile_cexpr t and ff = compile_cexpr f in
+      fun () -> if fc () <> 0 then ft () else ff ()
+    | CCall (Min, [ a; b ]) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> min (fa ()) (fb ())
+    | CCall (Max, [ a; b ]) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () -> max (fa ()) (fb ())
+    | CCall (Abs, [ a ]) ->
+      let fa = compile_cexpr a in
+      fun () -> abs (fa ())
+    | CCall (Ceil_div, [ a; b ]) ->
+      let fa = compile_cexpr a and fb = compile_cexpr b in
+      fun () ->
+        let d = fb () in
+        (fa () + d - 1) / d
+    | CCall _ -> invalid_arg "Engine_staged: malformed builtin call"
+  in
+  let compile_compute = function
+    | Plan.CE e -> compile_cexpr e
+    | Plan.CF f -> fun () -> f slots
+  in
+  let hit =
+    match on_hit with
+    | None -> fun () -> incr survivors
+    | Some f ->
+      let lookup = Plan.lookup_of_slots plan slots in
+      fun () ->
+        incr survivors;
+        f lookup
+  in
+  let rec compile_steps (steps : Plan.step list) : unit -> unit =
+    match steps with
+    | [] -> fun () -> ()
+    | Yield :: rest ->
+      let k = compile_steps rest in
+      fun () ->
+        hit ();
+        k ()
+    | Derive { d_slot; d_compute; _ } :: rest ->
+      let f = compile_compute d_compute in
+      let k = compile_steps rest in
+      fun () ->
+        slots.(d_slot) <- f ();
+        k ()
+    | Check { c_index; c_compute; _ } :: rest ->
+      let f = compile_compute c_compute in
+      let k = compile_steps rest in
+      fun () ->
+        if f () <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+    | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
+      let body = compile_steps l_body in
+      let k = compile_steps rest in
+      match l_iter with
+      | CRange (a, b, c) ->
+        let fa = compile_cexpr a and fb = compile_cexpr b and fc = compile_cexpr c in
+        fun () ->
+          let stop = fb () and step = fc () in
+          if step = 0 then
+            raise (Expr.Eval_error (Printf.sprintf "%s: zero range step" l_var));
+          let i = ref (fa ()) in
+          if step > 0 then
+            while !i < stop do
+              slots.(l_slot) <- !i;
+              incr loop_iterations;
+              body ();
+              i := !i + step
+            done
+          else
+            while !i > stop do
+              slots.(l_slot) <- !i;
+              incr loop_iterations;
+              body ();
+              i := !i + step
+            done;
+          k ()
+      | CValues vs ->
+        fun () ->
+          for j = 0 to Array.length vs - 1 do
+            slots.(l_slot) <- vs.(j);
+            incr loop_iterations;
+            body ()
+          done;
+          k ()
+      | CDyn materialize ->
+        fun () ->
+          let vs = materialize slots in
+          for j = 0 to Array.length vs - 1 do
+            slots.(l_slot) <- vs.(j);
+            incr loop_iterations;
+            body ()
+          done;
+          k ())
+  in
+  let sweep = compile_steps plan.Plan.steps in
+  sweep ();
+  {
+    Engine.survivors = !survivors;
+    loop_iterations = !loop_iterations;
+    pruned =
+      Array.mapi
+        (fun i (n, c) -> (n, c, pruned.(i)))
+        plan.Plan.constraint_info;
+  }
+
+let run_space ?on_hit space = run ?on_hit (Plan.make_exn space)

@@ -1,0 +1,21 @@
+(** The bytecode engine: the plan is compiled to a flat instruction
+    sequence over an integer register file and executed by a dispatch
+    loop — the cost model of a register-based scripting VM such as Lua's,
+    whose iteration rates the paper reports in Figure 18.
+
+    Loops compile to trip-count form with explicit test/increment/jump
+    instructions; [And]/[Or]/[If] compile to conditional jumps (preserving
+    short-circuit evaluation); a firing constraint executes a fused
+    count-and-jump instruction targeting the continuation of the loop at
+    its hoisting depth. *)
+
+type program
+(** A compiled program; reusable across runs. *)
+
+val compile : Plan.t -> program
+val disassemble : program -> string
+val instruction_count : program -> int
+
+val run : ?on_hit:Engine.on_hit -> program -> Engine.stats
+val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
+val run_space : ?on_hit:Engine.on_hit -> Space.t -> Engine.stats

@@ -1,0 +1,233 @@
+type unop =
+  | Neg
+  | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type builtin =
+  | Min
+  | Max
+  | Abs
+  | Ceil_div
+
+type t =
+  | Lit of Value.t
+  | Var of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | If of t * t * t
+  | Call of builtin * t list
+
+exception Eval_error of string
+
+type lookup = string -> Value.t
+
+let eval_error fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let apply_unop op v =
+  match op with
+  | Neg -> Value.neg v
+  | Not -> Value.not_v v
+
+(* Strict binops only; And/Or are handled by [eval] for short-circuiting. *)
+let apply_binop op a b =
+  match op with
+  | Add -> Value.add a b
+  | Sub -> Value.sub a b
+  | Mul -> Value.mul a b
+  | Div -> Value.div a b
+  | Mod -> Value.rem a b
+  | Eq -> Value.eq a b
+  | Ne -> Value.ne a b
+  | Lt -> Value.lt a b
+  | Le -> Value.le a b
+  | Gt -> Value.gt a b
+  | Ge -> Value.ge a b
+  | And -> Value.bool (Value.truthy a && Value.truthy b)
+  | Or -> Value.bool (Value.truthy a || Value.truthy b)
+
+let apply_builtin b args =
+  match b, args with
+  | Min, [ x; y ] -> Value.min2 x y
+  | Max, [ x; y ] -> Value.max2 x y
+  | Abs, [ x ] -> Value.abs_v x
+  | Ceil_div, [ x; y ] -> Value.ceil_div x y
+  | (Min | Max | Ceil_div), _ ->
+    eval_error "builtin expects 2 arguments, got %d" (List.length args)
+  | Abs, _ -> eval_error "abs expects 1 argument, got %d" (List.length args)
+
+let rec eval env e =
+  match e with
+  | Lit v -> v
+  | Var x -> (
+    try env x with Not_found -> eval_error "unbound variable %s" x)
+  | Unop (op, a) -> apply_unop op (eval env a)
+  | Binop (And, a, b) ->
+    if Value.truthy (eval env a) then Value.bool (Value.truthy (eval env b))
+    else Value.bool false
+  | Binop (Or, a, b) ->
+    if Value.truthy (eval env a) then Value.bool true
+    else Value.bool (Value.truthy (eval env b))
+  | Binop (op, a, b) -> apply_binop op (eval env a) (eval env b)
+  | If (c, t, f) -> if Value.truthy (eval env c) then eval env t else eval env f
+  | Call (b, args) -> apply_builtin b (List.map (eval env) args)
+
+let eval_bool env e = Value.truthy (eval env e)
+
+module Sset = Set.Make (String)
+
+let free_vars e =
+  let rec go acc = function
+    | Lit _ -> acc
+    | Var x -> Sset.add x acc
+    | Unop (_, a) -> go acc a
+    | Binop (_, a, b) -> go (go acc a) b
+    | If (c, t, f) -> go (go (go acc c) t) f
+    | Call (_, args) -> List.fold_left go acc args
+  in
+  Sset.elements (go Sset.empty e)
+
+let rec subst resolve e =
+  match e with
+  | Lit _ -> e
+  | Var x -> (
+    match resolve x with
+    | Some v -> Lit v
+    | None -> e)
+  | Unop (op, a) -> Unop (op, subst resolve a)
+  | Binop (op, a, b) -> Binop (op, subst resolve a, subst resolve b)
+  | If (c, t, f) -> If (subst resolve c, subst resolve t, subst resolve f)
+  | Call (b, args) -> Call (b, List.map (subst resolve) args)
+
+let rec simplify e =
+  match e with
+  | Lit _ | Var _ -> e
+  | Unop (op, a) -> (
+    match simplify a with
+    | Lit v -> Lit (apply_unop op v)
+    | a' -> Unop (op, a'))
+  | Binop (op, a, b) -> (
+    let a' = simplify a and b' = simplify b in
+    match op, a', b' with
+    (* Short-circuit folds: a decided left operand settles the result
+       (the value is always a boolean, so [true && x] may only fold when
+       [x] is itself a literal). *)
+    | And, Lit v, _ when not (Value.truthy v) -> Lit (Value.bool false)
+    | Or, Lit v, _ when Value.truthy v -> Lit (Value.bool true)
+    | _, Lit va, Lit vb -> (
+      (* Defer constant division by zero to evaluation time. *)
+      match apply_binop op va vb with
+      | v -> Lit v
+      | exception Division_by_zero -> Binop (op, a', b'))
+    | _ -> Binop (op, a', b'))
+  | If (c, t, f) -> (
+    match simplify c with
+    | Lit v -> if Value.truthy v then simplify t else simplify f
+    | c' -> If (c', simplify t, simplify f))
+  | Call (b, args) ->
+    let args' = List.map simplify args in
+    let all_lit =
+      List.for_all
+        (function
+          | Lit _ -> true
+          | _ -> false)
+        args'
+    in
+    if all_lit then
+      let vals =
+        List.map
+          (function
+            | Lit v -> v
+            | _ -> assert false)
+          args'
+      in
+      match apply_builtin b vals with
+      | v -> Lit v
+      | exception Division_by_zero -> Call (b, args')
+    else Call (b, args')
+
+let rec equal a b =
+  match a, b with
+  | Lit x, Lit y -> Value.equal x y && Value.compare x y = 0
+  | Var x, Var y -> String.equal x y
+  | Unop (o1, x), Unop (o2, y) -> o1 = o2 && equal x y
+  | Binop (o1, x1, y1), Binop (o2, x2, y2) -> o1 = o2 && equal x1 x2 && equal y1 y2
+  | If (c1, t1, f1), If (c2, t2, f2) -> equal c1 c2 && equal t1 t2 && equal f1 f2
+  | Call (b1, a1), Call (b2, a2) ->
+    b1 = b2 && List.length a1 = List.length a2 && List.for_all2 equal a1 a2
+  | (Lit _ | Var _ | Unop _ | Binop _ | If _ | Call _), _ -> false
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let builtin_name = function
+  | Min -> "min"
+  | Max -> "max"
+  | Abs -> "abs"
+  | Ceil_div -> "ceil_div"
+
+let rec pp ppf e =
+  match e with
+  | Lit v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp a
+  | Unop (Not, a) -> Format.fprintf ppf "(!%a)" pp a
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | If (c, t, f) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp t pp f
+  | Call (b, args) ->
+    Format.fprintf ppf "%s(%a)" (builtin_name b)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+      args
+
+let to_string e = Format.asprintf "%a" pp e
+let int i = Lit (Value.Int i)
+let bool b = Lit (Value.Bool b)
+let string s = Lit (Value.Str s)
+let var x = Var x
+let min_ a b = Call (Min, [ a; b ])
+let max_ a b = Call (Max, [ a; b ])
+let abs_ a = Call (Abs, [ a ])
+let ceil_div a b = Call (Ceil_div, [ a; b ])
+let if_ c t f = If (c, t, f)
+
+module Infix = struct
+  let ( +: ) a b = Binop (Add, a, b)
+  let ( -: ) a b = Binop (Sub, a, b)
+  let ( *: ) a b = Binop (Mul, a, b)
+  let ( /: ) a b = Binop (Div, a, b)
+  let ( %: ) a b = Binop (Mod, a, b)
+  let ( =: ) a b = Binop (Eq, a, b)
+  let ( <>: ) a b = Binop (Ne, a, b)
+  let ( <: ) a b = Binop (Lt, a, b)
+  let ( <=: ) a b = Binop (Le, a, b)
+  let ( >: ) a b = Binop (Gt, a, b)
+  let ( >=: ) a b = Binop (Ge, a, b)
+  let ( &&: ) a b = Binop (And, a, b)
+  let ( ||: ) a b = Binop (Or, a, b)
+  let not_ a = Unop (Not, a)
+end

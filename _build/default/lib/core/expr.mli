@@ -1,0 +1,104 @@
+(** First-order expressions over search-space parameters.
+
+    This is the OCaml counterpart of the paper's "expression iterators" and
+    "expression constraints" (Sections V, VI, VIII): the operators that
+    Python overloads on iterator objects become constructors of a small
+    AST. Keeping expressions first-order is what lets the system analyse
+    dependencies (Section X), hoist evaluation, and translate to C. *)
+
+type unop =
+  | Neg
+  | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating on integers, as in the paper's derived variables *)
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit, Section VIII-A *)
+  | Or   (** short-circuit *)
+
+type builtin =
+  | Min
+  | Max
+  | Abs
+  | Ceil_div
+
+type t =
+  | Lit of Value.t
+  | Var of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | If of t * t * t  (** the ternary the paper adds for deferred iterators *)
+  | Call of builtin * t list
+
+(** Raised when evaluation meets an unbound variable or a malformed
+    builtin application. *)
+exception Eval_error of string
+
+type lookup = string -> Value.t
+(** Engines supply variable resolution; an unbound name must raise
+    [Not_found], which {!eval} converts to {!Eval_error}. *)
+
+val eval : lookup -> t -> Value.t
+val eval_bool : lookup -> t -> bool
+(** [eval_bool env e] applies Python truthiness to the result. *)
+
+val free_vars : t -> string list
+(** Sorted, duplicate-free. This is the dependency-extraction primitive
+    feeding the DAG of Section X. *)
+
+val subst : (string -> Value.t option) -> t -> t
+(** Replace variables the function resolves by literals; used to fold
+    global settings (Figure 10) into the space before planning. *)
+
+val simplify : t -> t
+(** Bottom-up constant folding. [If] with a literal condition drops a
+    branch; [And]/[Or] with a decided left operand short-circuit. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val binop_symbol : binop -> string
+(** C-style symbol, shared by the pretty-printer and the code generators. *)
+
+val builtin_name : builtin -> string
+
+(** {1 Construction helpers} *)
+
+val int : int -> t
+val bool : bool -> t
+val string : string -> t
+val var : string -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val abs_ : t -> t
+val ceil_div : t -> t -> t
+val if_ : t -> t -> t -> t
+
+(** Infix operators for readable space definitions. All are suffixed with
+    [:] to avoid shadowing the standard integer operators. *)
+module Infix : sig
+  val ( +: ) : t -> t -> t
+  val ( -: ) : t -> t -> t
+  val ( *: ) : t -> t -> t
+  val ( /: ) : t -> t -> t
+  val ( %: ) : t -> t -> t
+  val ( =: ) : t -> t -> t
+  val ( <>: ) : t -> t -> t
+  val ( <: ) : t -> t -> t
+  val ( <=: ) : t -> t -> t
+  val ( >: ) : t -> t -> t
+  val ( >=: ) : t -> t -> t
+  val ( &&: ) : t -> t -> t
+  val ( ||: ) : t -> t -> t
+  val not_ : t -> t
+end

@@ -1,0 +1,109 @@
+type gen = {
+  gen_deps : string list;
+  generate : Expr.lookup -> Value.t Seq.t;
+}
+
+type t =
+  | Range of Expr.t * Expr.t * Expr.t
+  | Values of Value.t list
+  | Closure of gen
+  | Union of t * t
+  | Inter of t * t
+  | Concat of t * t
+  | Map of (Value.t -> Value.t) * t
+  | Filter of (Value.t -> bool) * t
+
+let range ?(step = Expr.int 1) start stop = Range (start, stop, step)
+let range_i ?(step = 1) start stop =
+  Range (Expr.int start, Expr.int stop, Expr.int step)
+
+let upto stop = range (Expr.int 0) stop
+let values vs = Values vs
+let ints is = Values (List.map Value.int is)
+let single e = Range (e, Expr.Infix.( +: ) e (Expr.int 1), Expr.int 1)
+
+let closure ~deps generate = Closure { gen_deps = deps; generate }
+
+let of_list_fn ~deps f =
+  Closure { gen_deps = deps; generate = (fun env -> List.to_seq (f env)) }
+
+let union a b = Union (a, b)
+let inter a b = Inter (a, b)
+let concat a b = Concat (a, b)
+let map f it = Map (f, it)
+let filter p it = Filter (p, it)
+
+module Sset = Set.Make (String)
+
+let deps it =
+  let rec go acc = function
+    | Range (a, b, c) ->
+      List.fold_left
+        (fun acc e -> List.fold_left (fun acc x -> Sset.add x acc) acc (Expr.free_vars e))
+        acc [ a; b; c ]
+    | Values _ -> acc
+    | Closure g -> List.fold_left (fun acc x -> Sset.add x acc) acc g.gen_deps
+    | Union (x, y) | Inter (x, y) | Concat (x, y) -> go (go acc x) y
+    | Map (_, x) | Filter (_, x) -> go acc x
+  in
+  Sset.elements (go Sset.empty it)
+
+let is_static it = deps it = []
+
+let range_values env start stop step =
+  let s = Value.to_int (Expr.eval env start)
+  and e = Value.to_int (Expr.eval env stop)
+  and d = Value.to_int (Expr.eval env step) in
+  if d = 0 then raise (Expr.Eval_error "range: zero step");
+  let n = if d > 0 then max 0 ((e - s + d - 1) / d) else max 0 ((s - e + -d - 1) / -d) in
+  Array.init n (fun i -> Value.Int (s + (i * d)))
+
+let sort_dedup arr =
+  let l = Array.to_list arr in
+  let l = List.sort_uniq Value.compare l in
+  Array.of_list l
+
+let rec materialize env it =
+  match it with
+  | Range (a, b, c) -> range_values env a b c
+  | Values vs -> Array.of_list vs
+  | Closure g -> Array.of_seq (g.generate env)
+  | Union (x, y) ->
+    sort_dedup (Array.append (materialize env x) (materialize env y))
+  | Inter (x, y) ->
+    let ys = materialize env y in
+    let member v = Array.exists (fun w -> Value.equal v w) ys in
+    sort_dedup
+      (Array.of_list (List.filter member (Array.to_list (materialize env x))))
+  | Concat (x, y) -> Array.append (materialize env x) (materialize env y)
+  | Map (f, x) -> Array.map f (materialize env x)
+  | Filter (p, x) ->
+    Array.of_list (List.filter p (Array.to_list (materialize env x)))
+
+let cardinality env it =
+  match it with
+  | Range (a, b, c) ->
+    let s = Value.to_int (Expr.eval env a)
+    and e = Value.to_int (Expr.eval env b)
+    and d = Value.to_int (Expr.eval env c) in
+    if d = 0 then raise (Expr.Eval_error "range: zero step");
+    if d > 0 then max 0 ((e - s + d - 1) / d) else max 0 ((s - e + -d - 1) / -d)
+  | Values vs -> List.length vs
+  | _ -> Array.length (materialize env it)
+
+let rec pp ppf = function
+  | Range (a, b, c) ->
+    Format.fprintf ppf "range(%a, %a, %a)" Expr.pp a Expr.pp b Expr.pp c
+  | Values vs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Value.pp)
+      vs
+  | Closure g ->
+    Format.fprintf ppf "<closure deps=[%s]>" (String.concat ", " g.gen_deps)
+  | Union (x, y) -> Format.fprintf ppf "(%a | %a)" pp x pp y
+  | Inter (x, y) -> Format.fprintf ppf "(%a & %a)" pp x pp y
+  | Concat (x, y) -> Format.fprintf ppf "(%a ++ %a)" pp x pp y
+  | Map (_, x) -> Format.fprintf ppf "map(_, %a)" pp x
+  | Filter (_, x) -> Format.fprintf ppf "filter(_, %a)" pp x

@@ -1,0 +1,452 @@
+type cexpr =
+  | CLit of int
+  | CSlot of int
+  | CUn of Expr.unop * cexpr
+  | CBin of Expr.binop * cexpr * cexpr
+  | CIf of cexpr * cexpr * cexpr
+  | CCall of Expr.builtin * cexpr list
+
+type compute =
+  | CE of cexpr
+  | CF of (int array -> int)
+
+type citer =
+  | CRange of cexpr * cexpr * cexpr
+  | CValues of int array
+  | CDyn of (int array -> int array)
+
+type step =
+  | Derive of {
+      d_name : string;
+      d_slot : int;
+      d_compute : compute;
+    }
+  | Check of {
+      c_name : string;
+      c_class : Space.constraint_class;
+      c_index : int;
+      c_compute : compute;
+    }
+  | Loop of {
+      l_var : string;
+      l_slot : int;
+      l_iter : citer;
+      l_body : step list;
+    }
+  | Yield
+
+type t = {
+  space_name : string;
+  steps : step list;
+  n_slots : int;
+  slot_names : string array;
+  iter_order : string list;
+  iter_slots : int array;
+  constraint_info : (string * Space.constraint_class) array;
+  settings : (string * Value.t) list;
+  slot_index : (string, int) Hashtbl.t;
+}
+
+type error =
+  | Space_error of Space.error
+  | Unsupported of string
+
+let pp_error ppf = function
+  | Space_error e -> Space.pp_error ppf e
+  | Unsupported msg -> Format.fprintf ppf "unsupported: %s" msg
+
+exception Error of error
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Error (Unsupported s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* cexpr evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_int_binop op a b =
+  match (op : Expr.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Division_by_zero else a / b
+  | Mod -> if b = 0 then raise Division_by_zero else a mod b
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | And -> if a <> 0 && b <> 0 then 1 else 0
+  | Or -> if a <> 0 || b <> 0 then 1 else 0
+
+let rec eval_cexpr slots e =
+  match e with
+  | CLit k -> k
+  | CSlot i -> slots.(i)
+  | CUn (Neg, a) -> -eval_cexpr slots a
+  | CUn (Not, a) -> if eval_cexpr slots a = 0 then 1 else 0
+  | CBin (And, a, b) ->
+    if eval_cexpr slots a = 0 then 0 else if eval_cexpr slots b = 0 then 0 else 1
+  | CBin (Or, a, b) ->
+    if eval_cexpr slots a <> 0 then 1 else if eval_cexpr slots b <> 0 then 1 else 0
+  | CBin (op, a, b) -> eval_int_binop op (eval_cexpr slots a) (eval_cexpr slots b)
+  | CIf (c, t, f) ->
+    if eval_cexpr slots c <> 0 then eval_cexpr slots t else eval_cexpr slots f
+  | CCall (Min, [ a; b ]) -> min (eval_cexpr slots a) (eval_cexpr slots b)
+  | CCall (Max, [ a; b ]) -> max (eval_cexpr slots a) (eval_cexpr slots b)
+  | CCall (Abs, [ a ]) -> abs (eval_cexpr slots a)
+  | CCall (Ceil_div, [ a; b ]) ->
+    let d = eval_cexpr slots b in
+    if d = 0 then raise Division_by_zero else (eval_cexpr slots a + d - 1) / d
+  | CCall _ -> invalid_arg "eval_cexpr: malformed builtin call"
+
+module Iset = Set.Make (Int)
+
+let cexpr_slots e =
+  let rec go acc = function
+    | CLit _ -> acc
+    | CSlot i -> Iset.add i acc
+    | CUn (_, a) -> go acc a
+    | CBin (_, a, b) -> go (go acc a) b
+    | CIf (c, t, f) -> go (go (go acc c) t) f
+    | CCall (_, args) -> List.fold_left go acc args
+  in
+  Iset.elements (go Iset.empty e)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Smap = Map.Make (String)
+
+let value_to_cint name v =
+  match (v : Value.t) with
+  | Int i -> i
+  | Bool true -> 1
+  | Bool false -> 0
+  | Float _ | Str _ ->
+    unsupported "%s: non-integer value %s in enumeration path" name
+      (Value.to_string v)
+
+let rec lower_expr ~name slot_map e =
+  match (e : Expr.t) with
+  | Lit v -> CLit (value_to_cint name v)
+  | Var x -> (
+    match Smap.find_opt x slot_map with
+    | Some i -> CSlot i
+    | None -> unsupported "%s: variable %s has no slot" name x)
+  | Unop (op, a) -> CUn (op, lower_expr ~name slot_map a)
+  | Binop (op, a, b) ->
+    CBin (op, lower_expr ~name slot_map a, lower_expr ~name slot_map b)
+  | If (c, t, f) ->
+    CIf
+      ( lower_expr ~name slot_map c,
+        lower_expr ~name slot_map t,
+        lower_expr ~name slot_map f )
+  | Call (b, args) -> CCall (b, List.map (lower_expr ~name slot_map) args)
+
+let make ?(hoist = true) ?order space =
+  match Space.dag space with
+  | Error e -> Result.Error (Space_error e)
+  | Ok dag -> (
+    try
+      let settings = Space.settings space in
+      let setting_tbl = Hashtbl.create 16 in
+      List.iter (fun (n, v) -> Hashtbl.replace setting_tbl n v) settings;
+      let resolve_setting n = Hashtbl.find_opt setting_tbl n in
+      let fold e = Expr.simplify (Expr.subst resolve_setting e) in
+      let iterators = Space.iterators space in
+      let deriveds = Space.deriveds space in
+      let constraints = Space.constraints space in
+      let iterator_names =
+        List.map (fun it -> it.Space.it_name) iterators
+      in
+      let is_iterator n = List.mem n iterator_names in
+      (* Loop order: topological by default, user override if given. *)
+      let iter_order =
+        match order with
+        | None -> List.filter is_iterator (Dag.topo_order dag)
+        | Some names ->
+          if
+            List.sort String.compare names
+            <> List.sort String.compare iterator_names
+          then
+            unsupported "order override must be a permutation of the iterators"
+          else names
+      in
+      let loop_index = Hashtbl.create 16 in
+      List.iteri (fun i n -> Hashtbl.replace loop_index n (i + 1)) iter_order;
+      let n_loops = List.length iter_order in
+      (* Depth of each node: loop index for iterators, max dep depth else. *)
+      let depth_memo = Hashtbl.create 64 in
+      let rec depth n =
+        match Hashtbl.find_opt depth_memo n with
+        | Some d -> d
+        | None ->
+          let d =
+            match Hashtbl.find_opt loop_index n with
+            | Some i ->
+              (* An iterator's bounds must be computable before its loop
+                 opens. *)
+              List.iter
+                (fun dep ->
+                  if depth dep >= i then
+                    unsupported
+                      "iterator %s (loop %d) depends on %s bound at depth %d" n
+                      i dep (depth dep))
+                (Dag.deps_of dag n);
+              i
+            | None ->
+              List.fold_left (fun acc dep -> max acc (depth dep)) 0
+                (Dag.deps_of dag n)
+          in
+          Hashtbl.replace depth_memo n d;
+          d
+      in
+      List.iter (fun n -> ignore (depth n)) (Dag.nodes dag);
+      (* Slots: iterators first (loop order), then derived variables. *)
+      let slot_list =
+        iter_order @ List.map (fun dv -> dv.Space.dv_name) deriveds
+      in
+      let slot_map =
+        List.fold_left
+          (fun (m, i) n -> (Smap.add n i m, i + 1))
+          (Smap.empty, 0) slot_list
+        |> fst
+      in
+      let slot_of n = Smap.find n slot_map in
+      let n_slots = List.length slot_list in
+      let slot_names = Array.of_list slot_list in
+      (* Lookup for opaque bodies: settings + bound slots. *)
+      let lookup_of_slots slots name =
+        match Hashtbl.find_opt setting_tbl name with
+        | Some v -> v
+        | None -> (
+          match Smap.find_opt name slot_map with
+          | Some i -> Value.Int slots.(i)
+          | None -> raise Not_found)
+      in
+      let lower_body name = function
+        | Space.E e -> CE (lower_expr ~name slot_map (fold e))
+        | Space.F { fn; _ } ->
+          CF (fun slots -> Value.to_int (fn (lookup_of_slots slots)))
+      in
+      let static_lookup name =
+        match Hashtbl.find_opt setting_tbl name with
+        | Some v -> v
+        | None -> raise Not_found
+      in
+      let rec fold_iter (it : Iter.t) : Iter.t =
+        match it with
+        | Range (a, b, c) -> Range (fold a, fold b, fold c)
+        | Values _ | Closure _ -> it
+        | Union (x, y) -> Union (fold_iter x, fold_iter y)
+        | Inter (x, y) -> Inter (fold_iter x, fold_iter y)
+        | Concat (x, y) -> Concat (fold_iter x, fold_iter y)
+        | Map (f, x) -> Map (f, fold_iter x)
+        | Filter (p, x) -> Filter (p, fold_iter x)
+      in
+      let iter_is_static it =
+        List.for_all (fun d -> Hashtbl.mem setting_tbl d) (Iter.deps it)
+      in
+      let lower_iter name (it : Iter.t) : citer =
+        let it = fold_iter it in
+        match it with
+        | Range (a, b, c) ->
+          CRange
+            ( lower_expr ~name slot_map a,
+              lower_expr ~name slot_map b,
+              lower_expr ~name slot_map c )
+        | Values vs ->
+          CValues (Array.of_list (List.map (value_to_cint name) vs))
+        | Closure _ | Union _ | Inter _ | Concat _ | Map _ | Filter _ ->
+          if iter_is_static it then
+            CValues
+              (Array.map (value_to_cint name) (Iter.materialize static_lookup it))
+          else
+            CDyn
+              (fun slots ->
+                Array.map (value_to_cint name)
+                  (Iter.materialize (lookup_of_slots slots) it))
+      in
+      (* Group non-iterator nodes by depth, preserving topological order. *)
+      let topo = Dag.topo_order dag in
+      let groups = Array.make (n_loops + 1) [] in
+      let constraint_info = ref [] in
+      let n_constraints = ref 0 in
+      let dv_by_name =
+        List.fold_left
+          (fun m dv -> Smap.add dv.Space.dv_name dv m)
+          Smap.empty deriveds
+      in
+      let cn_by_name =
+        List.fold_left
+          (fun m cn -> Smap.add cn.Space.cn_name cn m)
+          Smap.empty constraints
+      in
+      List.iter
+        (fun n ->
+          if not (is_iterator n) then begin
+            let d = if hoist then depth n else n_loops in
+            let step =
+              match Smap.find_opt n dv_by_name with
+              | Some dv ->
+                Derive
+                  {
+                    d_name = n;
+                    d_slot = slot_of n;
+                    d_compute = lower_body n dv.Space.dv_body;
+                  }
+              | None ->
+                let cn = Smap.find n cn_by_name in
+                let idx = !n_constraints in
+                incr n_constraints;
+                constraint_info := (n, cn.Space.cn_class) :: !constraint_info;
+                Check
+                  {
+                    c_name = n;
+                    c_class = cn.Space.cn_class;
+                    c_index = idx;
+                    c_compute = lower_body n cn.Space.cn_body;
+                  }
+            in
+            groups.(d) <- step :: groups.(d)
+          end)
+        topo;
+      Array.iteri (fun i g -> groups.(i) <- List.rev g) groups;
+      let iter_arr = Array.of_list iter_order in
+      let rec build d =
+        let tail =
+          if d = n_loops then [ Yield ]
+          else
+            let var = iter_arr.(d) in
+            let it =
+              (List.find (fun i -> i.Space.it_name = var) iterators).Space.it_iter
+            in
+            [
+              Loop
+                {
+                  l_var = var;
+                  l_slot = slot_of var;
+                  l_iter = lower_iter var it;
+                  l_body = build (d + 1);
+                };
+            ]
+        in
+        groups.(d) @ tail
+      in
+      Ok
+        {
+          space_name = Space.name space;
+          steps = build 0;
+          n_slots;
+          slot_names;
+          iter_order;
+          iter_slots = Array.map slot_of iter_arr;
+          constraint_info = Array.of_list (List.rev !constraint_info);
+          settings;
+          slot_index =
+            (let tbl = Hashtbl.create (2 * n_slots) in
+             Smap.iter (fun name slot -> Hashtbl.replace tbl name slot) slot_map;
+             tbl);
+        }
+    with Error err -> Result.Error err)
+
+let make_exn ?hoist ?order space =
+  match make ?hoist ?order space with
+  | Ok p -> p
+  | Error e -> raise (Error e)
+
+let subsample ~index ~of_ arr =
+  let n = Array.length arr in
+  let count = if index >= n then 0 else ((n - index - 1) / of_) + 1 in
+  Array.init count (fun j -> arr.(index + (j * of_)))
+
+let slice_outer t ~index ~of_ =
+  if of_ < 1 || index < 0 || index >= of_ then
+    invalid_arg "Plan.slice_outer: need 0 <= index < of_";
+  if of_ = 1 then t
+  else
+    let slice_citer = function
+      | CRange (a, b, c) ->
+        CRange
+          ( CBin (Expr.Add, a, CBin (Expr.Mul, CLit index, c)),
+            b,
+            CBin (Expr.Mul, c, CLit of_) )
+      | CValues vs -> CValues (subsample ~index ~of_ vs)
+      | CDyn f -> CDyn (fun slots -> subsample ~index ~of_ (f slots))
+    in
+    let rec slice_steps = function
+      | [] -> if index = 0 then [] else raise Exit
+      | Loop l :: rest -> Loop { l with l_iter = slice_citer l.l_iter } :: rest
+      | step :: rest -> step :: slice_steps rest
+    in
+    match slice_steps t.steps with
+    | steps -> { t with steps }
+    | exception Exit -> { t with steps = [] }
+
+let slot_of t name = Hashtbl.find t.slot_index name
+
+let lookup_of_slots t slots name =
+  match Hashtbl.find_opt t.slot_index name with
+  | Some slot -> Value.Int slots.(slot)
+  | None -> (
+    match List.assoc_opt name t.settings with
+    | Some v -> v
+    | None -> raise Not_found)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_cexpr ppf = function
+  | CLit k -> Format.pp_print_int ppf k
+  | CSlot i -> Format.fprintf ppf "s%d" i
+  | CUn (Neg, a) -> Format.fprintf ppf "(-%a)" pp_cexpr a
+  | CUn (Not, a) -> Format.fprintf ppf "(!%a)" pp_cexpr a
+  | CBin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_cexpr a (Expr.binop_symbol op) pp_cexpr b
+  | CIf (c, t, f) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_cexpr c pp_cexpr t pp_cexpr f
+  | CCall (b, args) ->
+    Format.fprintf ppf "%s(%a)" (Expr.builtin_name b)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_cexpr)
+      args
+
+let pp_compute ppf = function
+  | CE e -> pp_cexpr ppf e
+  | CF _ -> Format.pp_print_string ppf "<fun>"
+
+let pp_citer ppf = function
+  | CRange (a, b, c) ->
+    Format.fprintf ppf "range(%a, %a, %a)" pp_cexpr a pp_cexpr b pp_cexpr c
+  | CValues vs ->
+    Format.fprintf ppf "values(%s)"
+      (String.concat ", " (Array.to_list (Array.map string_of_int vs)))
+  | CDyn _ -> Format.pp_print_string ppf "<dynamic>"
+
+let pp ppf t =
+  let rec pp_steps indent steps =
+    List.iter
+      (fun step ->
+        match step with
+        | Derive { d_name; d_slot; d_compute } ->
+          Format.fprintf ppf "%s%s (s%d) = %a@\n" indent d_name d_slot pp_compute
+            d_compute
+        | Check { c_name; c_class; c_compute; _ } ->
+          Format.fprintf ppf "%sprune if %s [%s]: %a@\n" indent c_name
+            (Space.constraint_class_name c_class)
+            pp_compute c_compute
+        | Loop { l_var; l_slot; l_iter; l_body } ->
+          Format.fprintf ppf "%sfor %s (s%d) in %a:@\n" indent l_var l_slot
+            pp_citer l_iter;
+          pp_steps (indent ^ "  ") l_body
+        | Yield -> Format.fprintf ppf "%syield@\n" indent)
+      steps
+  in
+  Format.fprintf ppf "plan %s (%d loops, %d constraints)@\n" t.space_name
+    (List.length t.iter_order)
+    (Array.length t.constraint_info);
+  pp_steps "" t.steps

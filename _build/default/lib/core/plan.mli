@@ -1,0 +1,126 @@
+(** Loop-nest plans: the compilation target shared by every engine and
+    code generator (paper Section X).
+
+    Planning performs, in order:
+    + constant-fold the global settings (Figure 10) into every expression;
+    + build the dependency DAG and derive the loop order from a stable
+      topological linearization (respecting the level sets of Sec. X-B);
+    + assign each derived variable and constraint the {e shallowest} loop
+      depth at which its dependencies are bound — the hoisting that makes
+      aggressive pruning cheap;
+    + lower expressions to integer slot machines ([cexpr]) suitable for
+      bytecode compilation, closure staging and C emission.
+
+    The result is the canonical nest
+    [group₀; loop₁ (group₁; loop₂ (…; loopₙ (groupₙ; yield)))] where
+    group_d holds the derived variables and constraints evaluable once
+    depth d is bound. A constraint firing at depth d abandons the whole
+    subtree below it — the source of the paper's orders-of-magnitude
+    pruning savings. *)
+
+(** Lowered expressions: variables resolved to slot indices, booleans
+    represented as 0/1 integers. *)
+type cexpr =
+  | CLit of int
+  | CSlot of int
+  | CUn of Expr.unop * cexpr
+  | CBin of Expr.binop * cexpr * cexpr
+  | CIf of cexpr * cexpr * cexpr
+  | CCall of Expr.builtin * cexpr list
+
+type compute =
+  | CE of cexpr
+  | CF of (int array -> int)
+      (** opaque (deferred / closure) body, reading bound slots *)
+
+(** Lowered iterators. *)
+type citer =
+  | CRange of cexpr * cexpr * cexpr  (** start, stop exclusive, step *)
+  | CValues of int array
+  | CDyn of (int array -> int array)
+      (** closure/algebra iterators: materialized at loop entry *)
+
+type step =
+  | Derive of {
+      d_name : string;
+      d_slot : int;
+      d_compute : compute;
+    }
+  | Check of {
+      c_name : string;
+      c_class : Space.constraint_class;
+      c_index : int;  (** index into per-constraint statistics *)
+      c_compute : compute;  (** nonzero result prunes the point *)
+    }
+  | Loop of {
+      l_var : string;
+      l_slot : int;
+      l_iter : citer;
+      l_body : step list;
+    }
+  | Yield  (** a full assignment survived every constraint *)
+
+type t = {
+  space_name : string;
+  steps : step list;
+  n_slots : int;
+  slot_names : string array;  (** slot -> parameter name *)
+  iter_order : string list;  (** loop order, outermost first *)
+  iter_slots : int array;  (** slots of [iter_order], for survivor decoding *)
+  constraint_info : (string * Space.constraint_class) array;
+      (** by [c_index] *)
+  settings : (string * Value.t) list;
+  slot_index : (string, int) Hashtbl.t;
+      (** name -> slot, for {!slot_of} and {!lookup_of_slots} *)
+}
+
+type error =
+  | Space_error of Space.error
+  | Unsupported of string
+      (** non-integer literal survived folding, or invalid [order] *)
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Error of error
+
+val make : ?hoist:bool -> ?order:string list -> Space.t -> (t, error) result
+(** [make space] builds the plan. [hoist] (default [true]) controls
+    whether derived variables and constraints float to their minimal
+    depth; with [hoist:false] everything evaluates at the innermost level,
+    reproducing an un-optimized (scripting-style) enumeration for the
+    ablation study. [order] overrides the loop order; it must be a
+    permutation of the iterator names compatible with the DAG. *)
+
+val make_exn : ?hoist:bool -> ?order:string list -> Space.t -> t
+
+val slice_outer : t -> index:int -> of_:int -> t
+(** [slice_outer t ~index ~of_] restricts the outermost loop to every
+    [of_]-th value starting at position [index] (round-robin
+    decomposition). The union of the [of_] slices visits exactly the
+    original space; this is how {!Engine_parallel} shards work across
+    domains — the paper's parallelization "at the outermost loop nests,
+    close to level 0" (Section X-B). Steps before the first loop are kept
+    in every slice, so statistics for depth-0 constraints are replicated
+    per slice. A plan with no loops is returned unchanged for [index] 0
+    and emptied otherwise. *)
+
+val slot_of : t -> string -> int
+(** @raise Not_found for names that are not iterators/derived variables *)
+
+val lookup_of_slots : t -> int array -> Expr.lookup
+(** A lookup resolving iterators and derived variables from a slot array
+    and settings from the folded table — what closure bodies receive. *)
+
+val eval_int_binop : Expr.binop -> int -> int -> int
+(** Strict integer semantics of a binary operator (booleans as 0/1);
+    shared with the bytecode VM. *)
+
+val eval_cexpr : int array -> cexpr -> int
+(** Reference evaluator, also used by the tree-walking engine. Division
+    truncates; division or modulus by zero raises [Division_by_zero]. *)
+
+val cexpr_slots : cexpr -> int list
+(** Sorted slot indices read by the expression. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pseudo-code dump of the nest, for inspection and golden tests. *)

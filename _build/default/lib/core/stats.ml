@@ -1,0 +1,122 @@
+type row = {
+  constraint_name : string;
+  constraint_class : Space.constraint_class;
+  fired : int;
+  removed : int option;
+}
+
+type funnel = {
+  space : string;
+  total_points : int;
+  survivors : int;
+  rows : row list;
+}
+
+let survival_rate f =
+  if f.total_points = 0 then 1.0
+  else float_of_int f.survivors /. float_of_int f.total_points
+
+let pruned_fraction f = 1.0 -. survival_rate f
+
+let space_with_constraints src names =
+  Space.filter_constraints src ~keep:(fun cn ->
+      List.mem cn.Space.cn_name names)
+
+(* Constraints in actual evaluation order: a pre-order walk of the nest
+   (hoisted constraints at shallow depths run first). *)
+let evaluation_order (plan : Plan.t) =
+  let rec walk acc steps =
+    List.fold_left
+      (fun acc (step : Plan.step) ->
+        match step with
+        | Plan.Check { c_name; c_class; _ } -> (c_name, c_class) :: acc
+        | Plan.Loop { l_body; _ } -> walk acc l_body
+        | Plan.Derive _ | Plan.Yield -> acc)
+      acc steps
+  in
+  List.rev (walk [] plan.Plan.steps)
+
+let funnel ?(engine = fun plan -> Engine_staged.run plan) space =
+  let plan = Plan.make_exn space in
+  let order = evaluation_order plan in
+  let survivors_with names =
+    (engine (Plan.make_exn (space_with_constraints space names))).Engine.survivors
+  in
+  let full_stats = engine plan in
+  let fired_of name =
+    let _, _, k =
+      Array.to_list full_stats.Engine.pruned
+      |> List.find (fun (n, _, _) -> n = name)
+    in
+    k
+  in
+  let total = survivors_with [] in
+  let rec build prev_survivors prefix = function
+    | [] -> []
+    | (name, cls) :: rest ->
+      let prefix = name :: prefix in
+      let s = survivors_with prefix in
+      {
+        constraint_name = name;
+        constraint_class = cls;
+        fired = fired_of name;
+        removed = Some (prev_survivors - s);
+      }
+      :: build s prefix rest
+  in
+  let rows = build total [] order in
+  {
+    space = Space.name space;
+    total_points = total;
+    survivors = full_stats.Engine.survivors;
+    rows;
+  }
+
+let of_stats space (stats : Engine.stats) ~total_points =
+  {
+    space = Space.name space;
+    total_points;
+    survivors = stats.Engine.survivors;
+    rows =
+      Array.to_list stats.Engine.pruned
+      |> List.map (fun (n, c, k) ->
+             {
+               constraint_name = n;
+               constraint_class = c;
+               fired = k;
+               removed = None;
+             });
+  }
+
+let to_csv f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "constraint,class,fired,removed\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%s\n" r.constraint_name
+           (Space.constraint_class_name r.constraint_class)
+           r.fired
+           (match r.removed with
+           | Some k -> string_of_int k
+           | None -> "")))
+    f.rows;
+  Buffer.add_string buf
+    (Printf.sprintf "TOTAL,,%d,%d\n" (f.total_points - f.survivors)
+       (f.total_points - f.survivors));
+  Buffer.contents buf
+
+let pp ppf f =
+  Format.fprintf ppf "funnel for %s: %d points -> %d survivors (%.2f%% pruned)@\n"
+    f.space f.total_points f.survivors
+    (100. *. pruned_fraction f);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-30s %-11s fired %-10d removed %s@\n"
+        r.constraint_name
+        (Space.constraint_class_name r.constraint_class)
+        r.fired
+        (match r.removed with
+        | Some k -> string_of_int k
+        | None -> "?"))
+    f.rows

@@ -1,0 +1,50 @@
+(** Pruning statistics and funnel reports.
+
+    Section VI observes that constraints prune the space "sometimes by as
+    much as 99%"; this module turns engine statistics into the funnel the
+    paper's visualization work (reference [7], VISSOFT'14) renders: how
+    many candidate points each constraint removed and what fraction of
+    the unconstrained space survives. *)
+
+type row = {
+  constraint_name : string;
+  constraint_class : Space.constraint_class;
+  fired : int;  (** times the constraint rejected (subtree abandoned) *)
+  removed : int option;
+      (** full points removed by those firings; [None] when the funnel
+          was built from a single sweep and exact attribution is
+          unavailable *)
+}
+
+type funnel = {
+  space : string;
+  total_points : int;  (** cardinality of the unconstrained space *)
+  survivors : int;
+  rows : row list;  (** in evaluation order *)
+}
+
+val survival_rate : funnel -> float
+(** survivors / total_points (1.0 for an empty space). *)
+
+val pruned_fraction : funnel -> float
+(** 1 - {!survival_rate}: the paper's "as much as 99%". *)
+
+val funnel :
+  ?engine:(Plan.t -> Engine.stats) ->
+  Space.t ->
+  funnel
+(** [funnel space] measures the funnel exactly by running one sweep per
+    prefix of the constraint set (constraints in evaluation order, each
+    run adding one more) with the given engine (default
+    {!Engine_staged.run}): the drop in survivors between consecutive runs
+    is the number of points each constraint removes. Cost: [n+1] sweeps
+    over the {e unconstrained} space — use scaled-down spaces.
+    @raise Plan.Error if the space does not plan. *)
+
+val of_stats : Space.t -> Engine.stats -> total_points:int -> funnel
+(** Cheap single-sweep variant: rows carry firing counts only
+    ([removed = None]). [total_points] must be supplied by the caller
+    (e.g. from {!Sweep.cardinality}). *)
+
+val to_csv : funnel -> string
+val pp : Format.formatter -> funnel -> unit

@@ -1,0 +1,64 @@
+type engine =
+  | Interp_naive
+  | Interp
+  | Vm
+  | Staged
+  | Parallel of int
+
+let engine_name = function
+  | Interp_naive -> "interp-naive"
+  | Interp -> "interp"
+  | Vm -> "vm"
+  | Staged -> "staged"
+  | Parallel n -> Printf.sprintf "parallel-%d" n
+
+let all_engines = [ Interp_naive; Interp; Vm; Staged; Parallel 2 ]
+
+let run ?(engine = Staged) ?on_hit space =
+  match engine with
+  | Interp_naive -> Engine_interp.run ?on_hit ~variant:`Naive space
+  | Interp -> Engine_interp.run ?on_hit ~variant:`Hoisted space
+  | Vm -> Engine_vm.run_space ?on_hit space
+  | Staged -> Engine_staged.run_space ?on_hit space
+  | Parallel n -> Engine_parallel.run_space ?on_hit ~domains:n space
+
+let survivors ?engine ?limit space =
+  let plan = Plan.make_exn space in
+  let acc = ref [] in
+  let count = ref 0 in
+  let mutex = Mutex.create () in
+  let record lookup =
+    let point =
+      List.map (fun n -> (n, lookup n)) plan.Plan.iter_order
+    in
+    Mutex.lock mutex;
+    (match limit with
+    | Some l when !count >= l -> ()
+    | _ ->
+      incr count;
+      acc := point :: !acc);
+    Mutex.unlock mutex
+  in
+  ignore (run ?engine ~on_hit:record space);
+  List.rev !acc
+
+let fold ?(engine = Staged) ~init ~f space =
+  (match engine with
+  | Parallel _ -> invalid_arg "Sweep.fold: sequential engines only"
+  | _ -> ());
+  let acc = ref init in
+  let stats = run ~engine ~on_hit:(fun lookup -> acc := f !acc lookup) space in
+  (!acc, stats)
+
+exception Budget_reached
+
+let cardinality ?(budget = 10_000_000) space =
+  let unconstrained = Space.filter_constraints space ~keep:(fun _ -> false) in
+  let count = ref 0 in
+  let on_hit _ =
+    incr count;
+    if !count >= budget then raise Budget_reached
+  in
+  match Engine_staged.run_space ~on_hit unconstrained with
+  | _ -> `Exact !count
+  | exception Budget_reached -> `At_least !count

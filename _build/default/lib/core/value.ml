@@ -1,0 +1,132 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Float of float
+  | Str of string
+
+exception Type_error of string
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+  | Float f -> string_of_float f
+  | Str s -> Printf.sprintf "%S" s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let type_error op v =
+  raise (Type_error (Printf.sprintf "%s: unsupported operand %s" op (to_string v)))
+
+let type_error2 op a b =
+  raise
+    (Type_error
+       (Printf.sprintf "%s: unsupported operands %s and %s" op (to_string a)
+          (to_string b)))
+
+let int i = Int i
+let bool b = Bool b
+let float f = Float f
+let str s = Str s
+
+let to_int = function
+  | Int i -> i
+  | Bool true -> 1
+  | Bool false -> 0
+  | (Float _ | Str _) as v -> type_error "to_int" v
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Bool true -> 1.
+  | Bool false -> 0.
+  | Float f -> f
+  | Str _ as v -> type_error "to_float" v
+
+let truthy = function
+  | Int i -> i <> 0
+  | Bool b -> b
+  | Float f -> f <> 0.
+  | Str s -> s <> ""
+
+(* Numeric operations promote to float as soon as one operand is a float;
+   booleans participate as 0/1, mirroring Python. *)
+let num_op name int_op float_op a b =
+  match a, b with
+  | (Int _ | Bool _), (Int _ | Bool _) -> Int (int_op (to_int a) (to_int b))
+  | (Int _ | Bool _ | Float _), (Int _ | Bool _ | Float _) ->
+    Float (float_op (to_float a) (to_float b))
+  | _ -> type_error2 name a b
+
+let add = num_op "add" ( + ) ( +. )
+let sub = num_op "sub" ( - ) ( -. )
+let mul = num_op "mul" ( * ) ( *. )
+
+let div a b =
+  match a, b with
+  | (Int _ | Bool _), (Int _ | Bool _) ->
+    let d = to_int b in
+    if d = 0 then raise Division_by_zero else Int (to_int a / d)
+  | (Int _ | Bool _ | Float _), (Int _ | Bool _ | Float _) ->
+    let d = to_float b in
+    if d = 0. then raise Division_by_zero else Float (to_float a /. d)
+  | _ -> type_error2 "div" a b
+
+let rem a b =
+  match a, b with
+  | (Int _ | Bool _), (Int _ | Bool _) ->
+    let d = to_int b in
+    if d = 0 then raise Division_by_zero else Int (to_int a mod d)
+  | (Int _ | Bool _ | Float _), (Int _ | Bool _ | Float _) ->
+    let d = to_float b in
+    if d = 0. then raise Division_by_zero
+    else Float (Float.rem (to_float a) d)
+  | _ -> type_error2 "rem" a b
+
+let ceil_div a b =
+  match a, b with
+  | (Int _ | Bool _), (Int _ | Bool _) ->
+    let n = to_int a and d = to_int b in
+    if d = 0 then raise Division_by_zero
+    else Int ((n + d - 1) / d)
+  | _ -> type_error2 "ceil_div" a b
+
+let neg = function
+  | Int i -> Int (-i)
+  | Bool b -> Int (if b then -1 else 0)
+  | Float f -> Float (-.f)
+  | Str _ as v -> type_error "neg" v
+
+let compare a b =
+  match a, b with
+  | Str x, Str y -> String.compare x y
+  | Str _, _ | _, Str _ -> type_error2 "compare" a b
+  | (Int _ | Bool _), (Int _ | Bool _) -> Int.compare (to_int a) (to_int b)
+  | _ -> Float.compare (to_float a) (to_float b)
+
+let equal a b =
+  match a, b with
+  | Str x, Str y -> String.equal x y
+  | Str _, _ | _, Str _ -> false
+  | _ -> compare a b = 0
+
+let hash = function
+  | Str s -> Hashtbl.hash s
+  | Float f when Float.is_integer f -> Hashtbl.hash (int_of_float f)
+  | Float f -> Hashtbl.hash f
+  | v -> Hashtbl.hash (to_int v)
+
+let min2 a b = if compare a b <= 0 then a else b
+let max2 a b = if compare a b >= 0 then a else b
+
+let abs_v = function
+  | Int i -> Int (abs i)
+  | Bool b -> Int (to_int (Bool b))
+  | Float f -> Float (Float.abs f)
+  | Str _ as v -> type_error "abs" v
+
+let not_v v = Bool (not (truthy v))
+let lt a b = Bool (compare a b < 0)
+let le a b = Bool (compare a b <= 0)
+let gt a b = Bool (compare a b > 0)
+let ge a b = Bool (compare a b >= 0)
+let eq a b = Bool (equal a b)
+let ne a b = Bool (not (equal a b))

@@ -1,0 +1,91 @@
+(** Dynamic values manipulated by the BEAST search-space language.
+
+    The paper embeds its language in Python, where iterator values flow
+    through dynamically typed expressions. We reproduce that value universe
+    with a closed sum type: integers, booleans, floats and strings.
+    Strings appear only in settings (e.g. [precision = "double"]) and are
+    constant-folded away before any engine runs; the enumeration hot path
+    deals exclusively with integers and booleans. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Float of float
+  | Str of string
+
+(** Raised by any operation applied to operands outside its domain, e.g.
+    adding a string to an integer. The message names the operation and
+    the offending values. *)
+exception Type_error of string
+
+val type_error : string -> t -> 'a
+val type_error2 : string -> t -> t -> 'a
+
+(** {1 Constructors} *)
+
+val int : int -> t
+val bool : bool -> t
+val float : float -> t
+val str : string -> t
+
+(** {1 Projections} *)
+
+val to_int : t -> int
+(** [to_int v] returns the integer payload. Booleans convert as 0/1
+    (Python semantics, needed by constraints such as [trans_a != 0]).
+    @raise Type_error on floats and strings. *)
+
+val to_float : t -> float
+(** Ints and bools widen; @raise Type_error on strings. *)
+
+val truthy : t -> bool
+(** Python truthiness: [Int 0], [Bool false], [Float 0.] and [Str ""] are
+    false; everything else is true. Constraint results are filtered through
+    this, matching the paper's "evaluates (or is cast) to a boolean". *)
+
+(** {1 Structural operations} *)
+
+val equal : t -> t -> bool
+(** Numeric values compare across representations ([Int 2] equals
+    [Float 2.] and [Bool true] equals [Int 1]); strings only equal
+    strings. *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}: numerics by magnitude, strings
+    lexicographically. @raise Type_error when comparing a string with a
+    numeric value. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Arithmetic}
+
+    Binary arithmetic follows Python 2 semantics on the subset we need:
+    int op int stays integral, any float operand promotes to float, and
+    booleans behave as 0/1. Division and modulus on integers truncate
+    toward zero and raise [Division_by_zero] on a zero divisor. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val neg : t -> t
+val min2 : t -> t -> t
+val max2 : t -> t -> t
+val abs_v : t -> t
+
+val ceil_div : t -> t -> t
+(** [ceil_div a b] is ceiling division on integers, a convenience builtin
+    used by kernel spaces for grid-size computations. *)
+
+(** {1 Logic and relations} *)
+
+val not_v : t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+val eq : t -> t -> t
+val ne : t -> t -> t

@@ -1,0 +1,1 @@
+lib/dsl/parse.ml: Beast_core Expr Filename Format Iter List Option Printf Space String Value

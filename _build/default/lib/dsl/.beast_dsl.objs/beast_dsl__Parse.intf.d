@@ -1,0 +1,1 @@
+lib/dsl/parse.mli: Beast_core Format

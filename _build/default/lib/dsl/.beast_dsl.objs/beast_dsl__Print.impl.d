@@ -1,0 +1,1 @@
+lib/dsl/print.ml: Beast_core Buffer Expr Format Iter List Printf Result Space String Value

@@ -1,0 +1,1 @@
+lib/dsl/print.mli: Beast_core Format

@@ -1,0 +1,61 @@
+(** The declarative notation as a textual language.
+
+    The paper embeds its notation in Python so that search spaces are
+    "easy to assimilate by the user interested in tuning rather than
+    learning a new programming language". This module provides the same
+    experience without an OCaml toolchain in the loop: a line-oriented
+    text format that parses into a {!Beast_core.Space.t}, after which
+    every part of the system (planning, engines, code generation,
+    tuning) applies unchanged.
+
+    {2 Format}
+
+    One declaration per line; [#] starts a comment; a trailing [\ ]
+    continues a line. Declarations:
+
+    {v
+    space gemm                          # optional, names the space
+    setting precision = "double"
+    setting max_threads = 1024
+    iter dim_m  = range(1, max_threads + 1)
+    iter blk_m  = range(dim_m, max_threads + 1, dim_m)
+    iter tex_a  = values(0, 1)
+    iter fib    = values(1, 1, 2, 3, 5, 8, 13)
+    iter vec    = precision == "double" ? range(1, 3) : range(1, 5, 3)
+    derived thr_m = blk_m / dim_m
+    constraint hard over_max = dim_m * dim_n > max_threads
+    constraint soft partial_warps = (dim_m * dim_n) % 32 != 0
+    constraint correctness cant_reshape = blk_m % dim_m != 0
+    v}
+
+    Expressions support [+ - * / %] (integer division truncates),
+    comparisons, [&& || !] (also spelled [and or not]), the C ternary
+    [c ? a : b], parentheses, integer and string literals, [true]/[false],
+    and the builtins [min(a,b)], [max(a,b)], [abs(a)], [ceil_div(a,b)].
+    Iterators: [range(start, stop[, step])], [values(v, ...)],
+    [single(e)], [union(i1, i2)], [inter(i1, i2)], [concat(i1, i2)], and
+    the conditional form [cond ? iter1 : iter2] (both arms must be
+    ranges; the bounds are merged through the condition, which is how
+    the paper's deferred if/elif iterators translate).
+
+    Definition order is free, exactly as in the library (deferred
+    semantics); constraints default to class [hard]. *)
+
+type error = {
+  line : int;  (** 1-based *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val space_of_string :
+  ?name:string -> string -> (Beast_core.Space.t, error) result
+(** Parse a whole space description. A [space <name>] declaration inside
+    the text overrides [?name] (default ["space"]). *)
+
+val space_of_file : string -> (Beast_core.Space.t, error) result
+(** Reads the file; the default space name is the file's basename
+    without extension. *)
+
+val expr_of_string : string -> (Beast_core.Expr.t, error) result
+(** Parse a single expression — exposed for tests and tools. *)

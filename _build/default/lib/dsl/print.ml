@@ -1,0 +1,95 @@
+open Beast_core
+
+type error = Unprintable of string
+
+let pp_error ppf (Unprintable name) =
+  Format.fprintf ppf "%s has no textual form (closure or opaque body)" name
+
+exception Error of error
+
+(* Fully parenthesized rendering; ambiguity-free, so the parser's
+   precedence never matters on the way back in. *)
+let rec expr_to_string (e : Expr.t) =
+  match e with
+  | Lit (Value.Int k) -> if k < 0 then Printf.sprintf "(%d)" k else string_of_int k
+  | Lit (Value.Bool b) -> if b then "true" else "false"
+  | Lit (Value.Str s) -> Printf.sprintf "%S" s
+  | Lit (Value.Float _) -> raise (Error (Unprintable "float literal"))
+  | Var x -> x
+  | Unop (Expr.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Unop (Expr.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (Expr.binop_symbol op)
+      (expr_to_string b)
+  | If (c, t, f) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string t)
+      (expr_to_string f)
+  | Call (b, args) ->
+    Printf.sprintf "%s(%s)" (Expr.builtin_name b)
+      (String.concat ", " (List.map expr_to_string args))
+
+let value_to_string name (v : Value.t) =
+  match v with
+  | Value.Int k -> string_of_int k
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Str s -> Printf.sprintf "%S" s
+  | Value.Float _ -> raise (Error (Unprintable name))
+
+let rec iter_to_string name (it : Iter.t) =
+  match it with
+  | Iter.Range (a, b, c) ->
+    Printf.sprintf "range(%s, %s, %s)" (expr_to_string a) (expr_to_string b)
+      (expr_to_string c)
+  | Iter.Values vs ->
+    Printf.sprintf "values(%s)"
+      (String.concat ", " (List.map (value_to_string name) vs))
+  | Iter.Union (x, y) ->
+    Printf.sprintf "union(%s, %s)" (iter_to_string name x) (iter_to_string name y)
+  | Iter.Inter (x, y) ->
+    Printf.sprintf "inter(%s, %s)" (iter_to_string name x) (iter_to_string name y)
+  | Iter.Concat (x, y) ->
+    Printf.sprintf "concat(%s, %s)" (iter_to_string name x)
+      (iter_to_string name y)
+  | Iter.Closure _ | Iter.Map _ | Iter.Filter _ -> raise (Error (Unprintable name))
+
+let space_to_string sp =
+  try
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let name_ok n =
+      n <> ""
+      && (not (n.[0] >= '0' && n.[0] <= '9'))
+      && String.for_all
+           (fun c ->
+             (c >= 'a' && c <= 'z')
+             || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9')
+             || c = '_')
+           n
+    in
+    if name_ok (Space.name sp) then add "space %s\n" (Space.name sp);
+    List.iter
+      (fun (n, v) -> add "setting %s = %s\n" n (value_to_string n v))
+      (Space.settings sp);
+    List.iter
+      (fun it ->
+        add "iter %s = %s\n" it.Space.it_name
+          (iter_to_string it.Space.it_name it.Space.it_iter))
+      (Space.iterators sp);
+    List.iter
+      (fun dv ->
+        match dv.Space.dv_body with
+        | Space.E e -> add "derived %s = %s\n" dv.Space.dv_name (expr_to_string e)
+        | Space.F _ -> raise (Error (Unprintable dv.Space.dv_name)))
+      (Space.deriveds sp);
+    List.iter
+      (fun cn ->
+        match cn.Space.cn_body with
+        | Space.E e ->
+          add "constraint %s %s = %s\n"
+            (Space.constraint_class_name cn.Space.cn_class)
+            cn.Space.cn_name (expr_to_string e)
+        | Space.F _ -> raise (Error (Unprintable cn.Space.cn_name)))
+      (Space.constraints sp);
+    Ok (Buffer.contents buf)
+  with Error e -> Result.Error e

@@ -1,0 +1,19 @@
+(** Serialization of a space back to the textual notation — the inverse
+    of {!Parse}, so programmatically built spaces (device parameters
+    filled in from {!Beast_gpu.Device}, say) can be saved, diffed and
+    shared as plain text.
+
+    Only the expression-bodied subset round-trips: closure iterators and
+    opaque ([Space.derived_f] / [Space.constrain_f]) bodies have no
+    textual form and yield [Error]. Everything the paper's figures define
+    is expression-bodied, so the GEMM model problem round-trips exactly
+    (test-verified: parse (print sp) enumerates the same survivors). *)
+
+type error = Unprintable of string  (** the offending parameter's name *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val space_to_string : Beast_core.Space.t -> (string, error) result
+
+val expr_to_string : Beast_core.Expr.t -> string
+(** Expressions always print (fully parenthesized, re-parseable). *)

@@ -1,0 +1,1 @@
+lib/gpu/baseline.ml: Device

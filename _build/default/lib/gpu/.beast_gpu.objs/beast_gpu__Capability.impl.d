@@ -1,0 +1,1 @@
+lib/gpu/capability.ml: Array Device Format

@@ -1,0 +1,1 @@
+lib/gpu/capability.mli: Device Format

@@ -1,0 +1,1 @@
+lib/gpu/perf_model.ml: Beast_core Capability Device Float Format Occupancy

@@ -1,0 +1,1 @@
+lib/gpu/perf_model.mli: Beast_core Device Format

@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Device Occupancy Perf_model

@@ -1,0 +1,1 @@
+lib/gpu/sim.mli: Device Perf_model

@@ -1,0 +1,58 @@
+let launch_overhead_us = 5.0
+
+(* Large-n asymptotic fractions of peak for the cuBLAS model, per
+   precision/arithmetic. Kepler-era cuBLAS DGEMM sustained ~70-75% of
+   peak; complex cases run a little higher (more flops per byte). *)
+let asymptote precision arithmetic =
+  match (precision : Device.precision), (arithmetic : Device.arithmetic) with
+  | Double, Real -> 0.72
+  | Double, Complex -> 0.76
+  | Single, Real -> 0.68
+  | Single, Complex -> 0.74
+
+let gemm_fraction_of_peak device precision arithmetic ~n =
+  ignore device;
+  let a = asymptote precision arithmetic in
+  (* Ramp to the asymptote as the matrix fills the machine: half speed
+     around n=512, saturated by a few thousand. *)
+  let fn = float_of_int (max 1 n) in
+  a *. (fn /. (fn +. 512.0))
+
+let gemm_gflops device precision arithmetic ~n =
+  Device.peak_gflops device precision *. gemm_fraction_of_peak device precision arithmetic ~n
+
+let cholesky_flops n =
+  (* n^3/3 + n^2/2 + n/6, standard potrf count. *)
+  let fn = float_of_int n in
+  (fn *. fn *. fn /. 3.0) +. (fn *. fn /. 2.0) +. (fn /. 6.0)
+
+let batched_cholesky_gflops device precision ~n ~batch =
+  (* Loop-over-potrf model: each matrix is one kernel launch that
+     occupies a single block; tiny factorizations leave the device
+     almost idle and pay full launch latency. *)
+  let peak = Device.peak_gflops device precision in
+  let fn = float_of_int (max 1 n) in
+  (* Utilization of the whole device by one small factorization kernel:
+     a single block on one SM, itself underutilized below n=64. *)
+  let sm_fraction = 1.0 /. float_of_int device.Device.n_multi_processors in
+  let intra_sm = min 1.0 (fn /. 128.0) in
+  let kernel_gflops = peak *. sm_fraction *. intra_sm *. 0.5 in
+  let flops = cholesky_flops n in
+  let kernel_time_s = flops /. (kernel_gflops *. 1e9) in
+  let time_per_matrix = kernel_time_s +. (launch_overhead_us *. 1e-6) in
+  let total_time = float_of_int batch *. time_per_matrix in
+  float_of_int batch *. flops /. total_time /. 1e9
+
+let trsm_flops n nrhs = float_of_int n *. float_of_int n *. float_of_int nrhs
+
+let batched_trsm_gflops device precision ~n ~nrhs ~batch =
+  let peak = Device.peak_gflops device precision in
+  let fn = float_of_int (max 1 n) in
+  let sm_fraction = 1.0 /. float_of_int device.Device.n_multi_processors in
+  let intra_sm = min 1.0 (fn /. 128.0) in
+  let kernel_gflops = peak *. sm_fraction *. intra_sm *. 0.4 in
+  let flops = trsm_flops n nrhs in
+  let kernel_time_s = flops /. (kernel_gflops *. 1e9) in
+  let time_per_matrix = kernel_time_s +. (launch_overhead_us *. 1e-6) in
+  let total_time = float_of_int batch *. time_per_matrix in
+  float_of_int batch *. flops /. total_time /. 1e9

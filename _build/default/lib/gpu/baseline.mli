@@ -1,0 +1,32 @@
+(** Deterministic stand-in for the closed-source comparators.
+
+    The paper measures improvements against NVIDIA's cuBLAS, whose
+    Kepler-era kernels "use assembly instructions and binary codes not
+    available to a regular user" (Section IV) — unobtainable here both
+    legally and physically. This module models its behaviour at the
+    granularity Table I needs:
+
+    - large square GEMM runs at a solid but sub-tuned fraction of peak;
+    - batched factorizations of {e very small} matrices are crushed by
+      per-matrix launch overhead and idle SMs (the regime where the
+      paper's reference [5] reports 3x-10x BEAST wins);
+    - medium batched sizes recover partially (the up-to-3x regime of
+      references [34]-[36]). *)
+
+val gemm_gflops :
+  Device.t -> Device.precision -> Device.arithmetic -> n:int -> float
+(** cuBLAS-model GEMM throughput for square size [n]. *)
+
+val gemm_fraction_of_peak :
+  Device.t -> Device.precision -> Device.arithmetic -> n:int -> float
+
+val batched_cholesky_gflops :
+  Device.t -> Device.precision -> n:int -> batch:int -> float
+(** cuBLAS-style loop-over-[potrf] model: per-matrix kernel launches, one
+    matrix per block, no batching fusion. *)
+
+val batched_trsm_gflops :
+  Device.t -> Device.precision -> n:int -> nrhs:int -> batch:int -> float
+
+val launch_overhead_us : float
+(** Kernel launch latency charged per matrix by the batched baselines. *)

@@ -1,0 +1,68 @@
+type error = Unknown_capability of int * int
+
+let pp_error ppf (Unknown_capability (major, minor)) =
+  Format.fprintf ppf "unknown compute capability %d.%d" major minor
+
+(* Figure 9, verbatim for majors 0-3; major 5 appended for Maxwell. *)
+let max_blocks_table =
+  [|
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 8; 8; 8; 8; -1; -1; -1; -1; -1; -1 |];
+    [| 8; 8; 8; 8; 8; 8; 8; 8; 8; 8 |];
+    [| 16; -1; -1; -1; -1; 16; -1; -1; -1; -1 |];
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 32; -1; 32; -1; -1; -1; -1; -1; -1; -1 |];
+  |]
+
+let max_warps_table =
+  [|
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 24; 24; 32; 32; -1; -1; -1; -1; -1; -1 |];
+    [| 48; 48; 48; 48; 48; 48; 48; 48; 48; 48 |];
+    [| 64; -1; -1; -1; -1; 64; -1; -1; -1; -1 |];
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 64; -1; 64; -1; -1; -1; -1; -1; -1; -1 |];
+  |]
+
+let max_regs_table =
+  [|
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 128; 128; 128; 128; -1; -1; -1; -1; -1; -1 |];
+    [| 63; 63; 63; 63; 63; 63; 63; 63; 63; 63 |];
+    [| 63; -1; -1; -1; -1; 255; -1; -1; -1; -1 |];
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+    [| 255; -1; 255; -1; -1; -1; -1; -1; -1; -1 |];
+  |]
+
+let lookup_table table ~major ~minor =
+  if major < 0 || major >= Array.length table || minor < 0 || minor > 9 then
+    Error (Unknown_capability (major, minor))
+  else
+    let v = table.(major).(minor) in
+    if v < 0 then Error (Unknown_capability (major, minor)) else Ok v
+
+let max_blocks_per_multi_processor = lookup_table max_blocks_table
+let max_warps_per_multi_processor = lookup_table max_warps_table
+let max_registers_per_thread = lookup_table max_regs_table
+
+type caps = {
+  max_blocks_per_mp : int;
+  max_warps_per_mp : int;
+  max_regs_per_thread : int;
+}
+
+let lookup (device : Device.t) =
+  let major = device.Device.cuda_major and minor = device.Device.cuda_minor in
+  match
+    ( max_blocks_per_multi_processor ~major ~minor,
+      max_warps_per_multi_processor ~major ~minor,
+      max_registers_per_thread ~major ~minor )
+  with
+  | Ok b, Ok w, Ok r ->
+    Ok { max_blocks_per_mp = b; max_warps_per_mp = w; max_regs_per_thread = r }
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let lookup_exn device =
+  match lookup device with
+  | Ok caps -> caps
+  | Error e -> invalid_arg (Format.asprintf "Capability.lookup: %a" pp_error e)

@@ -1,0 +1,28 @@
+(** Compute-capability tables — the device information that cannot be
+    queried at runtime and must come from NVIDIA documentation, indexed
+    by the major and minor numbers of the compute capability. The three
+    tables of Figure 9 are reproduced verbatim for majors 0–3; the
+    major-5 (Maxwell) row is an extension beyond the figure, filled from
+    the CUDA programming guide, so the Maxwell preset of {!Device} works
+    end-to-end. *)
+
+type error = Unknown_capability of int * int
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_blocks_per_multi_processor : major:int -> minor:int -> (int, error) result
+val max_warps_per_multi_processor : major:int -> minor:int -> (int, error) result
+val max_registers_per_thread : major:int -> minor:int -> (int, error) result
+
+type caps = {
+  max_blocks_per_mp : int;
+  max_warps_per_mp : int;
+  max_regs_per_thread : int;
+}
+
+val lookup : Device.t -> (caps, error) result
+(** All three tables at the device's compute capability — the paper's
+    Figure 9 lookup sequence. *)
+
+val lookup_exn : Device.t -> caps
+(** @raise Invalid_argument on an unknown capability. *)

@@ -1,0 +1,179 @@
+type t = {
+  name : string;
+  max_threads_per_block : int;
+  max_threads_dim_x : int;
+  max_threads_dim_y : int;
+  max_shared_mem_per_block : int;
+  warp_size : int;
+  max_regs_per_block : int;
+  max_threads_per_multi_processor : int;
+  cuda_major : int;
+  cuda_minor : int;
+  max_registers_per_multi_processor : int;
+  max_shmem_per_multi_processor : int;
+  float_size : int;
+  n_multi_processors : int;
+  clock_mhz : int;
+  cores_per_multi_processor : int;
+  mem_bandwidth_gbs : float;
+  fp64_ratio : float;
+  tdp_watts : float;
+}
+
+type precision =
+  | Single
+  | Double
+
+type arithmetic =
+  | Real
+  | Complex
+
+let precision_name = function
+  | Single -> "single"
+  | Double -> "double"
+
+let arithmetic_name = function
+  | Real -> "real"
+  | Complex -> "complex"
+
+let element_size t precision arithmetic =
+  let s = t.float_size in
+  let s =
+    match precision with
+    | Double -> s * 2
+    | Single -> s
+  in
+  match arithmetic with
+  | Complex -> s * 2
+  | Real -> s
+
+let peak_gflops t precision =
+  let sp =
+    2.0
+    *. float_of_int (t.n_multi_processors * t.cores_per_multi_processor)
+    *. (float_of_int t.clock_mhz /. 1000.0)
+  in
+  match precision with
+  | Single -> sp
+  | Double -> sp *. t.fp64_ratio
+
+(* Figure 8, verbatim. *)
+let tesla_k40c =
+  {
+    name = "Tesla K40c";
+    max_threads_per_block = 1024;
+    max_threads_dim_x = 1024;
+    max_threads_dim_y = 1024;
+    max_shared_mem_per_block = 49152;
+    warp_size = 32;
+    max_regs_per_block = 65536;
+    max_threads_per_multi_processor = 2048;
+    cuda_major = 3;
+    cuda_minor = 5;
+    max_registers_per_multi_processor = 65536;
+    max_shmem_per_multi_processor = 49152;
+    float_size = 4;
+    n_multi_processors = 15;
+    clock_mhz = 745;
+    cores_per_multi_processor = 192;
+    mem_bandwidth_gbs = 288.0;
+    fp64_ratio = 1.0 /. 3.0;
+    tdp_watts = 235.0;
+  }
+
+let geforce_gtx680 =
+  {
+    name = "GeForce GTX 680";
+    max_threads_per_block = 1024;
+    max_threads_dim_x = 1024;
+    max_threads_dim_y = 1024;
+    max_shared_mem_per_block = 49152;
+    warp_size = 32;
+    max_regs_per_block = 65536;
+    max_threads_per_multi_processor = 2048;
+    cuda_major = 3;
+    cuda_minor = 0;
+    max_registers_per_multi_processor = 65536;
+    max_shmem_per_multi_processor = 49152;
+    float_size = 4;
+    n_multi_processors = 8;
+    clock_mhz = 1006;
+    cores_per_multi_processor = 192;
+    mem_bandwidth_gbs = 192.0;
+    fp64_ratio = 1.0 /. 24.0;
+    tdp_watts = 195.0;
+  }
+
+let tesla_c2050 =
+  {
+    name = "Tesla C2050";
+    max_threads_per_block = 1024;
+    max_threads_dim_x = 1024;
+    max_threads_dim_y = 1024;
+    max_shared_mem_per_block = 49152;
+    warp_size = 32;
+    max_regs_per_block = 32768;
+    max_threads_per_multi_processor = 1536;
+    cuda_major = 2;
+    cuda_minor = 0;
+    max_registers_per_multi_processor = 32768;
+    max_shmem_per_multi_processor = 49152;
+    float_size = 4;
+    n_multi_processors = 14;
+    clock_mhz = 1150;
+    cores_per_multi_processor = 32;
+    mem_bandwidth_gbs = 144.0;
+    fp64_ratio = 1.0 /. 2.0;
+    tdp_watts = 238.0;
+  }
+
+let geforce_gtx750ti =
+  {
+    name = "GeForce GTX 750 Ti";
+    max_threads_per_block = 1024;
+    max_threads_dim_x = 1024;
+    max_threads_dim_y = 1024;
+    max_shared_mem_per_block = 49152;
+    warp_size = 32;
+    max_regs_per_block = 65536;
+    max_threads_per_multi_processor = 2048;
+    cuda_major = 5;
+    cuda_minor = 0;
+    max_registers_per_multi_processor = 65536;
+    max_shmem_per_multi_processor = 65536;
+    float_size = 4;
+    n_multi_processors = 5;
+    clock_mhz = 1020;
+    cores_per_multi_processor = 128;
+    mem_bandwidth_gbs = 86.4;
+    fp64_ratio = 1.0 /. 32.0;
+    tdp_watts = 60.0;
+  }
+
+let presets =
+  [
+    ("k40c", tesla_k40c);
+    ("gtx680", geforce_gtx680);
+    ("c2050", tesla_c2050);
+    ("gtx750ti", geforce_gtx750ti);
+  ]
+
+let find name = List.assoc_opt (String.lowercase_ascii name) presets
+
+let scale ?max_dim ?max_threads t =
+  let dim = Option.value max_dim ~default:t.max_threads_dim_x in
+  let threads = Option.value max_threads ~default:t.max_threads_per_block in
+  {
+    t with
+    name = Printf.sprintf "%s (scaled %dx%d/%d)" t.name dim dim threads;
+    max_threads_dim_x = min dim t.max_threads_dim_x;
+    max_threads_dim_y = min dim t.max_threads_dim_y;
+    max_threads_per_block = min threads t.max_threads_per_block;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: cc %d.%d, %d MPs x %d cores @ %d MHz, %.0f GB/s, peak %.0f/%.0f GF (sp/dp)"
+    t.name t.cuda_major t.cuda_minor t.n_multi_processors
+    t.cores_per_multi_processor t.clock_mhz t.mem_bandwidth_gbs
+    (peak_gflops t Single) (peak_gflops t Double)

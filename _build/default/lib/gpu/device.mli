@@ -1,0 +1,79 @@
+(** GPU device model.
+
+    The queryable half of this record is exactly the
+    [cudaGetDeviceProperties] output the paper lists in Figure 8 (values
+    shown there for a Tesla K40c). The performance half (multiprocessor
+    count, clock, core counts, bandwidth) is the substrate our simulator
+    uses in place of real hardware — the paper benchmarks kernels on the
+    physical card; we substitute a deterministic device model
+    (DESIGN.md, substitution table). *)
+
+type t = {
+  name : string;
+  (* ---- Figure 8: device-query parameters ---- *)
+  max_threads_per_block : int;
+  max_threads_dim_x : int;
+  max_threads_dim_y : int;
+  max_shared_mem_per_block : int;
+  warp_size : int;
+  max_regs_per_block : int;
+  max_threads_per_multi_processor : int;
+  cuda_major : int;
+  cuda_minor : int;
+  max_registers_per_multi_processor : int;
+  max_shmem_per_multi_processor : int;
+  float_size : int;
+  (* ---- performance substrate (beyond the device query) ---- *)
+  n_multi_processors : int;
+  clock_mhz : int;
+  cores_per_multi_processor : int;
+  mem_bandwidth_gbs : float;
+  fp64_ratio : float;  (** double-precision throughput / single *)
+  tdp_watts : float;
+      (** board power limit, used by the energy model that reproduces the
+          energy-tuning study of the paper's reference [4] *)
+}
+
+type precision =
+  | Single
+  | Double
+
+type arithmetic =
+  | Real
+  | Complex
+
+val precision_name : precision -> string
+val arithmetic_name : arithmetic -> string
+
+val element_size : t -> precision -> arithmetic -> int
+(** Bytes per matrix element: [float_size], doubled per Figure 12's
+    "if precision == double" / "if arithmetic == complex" rules. *)
+
+val peak_gflops : t -> precision -> float
+(** 2 (FMA) x cores x clock, scaled by [fp64_ratio] for {!Double}. *)
+
+(** {1 Presets} *)
+
+val tesla_k40c : t
+(** The paper's device: every Figure 8 value verbatim. *)
+
+val geforce_gtx680 : t
+(** The first Kepler consumer card, tuned in the paper's reference [3]. *)
+
+val tesla_c2050 : t
+(** Fermi, the architecture of references [1], [2]. *)
+
+val geforce_gtx750ti : t
+(** Maxwell, mentioned in Figure 2's architecture dispatch. *)
+
+val presets : (string * t) list
+val find : string -> t option
+
+val scale : ?max_dim:int -> ?max_threads:int -> t -> t
+(** A reduced copy for tractable sweeps: caps the thread-grid dimensions
+    at [max_dim] and threads per block at [max_threads], leaving the
+    performance substrate untouched. Used by the benches so the full
+    15-dimensional GEMM space fits in a bench run (the paper's full K40c
+    sweep took 264 s of generated C; see EXPERIMENTS.md). *)
+
+val pp : Format.formatter -> t -> unit

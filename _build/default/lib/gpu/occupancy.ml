@@ -1,0 +1,94 @@
+type usage = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  shmem_per_block : int;
+}
+
+type infeasible =
+  | Too_many_threads
+  | Too_many_regs_per_thread
+  | Too_many_regs_per_block
+  | Too_much_shmem
+  | Empty_block
+
+let infeasible_name = function
+  | Too_many_threads -> "too many threads per block"
+  | Too_many_regs_per_thread -> "too many registers per thread"
+  | Too_many_regs_per_block -> "too many registers per block"
+  | Too_much_shmem -> "too much shared memory per block"
+  | Empty_block -> "empty block"
+
+type result = {
+  warps_per_block : int;
+  blocks_by_warps : int;
+  blocks_by_regs : int;
+  blocks_by_shmem : int;
+  blocks_hw_limit : int;
+  active_blocks : int;
+  active_warps : int;
+  active_threads : int;
+  occupancy : float;
+}
+
+let limiting_factor r =
+  if r.active_blocks = r.blocks_hw_limit then "hardware"
+  else if r.active_blocks = r.blocks_by_warps then "warps"
+  else if r.active_blocks = r.blocks_by_regs then "registers"
+  else "shared-memory"
+
+let calculate (device : Device.t) usage =
+  let caps = Capability.lookup_exn device in
+  let open Device in
+  if usage.threads_per_block < 1 then Error Empty_block
+  else if usage.threads_per_block > device.max_threads_per_block then
+    Error Too_many_threads
+  else if usage.regs_per_thread > caps.Capability.max_regs_per_thread then
+    Error Too_many_regs_per_thread
+  else if
+    usage.regs_per_thread * usage.threads_per_block > device.max_regs_per_block
+  then Error Too_many_regs_per_block
+  else if usage.shmem_per_block > device.max_shared_mem_per_block then
+    Error Too_much_shmem
+  else begin
+    let warps_per_block =
+      (usage.threads_per_block + device.warp_size - 1) / device.warp_size
+    in
+    let blocks_by_warps = caps.Capability.max_warps_per_mp / warps_per_block in
+    let regs_per_block = usage.regs_per_thread * usage.threads_per_block in
+    let blocks_by_regs =
+      if regs_per_block = 0 then caps.Capability.max_blocks_per_mp
+      else device.max_registers_per_multi_processor / regs_per_block
+    in
+    let blocks_by_shmem =
+      if usage.shmem_per_block = 0 then caps.Capability.max_blocks_per_mp
+      else device.max_shmem_per_multi_processor / usage.shmem_per_block
+    in
+    let blocks_hw_limit = caps.Capability.max_blocks_per_mp in
+    let active_blocks =
+      min (min blocks_by_warps blocks_by_regs) (min blocks_by_shmem blocks_hw_limit)
+    in
+    let active_warps = active_blocks * warps_per_block in
+    let active_threads =
+      min
+        (active_blocks * usage.threads_per_block)
+        device.max_threads_per_multi_processor
+    in
+    Ok
+      {
+        warps_per_block;
+        blocks_by_warps;
+        blocks_by_regs;
+        blocks_by_shmem;
+        blocks_hw_limit;
+        active_blocks;
+        active_warps;
+        active_threads;
+        occupancy =
+          float_of_int active_warps /. float_of_int caps.Capability.max_warps_per_mp;
+      }
+  end
+
+let calculate_exn device usage =
+  match calculate device usage with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Occupancy.calculate: " ^ infeasible_name e)

@@ -1,0 +1,47 @@
+(** The occupancy calculator.
+
+    Section II presents GPU occupancy as the flagship example of a
+    {e derived} pruning constraint: "a function of multiple variables,
+    including: the number of threads in a block, the number of registers
+    required by each thread and the amount of shared memory required by
+    each block. Occupancy threshold is a very effective and safe pruning
+    constraint". This module is that automated occupancy calculator. *)
+
+type usage = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  shmem_per_block : int;  (** bytes *)
+}
+
+type infeasible =
+  | Too_many_threads  (** threads_per_block > device limit *)
+  | Too_many_regs_per_thread
+  | Too_many_regs_per_block
+  | Too_much_shmem
+  | Empty_block  (** threads_per_block < 1 *)
+
+val infeasible_name : infeasible -> string
+
+type result = {
+  warps_per_block : int;
+  blocks_by_warps : int;
+  blocks_by_regs : int;
+  blocks_by_shmem : int;
+  blocks_hw_limit : int;
+  active_blocks : int;  (** min of the four limits *)
+  active_warps : int;
+  active_threads : int;
+  occupancy : float;  (** active warps / max warps per multiprocessor *)
+}
+
+val limiting_factor : result -> string
+(** Which of the four limits bounds [active_blocks] ("warps",
+    "registers", "shared-memory" or "hardware"). *)
+
+val calculate : Device.t -> usage -> (result, infeasible) Stdlib.result
+(** Mirrors the paper's derived variables
+    [max_blocks_by_regs]/[max_blocks_by_shmem] (Figure 12) plus the warp
+    and hardware block limits of the capability tables. Zero register or
+    shared-memory usage never limits. *)
+
+val calculate_exn : Device.t -> usage -> result

@@ -1,0 +1,265 @@
+type gemm_config = {
+  precision : Device.precision;
+  arithmetic : Device.arithmetic;
+  trans_a : bool;
+  trans_b : bool;
+  dim_m : int;
+  dim_n : int;
+  blk_m : int;
+  blk_n : int;
+  blk_k : int;
+  dim_vec : int;
+  vec_mul : int;
+  dim_m_a : int;
+  dim_n_a : int;
+  dim_m_b : int;
+  dim_n_b : int;
+  tex_a : int;
+  tex_b : int;
+  shmem_l1 : int;
+  shmem_banks : int;
+}
+
+let config_of_lookup ~precision ~arithmetic ~trans_a ~trans_b lookup =
+  let geti name = Beast_core.Value.to_int (lookup name) in
+  {
+    precision;
+    arithmetic;
+    trans_a;
+    trans_b;
+    dim_m = geti "dim_m";
+    dim_n = geti "dim_n";
+    blk_m = geti "blk_m";
+    blk_n = geti "blk_n";
+    blk_k = geti "blk_k";
+    dim_vec = geti "dim_vec";
+    vec_mul = geti "vec_mul";
+    dim_m_a = geti "dim_m_a";
+    dim_n_a = geti "dim_n_a";
+    dim_m_b = geti "dim_m_b";
+    dim_n_b = geti "dim_n_b";
+    tex_a = geti "tex_a";
+    tex_b = geti "tex_b";
+    shmem_l1 = geti "shmem_l1";
+    shmem_banks = geti "shmem_banks";
+  }
+
+type breakdown = {
+  occupancy : float;
+  occupancy_eff : float;
+  mix_eff : float;
+  vec_eff : float;
+  bank_eff : float;
+  tex_eff : float;
+  spill_eff : float;
+  compute_gflops : float;
+  memory_gflops : float;
+  gflops : float;
+}
+
+let words_per_element c =
+  let w =
+    match c.precision with
+    | Device.Double -> 2
+    | Device.Single -> 1
+  in
+  match c.arithmetic with
+  | Device.Complex -> w * 2
+  | Device.Real -> w
+
+(* Figure 12's C-accumulator registers plus a fixed overhead for address
+   arithmetic, loop counters and double-buffered staging. *)
+let index_overhead_regs = 22
+
+let regs_per_thread c =
+  let thr_m = c.blk_m / max 1 c.dim_m and thr_n = c.blk_n / max 1 c.dim_n in
+  (thr_m * thr_n * words_per_element c) + index_overhead_regs
+
+let shmem_per_block c =
+  c.blk_k * (c.blk_m + c.blk_n) * 4 * words_per_element c
+
+let zero_breakdown =
+  {
+    occupancy = 0.0;
+    occupancy_eff = 0.0;
+    mix_eff = 0.0;
+    vec_eff = 0.0;
+    bank_eff = 0.0;
+    tex_eff = 0.0;
+    spill_eff = 0.0;
+    compute_gflops = 0.0;
+    memory_gflops = 0.0;
+    gflops = 0.0;
+  }
+
+let evaluate (device : Device.t) c =
+  let threads = c.dim_m * c.dim_n in
+  if
+    threads < 1 || c.blk_m < 1 || c.blk_n < 1 || c.blk_k < 1 || c.dim_vec < 1
+    || c.blk_m mod c.dim_m <> 0
+    || c.blk_n mod c.dim_n <> 0
+  then zero_breakdown
+  else
+    let usage =
+      {
+        Occupancy.threads_per_block = threads;
+        regs_per_thread = regs_per_thread c;
+        shmem_per_block = shmem_per_block c;
+      }
+    in
+    match Occupancy.calculate device usage with
+    | Error _ -> zero_breakdown
+    | Ok occ ->
+      let thr_m = c.blk_m / c.dim_m and thr_n = c.blk_n / c.dim_n in
+      (* Latency hiding: performance ramps with occupancy and saturates
+         once half the warp slots are filled; below that, stalls
+         dominate (Section II's rationale for the occupancy threshold
+         constraint). High per-thread ILP (large thr_m*thr_n) lowers the
+         knee, after Volkov's "better performance at lower occupancy"
+         (the paper's reference [17]). *)
+      let ilp = float_of_int (thr_m * thr_n) in
+      let knee = max 0.125 (0.5 -. (ilp /. 128.0)) in
+      let occupancy_eff = min 1.0 (occ.Occupancy.occupancy /. knee) in
+      (* Issue mix: the paper's low_fmas constraint bounds
+         fmas_per_block / loads_per_block; the same ratio drives how well
+         FMA issue hides shared-memory traffic. *)
+      let fmas = float_of_int (thr_m * thr_n * c.blk_k) in
+      let loads =
+        float_of_int ((thr_m + thr_n) * c.blk_k) /. float_of_int c.dim_vec
+      in
+      let r = if loads > 0.0 then fmas /. loads else 0.0 in
+      let mix_eff = r /. (r +. 1.0) in
+      (* Vector loads widen the shared-memory path slightly beyond the
+         mix ratio's account; vec_mul shifts vector use into the compute
+         phase. *)
+      let vec_eff =
+        if c.dim_vec > 1 then if c.vec_mul = 1 then 1.03 else 1.01 else 1.0
+      in
+      (* Shared-memory bank width matching the element size avoids
+         two-phase accesses on Kepler. *)
+      let bank_eff =
+        match c.precision, c.shmem_banks with
+        | Device.Double, 1 | Device.Single, 0 -> 1.0
+        | Device.Double, _ -> 0.92
+        | Device.Single, _ -> 0.97
+      in
+      (* Texture reads help single precision on Kepler's read-only path;
+         doubles gain nothing and pay a small fetch-split cost. *)
+      let tex_eff =
+        let one t =
+          if t = 1 then
+            match c.precision with
+            | Device.Single -> 1.01
+            | Device.Double -> 0.99
+          else 1.0
+        in
+        one c.tex_a *. one c.tex_b
+      in
+      (* Register pressure: demand close to the architectural per-thread
+         limit forces spills long before the hard constraint trips. *)
+      let caps = Capability.lookup_exn device in
+      let reg_limit = float_of_int caps.Capability.max_regs_per_thread in
+      let demand = float_of_int usage.Occupancy.regs_per_thread in
+      let spill_eff =
+        if demand <= 0.55 *. reg_limit then 1.0
+        else if demand <= 0.8 *. reg_limit then 0.9
+        else 0.7
+      in
+      (* An asymptotic ceiling: instruction overheads (address updates,
+         barriers, branches) keep even ideal kernels below ~88% of the
+         raw FMA peak. *)
+      let ceiling = 0.88 in
+      let eff =
+        ceiling *. occupancy_eff *. mix_eff *. vec_eff *. bank_eff *. tex_eff
+        *. spill_eff
+      in
+      let peak = Device.peak_gflops device c.precision in
+      let compute_gflops = peak *. eff in
+      (* DRAM roofline: per block tile, 2*blk_m*blk_n*blk_k flops move
+         (blk_m + blk_n)*blk_k elements, i.e. bytes/flop =
+         es*(1/blk_m + 1/blk_n)/2. *)
+      let es = float_of_int (4 * words_per_element c) in
+      let flop_scale =
+        match c.arithmetic with
+        | Device.Complex -> 4.0
+        | Device.Real -> 1.0
+      in
+      let bytes_per_flop =
+        es
+        *. ((1.0 /. float_of_int c.blk_m) +. (1.0 /. float_of_int c.blk_n))
+        /. (2.0 *. flop_scale)
+      in
+      let memory_gflops = device.Device.mem_bandwidth_gbs /. bytes_per_flop in
+      {
+        occupancy = occ.Occupancy.occupancy;
+        occupancy_eff;
+        mix_eff;
+        vec_eff;
+        bank_eff;
+        tex_eff;
+        spill_eff;
+        compute_gflops;
+        memory_gflops;
+        gflops = min compute_gflops memory_gflops;
+      }
+
+let gflops device c = (evaluate device c).gflops
+
+type energy = {
+  power_watts : float;
+  time_per_gflop_ms : float;
+  gflops_per_watt : float;
+  energy_per_gflop_j : float;
+}
+
+(* Board power: an idle floor (~25% of TDP for a Kepler-class board under
+   load-idle), plus dynamic compute power scaling with FMA-unit
+   utilization, plus memory power scaling with DRAM utilization. Texture
+   and shared-memory paths shift a little power between the terms. *)
+let energy device c =
+  let b = evaluate device c in
+  if b.gflops <= 0.0 then None
+  else begin
+    let peak = Device.peak_gflops device c.precision in
+    let compute_util = b.gflops /. peak in
+    let es = float_of_int (4 * words_per_element c) in
+    let flop_scale =
+      match c.arithmetic with
+      | Device.Complex -> 4.0
+      | Device.Real -> 1.0
+    in
+    let bytes_per_flop =
+      es
+      *. ((1.0 /. float_of_int (max 1 c.blk_m))
+         +. (1.0 /. float_of_int (max 1 c.blk_n)))
+      /. (2.0 *. flop_scale)
+    in
+    let mem_util =
+      Float.min 1.0
+        (b.gflops *. bytes_per_flop /. device.Device.mem_bandwidth_gbs)
+    in
+    let tdp = device.Device.tdp_watts in
+    let power_watts =
+      (0.25 *. tdp) +. (0.50 *. tdp *. compute_util) +. (0.25 *. tdp *. mem_util)
+    in
+    let time_per_gflop_ms = 1000.0 /. b.gflops in
+    let gflops_per_watt = b.gflops /. power_watts in
+    Some
+      {
+        power_watts;
+        time_per_gflop_ms;
+        gflops_per_watt;
+        energy_per_gflop_j = power_watts /. b.gflops;
+      }
+  end
+
+let gflops_per_watt device c =
+  match energy device c with
+  | Some e -> e.gflops_per_watt
+  | None -> 0.0
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "occ %.2f (eff %.2f) mix %.2f vec %.2f bank %.2f tex %.2f spill %.2f -> compute %.0f GF, memory %.0f GF => %.0f GF"
+    b.occupancy b.occupancy_eff b.mix_eff b.vec_eff b.bank_eff b.tex_eff
+    b.spill_eff b.compute_gflops b.memory_gflops b.gflops

@@ -1,0 +1,107 @@
+(** Analytic GEMM performance model — the stand-in for benchmarking
+    kernel variants on physical hardware.
+
+    The paper compiles and times each surviving kernel on the GPU; this
+    sealed container has no GPU, so scoring is done by a deterministic
+    model combining the classical ingredients of GPU kernel performance
+    analysis (occupancy for latency hiding, FMA-to-shared-load ratio for
+    issue pressure — the same ratio the paper's [low_fmas] soft
+    constraint bounds — a DRAM roofline over the block tile's arithmetic
+    intensity, vector-width and bank-configuration effects). The model is
+    calibrated so well-tuned DGEMM variants on the K40c preset land
+    around 80% of peak, the figure the paper reports in Table I, and so
+    the pruning constraints of Figures 13–15 carve away exactly the
+    regions where the model collapses.
+
+    Substitution note (DESIGN.md): results preserve {e shape} — which
+    configurations win and by roughly what factor — not absolute
+    hardware numbers. *)
+
+type gemm_config = {
+  precision : Device.precision;
+  arithmetic : Device.arithmetic;
+  trans_a : bool;
+  trans_b : bool;
+  (* the 15 search dimensions of Figure 11 *)
+  dim_m : int;
+  dim_n : int;
+  blk_m : int;
+  blk_n : int;
+  blk_k : int;
+  dim_vec : int;
+  vec_mul : int;
+  dim_m_a : int;
+  dim_n_a : int;
+  dim_m_b : int;
+  dim_n_b : int;
+  tex_a : int;
+  tex_b : int;
+  shmem_l1 : int;
+  shmem_banks : int;
+}
+
+val config_of_lookup :
+  precision:Device.precision ->
+  arithmetic:Device.arithmetic ->
+  trans_a:bool ->
+  trans_b:bool ->
+  Beast_core.Expr.lookup ->
+  gemm_config
+(** Decode a surviving point of the GEMM search space (iterator names as
+    in Figure 11) into a configuration. *)
+
+type breakdown = {
+  occupancy : float;
+  occupancy_eff : float;
+  mix_eff : float;  (** from the FMA-per-shared-load ratio *)
+  vec_eff : float;
+  bank_eff : float;
+  tex_eff : float;
+  spill_eff : float;
+  compute_gflops : float;  (** peak x product of efficiencies *)
+  memory_gflops : float;  (** DRAM roofline at this tile's intensity *)
+  gflops : float;  (** min of the two, 0 if infeasible *)
+}
+
+val evaluate : Device.t -> gemm_config -> breakdown
+(** Deterministic; infeasible configurations (occupancy calculator
+    rejects) score 0 rather than raising, so the model can be used as a
+    tuner objective directly. *)
+
+val gflops : Device.t -> gemm_config -> float
+(** [ (evaluate d c).gflops ]. *)
+
+val words_per_element : gemm_config -> int
+(** 32-bit words per matrix element (1, 2 or 4). *)
+
+val regs_per_thread : gemm_config -> int
+(** The paper's Figure 12 register demand for the C accumulator plus a
+    fixed overhead for indices and staging (the compiler's true usage is
+    "up to the compiler", as Section IX-E notes). *)
+
+val shmem_per_block : gemm_config -> int
+(** Figure 12: blk_k * (blk_m + blk_n) * element size. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+
+(** {1 Energy model}
+
+    The paper's reference [4] used BEAST to tune GEMM "for energy
+    minimization" and to study the performance/energy trade-off with two
+    objective functions at once. This model reproduces that experiment's
+    structure: board power is an idle floor plus dynamic terms that scale
+    with compute-unit and memory utilization, so the fastest kernel is
+    not automatically the most efficient one. *)
+
+type energy = {
+  power_watts : float;
+  time_per_gflop_ms : float;
+  gflops_per_watt : float;
+  energy_per_gflop_j : float;
+}
+
+val energy : Device.t -> gemm_config -> energy option
+(** [None] for infeasible configurations (score-0 in {!evaluate}). *)
+
+val gflops_per_watt : Device.t -> gemm_config -> float
+(** Energy-efficiency objective; 0 for infeasible configurations. *)

@@ -1,0 +1,163 @@
+type result = {
+  cycles : float;
+  time_ms : float;
+  gflops : float;
+  resident_blocks : int;
+  stripes : int;
+  bound : [ `Compute | `Memory | `Issue | `Latency ];
+}
+
+(* Machine constants of the simulated pipeline. *)
+let schedulers_per_mp = 4  (* Kepler SMX: 4 warp schedulers *)
+let dram_latency_cycles = 400.0
+let shared_latency_cycles = 30.0
+let shared_bytes_per_cycle = 128.0  (* 32 banks x 4 bytes *)
+
+let simulate ?(matrix_m = 4096) ?(matrix_n = 4096) ?(matrix_k = 4096)
+    (device : Device.t) (c : Perf_model.gemm_config) =
+  let threads = c.Perf_model.dim_m * c.Perf_model.dim_n in
+  if
+    threads < 1 || c.Perf_model.blk_m < 1 || c.Perf_model.blk_n < 1
+    || c.Perf_model.blk_k < 1
+    || c.Perf_model.blk_m mod c.Perf_model.dim_m <> 0
+    || c.Perf_model.blk_n mod c.Perf_model.dim_n <> 0
+  then None
+  else
+    let usage =
+      {
+        Occupancy.threads_per_block = threads;
+        regs_per_thread = Perf_model.regs_per_thread c;
+        shmem_per_block = Perf_model.shmem_per_block c;
+      }
+    in
+    match Occupancy.calculate device usage with
+    | Error _ -> None
+    | Ok occ ->
+      let b = occ.Occupancy.active_blocks in
+      if b = 0 then None
+      else begin
+        let words = Perf_model.words_per_element c in
+        let es = float_of_int (4 * words) in
+        let thr_m = c.Perf_model.blk_m / c.Perf_model.dim_m in
+        let thr_n = c.Perf_model.blk_n / c.Perf_model.dim_n in
+        let warps = float_of_int (occ.Occupancy.active_warps) in
+        let fbk = float_of_int c.Perf_model.blk_k in
+        (* Per-stripe instruction workload of ONE block. *)
+        let flop_scale =
+          match c.Perf_model.arithmetic with
+          | Device.Complex -> 4.0
+          | Device.Real -> 1.0
+        in
+        (* One FMA instruction per accumulator element per k step; complex
+           arithmetic issues four real FMAs per element. *)
+        let fmas_per_block =
+          float_of_int (thr_m * thr_n * threads) *. fbk *. flop_scale
+        in
+        let shared_loads_bytes =
+          float_of_int (thr_m + thr_n) *. fbk *. float_of_int threads *. es
+        in
+        let stripe_bytes =
+          float_of_int (c.Perf_model.blk_m + c.Perf_model.blk_n) *. fbk *. es
+        in
+        (* Per-SM sustained rates, in units per cycle. *)
+        let clock_hz = float_of_int device.Device.clock_mhz *. 1e6 in
+        let fma_rate =
+          (* FMA instructions retired per cycle per SM. *)
+          float_of_int device.Device.cores_per_multi_processor
+          *. (match c.Perf_model.precision with
+             | Device.Double -> device.Device.fp64_ratio
+             | Device.Single -> 1.0)
+        in
+        let dram_bytes_per_cycle =
+          device.Device.mem_bandwidth_gbs *. 1e9
+          /. float_of_int device.Device.n_multi_processors
+          /. clock_hz
+        in
+        (* Kepler's schedulers dual-issue: 4 schedulers x 2 dispatch
+           units x one warp-instruction each. *)
+        let issue_rate =
+          float_of_int (schedulers_per_mp * 2 * device.Device.warp_size)
+        in
+        let stripes =
+          (matrix_k + c.Perf_model.blk_k - 1) / c.Perf_model.blk_k
+        in
+        (* Walk the k-loop, accumulating cycles per stripe for the B
+           resident blocks together. Each phase's duration is its
+           throughput cost; exposed latency shrinks with the number of
+           warps available to switch to. *)
+        let cycles = ref 0.0 in
+        let acc_compute = ref 0.0
+        and acc_memory = ref 0.0
+        and acc_issue = ref 0.0
+        and acc_latency = ref 0.0 in
+        let fb = float_of_int b in
+        for _stripe = 1 to stripes do
+          (* Phase 1: fetch the A and B stripes of every resident block
+             from DRAM into shared memory. *)
+          let mem_cycles = fb *. stripe_bytes /. dram_bytes_per_cycle in
+          let fetch_issue =
+            fb *. stripe_bytes /. es /. issue_rate
+          in
+          let exposed_dram = dram_latency_cycles /. max 1.0 warps in
+          (* Phase 2: barrier - charged as one scheduling round. *)
+          let barrier = float_of_int schedulers_per_mp in
+          (* Phase 3: the multiply phase streams shared memory into
+             registers and issues FMAs; shared traffic and FMA issue
+             overlap, the slower one dominates. *)
+          let fma_cycles = fb *. fmas_per_block /. fma_rate in
+          let shared_cycles =
+            fb *. shared_loads_bytes /. shared_bytes_per_cycle
+          in
+          let compute_issue = fb *. fmas_per_block /. issue_rate in
+          let exposed_shared = shared_latency_cycles /. max 1.0 warps in
+          let phase1 = max mem_cycles fetch_issue +. exposed_dram in
+          let phase3 =
+            max (max fma_cycles shared_cycles) compute_issue +. exposed_shared
+          in
+          cycles := !cycles +. phase1 +. barrier +. phase3;
+          acc_memory := !acc_memory +. mem_cycles;
+          acc_compute := !acc_compute +. max fma_cycles shared_cycles;
+          acc_issue := !acc_issue +. fetch_issue +. compute_issue;
+          acc_latency := !acc_latency +. exposed_dram +. exposed_shared
+        done;
+        (* The B blocks simulated per SM represent the whole grid: scale
+           flops to the full matrix via the grid/(B * n_mp) ratio. *)
+        let blocks_total =
+          float_of_int
+            ((matrix_m + c.Perf_model.blk_m - 1)
+            / c.Perf_model.blk_m
+            * ((matrix_n + c.Perf_model.blk_n - 1) / c.Perf_model.blk_n))
+        in
+        let waves =
+          blocks_total /. (fb *. float_of_int device.Device.n_multi_processors)
+        in
+        let total_cycles = !cycles *. max 1.0 waves in
+        let time_s = total_cycles /. clock_hz in
+        let flops =
+          2.0 *. float_of_int matrix_m *. float_of_int matrix_n
+          *. float_of_int matrix_k *. flop_scale
+        in
+        let bound =
+          let m =
+            max (max !acc_compute !acc_memory) (max !acc_issue !acc_latency)
+          in
+          if m = !acc_compute then `Compute
+          else if m = !acc_memory then `Memory
+          else if m = !acc_issue then `Issue
+          else `Latency
+        in
+        Some
+          {
+            cycles = total_cycles;
+            time_ms = time_s *. 1000.0;
+            gflops = flops /. time_s /. 1e9;
+            resident_blocks = b;
+            stripes;
+            bound;
+          }
+      end
+
+let gflops device c =
+  match simulate device c with
+  | Some r -> r.gflops
+  | None -> 0.0

@@ -1,0 +1,39 @@
+(** A coarse discrete simulator of one streaming multiprocessor executing
+    a GEMM thread block population — the second, independent estimator of
+    kernel performance next to the closed-form {!Perf_model}.
+
+    Where {!Perf_model} multiplies efficiency factors, this module
+    actually walks the kernel's execution: for every [blk_k]-stripe of
+    the k-loop it schedules the resident blocks' warps through three
+    phases (global stripe fetch, barrier, multiply-accumulate from shared
+    memory), charging issue slots, FMA-unit throughput, shared-memory
+    bandwidth and DRAM bandwidth, and carrying latency that only
+    simultaneous warps can hide. Disagreement between the two estimators
+    on a configuration is a signal the analytic shortcut missed
+    something — the examples print both.
+
+    Like everything in this library, it is a deterministic substitute for
+    the physical K40c the paper benchmarks on. *)
+
+type result = {
+  cycles : float;  (** per multiprocessor, for the whole k extent *)
+  time_ms : float;
+  gflops : float;
+  resident_blocks : int;
+  stripes : int;  (** k-loop trip count actually simulated *)
+  bound : [ `Compute | `Memory | `Issue | `Latency ];
+      (** which resource dominated the accumulated cycles *)
+}
+
+val simulate :
+  ?matrix_m:int ->
+  ?matrix_n:int ->
+  ?matrix_k:int ->
+  Device.t ->
+  Perf_model.gemm_config ->
+  result option
+(** Simulate C(m,n) += A(m,k) B(k,n) (defaults 4096³). [None] when the
+    configuration cannot launch (occupancy calculator rejects). *)
+
+val gflops : Device.t -> Perf_model.gemm_config -> float
+(** Convenience: simulated GFLOP/s, 0 for infeasible configurations. *)

@@ -1,0 +1,1 @@
+lib/kernels/als.mli: Beast_core Beast_gpu Device

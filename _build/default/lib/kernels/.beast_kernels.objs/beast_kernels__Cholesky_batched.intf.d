@@ -1,0 +1,1 @@
+lib/kernels/cholesky_batched.mli: Beast_core Beast_gpu Device

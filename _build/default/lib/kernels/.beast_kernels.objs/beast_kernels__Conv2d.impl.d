@@ -1,0 +1,1 @@
+lib/kernels/conv2d.ml: Beast_core Beast_gpu Device Expr Float Iter Occupancy Space Value

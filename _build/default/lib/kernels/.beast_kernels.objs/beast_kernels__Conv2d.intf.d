@@ -1,0 +1,1 @@
+lib/kernels/conv2d.mli: Beast_core Beast_gpu Device

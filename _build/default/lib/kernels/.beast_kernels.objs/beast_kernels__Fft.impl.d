@@ -1,0 +1,1 @@
+lib/kernels/fft.ml: Beast_core Expr Iter List Seq Space Value

@@ -1,0 +1,1 @@
+lib/kernels/fft.mli: Beast_core

@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Beast_core Beast_gpu Capability Device Expr Hashtbl Int Iter List Perf_model Sim Space Value

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Beast_core Beast_gpu Device Perf_model

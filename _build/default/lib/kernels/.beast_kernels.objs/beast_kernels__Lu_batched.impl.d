@@ -1,0 +1,1 @@
+lib/kernels/lu_batched.ml: Beast_core Beast_gpu Device Expr Float Iter Occupancy Space Value

@@ -1,0 +1,1 @@
+lib/kernels/lu_batched.mli: Beast_core Beast_gpu Device

@@ -1,0 +1,1 @@
+lib/kernels/trsm_batched.ml: Beast_core Beast_gpu Device Expr Float Iter Occupancy Space Value

@@ -1,0 +1,173 @@
+open Beast_core
+open Beast_gpu
+open Expr.Infix
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  rank : int;
+  users : int;
+  avg_ratings : int;
+}
+
+let default_workload =
+  {
+    device = Device.tesla_k40c;
+    precision = Device.Single;
+    rank = 64;
+    users = 100_000;
+    avg_ratings = 40;
+  }
+
+type config = {
+  dim_x : int;
+  users_per_block : int;
+  tile_f : int;
+  gram_in_shmem : bool;
+  unroll : int;
+}
+
+let v = Expr.var
+let i = Expr.int
+
+let element_size w = Device.element_size w.device w.precision Device.Real
+
+let space ?(workload = default_workload) () =
+  let w = workload in
+  let d = w.device in
+  let sp = Space.create ~name:"als" () in
+  Space.setting_i sp "rank" w.rank;
+  Space.setting_i sp "element_size" (element_size w);
+  Space.setting_i sp "max_threads_per_block" d.Device.max_threads_per_block;
+  Space.setting_i sp "max_shared_mem_per_block" d.Device.max_shared_mem_per_block;
+  Space.setting_i sp "warp_size" d.Device.warp_size;
+  Space.iterator sp "dim_x" (Iter.range (i 1) (i 257));
+  Space.iterator sp "users_per_block" (Iter.range (i 1) (i 17));
+  Space.iterator sp "tile_f" (Iter.ints [ 1; 2; 4; 8; 16; 32 ]);
+  Space.iterator sp "gram_in_shmem" (Iter.range_i 0 2);
+  Space.iterator sp "unroll" (Iter.ints [ 1; 2; 4; 8 ]);
+  Space.derived sp "threads_per_block" (v "dim_x" *: v "users_per_block");
+  (* The f x f Gram matrix (symmetric half) per user in shared memory. *)
+  Space.derived sp "shmem_per_block"
+    (Expr.if_
+       (v "gram_in_shmem" <>: i 0)
+       (v "users_per_block" *: (v "rank" *: (v "rank" +: i 1) /: i 2)
+       *: v "element_size")
+       (i 0));
+  Space.constrain sp ~cls:Space.Hard "over_max_threads"
+    (v "threads_per_block" >: v "max_threads_per_block");
+  Space.constrain sp ~cls:Space.Hard "over_max_shmem"
+    (v "shmem_per_block" >: v "max_shared_mem_per_block");
+  Space.constrain sp ~cls:Space.Soft "partial_warps"
+    (v "threads_per_block" %: v "warp_size" <>: i 0);
+  Space.constrain sp ~cls:Space.Soft "idle_threads" (v "dim_x" >: v "rank");
+  Space.constrain sp ~cls:Space.Correctness "tile_divides_rank"
+    (v "rank" %: v "tile_f" <>: i 0);
+  Space.constrain sp ~cls:Space.Correctness "tile_over_threads"
+    (v "tile_f" >: v "dim_x");
+  sp
+
+let decode lookup =
+  let geti name = Value.to_int (lookup name) in
+  {
+    dim_x = geti "dim_x";
+    users_per_block = geti "users_per_block";
+    tile_f = geti "tile_f";
+    gram_in_shmem = geti "gram_in_shmem" <> 0;
+    unroll = geti "unroll";
+  }
+
+(* Gram accumulation: n_ratings rank-1 updates of the symmetric f x f
+   half (f(f+1)/2 FMAs each, x2 flops), plus the f^3/3 Cholesky solve
+   and two f x n_ratings products for the right-hand side. *)
+let flops_per_user w =
+  let f = float_of_int w.rank and r = float_of_int w.avg_ratings in
+  (2.0 *. r *. (f *. (f +. 1.0) /. 2.0))
+  +. (f *. f *. f /. 3.0)
+  +. (4.0 *. r *. f)
+
+let gflops w c =
+  let d = w.device in
+  let threads = c.dim_x * c.users_per_block in
+  let regs = 24 + (2 * c.unroll) + (c.tile_f / 2) in
+  let shmem =
+    if c.gram_in_shmem then
+      c.users_per_block * (w.rank * (w.rank + 1) / 2) * element_size w
+    else 0
+  in
+  let usage =
+    {
+      Occupancy.threads_per_block = threads;
+      regs_per_thread = regs;
+      shmem_per_block = shmem;
+    }
+  in
+  match Occupancy.calculate d usage with
+  | Error _ -> 0.0
+  | Ok occ ->
+    let active = occ.Occupancy.active_blocks in
+    if active = 0 then 0.0
+    else begin
+      let in_flight = active * c.users_per_block in
+      let dp_cost =
+        match w.precision with
+        | Device.Double -> 1.0 /. d.Device.fp64_ratio
+        | Device.Single -> 1.0
+      in
+      let fma_issue_cost = dp_cost *. (if c.gram_in_shmem then 1.0 else 3.0) in
+      let fdim_x = float_of_int c.dim_x in
+      let fr = float_of_int w.avg_ratings and ff = float_of_int w.rank in
+      (* Tiling the Gram update amortizes the rating-vector loads across
+         tile_f columns. *)
+      let tile_amort = Float.min (float_of_int c.tile_f) 8.0 in
+      let gram_issue =
+        fr *. (ff *. (ff +. 1.0) /. 2.0) /. fdim_x *. fma_issue_cost
+        +. (fr *. ff /. tile_amort /. fdim_x *. 2.0)
+      in
+      let solve_issue = ff *. ff *. ff /. 3.0 /. fdim_x *. fma_issue_cost in
+      let solve_latency = ff *. (if c.gram_in_shmem then 90.0 else 400.0) in
+      let rating_latency = fr *. 300.0 /. Float.min fdim_x 32.0 in
+      let loop_overhead = fr *. ff /. float_of_int c.unroll /. fdim_x in
+      let w_issue = gram_issue +. solve_issue +. loop_overhead in
+      let w_latency = solve_latency +. rating_latency in
+      let lane_time =
+        w_issue *. fdim_x *. float_of_int in_flight
+        /. float_of_int d.Device.cores_per_multi_processor
+      in
+      let round_cycles = Float.max lane_time (w_issue +. w_latency) in
+      let rounds =
+        (w.users + (in_flight * d.Device.n_multi_processors) - 1)
+        / (in_flight * d.Device.n_multi_processors)
+      in
+      let clock_hz = float_of_int d.Device.clock_mhz *. 1e6 in
+      let compute_time_s = float_of_int rounds *. round_cycles /. clock_hz in
+      (* DRAM: every user streams its ratings (id + value) and writes its
+         factor vector; the item-factor matrix reads mostly hit cache. *)
+      let es = float_of_int (element_size w) in
+      let bytes_per_user =
+        (float_of_int w.avg_ratings *. (es +. 4.0))
+        +. (float_of_int w.rank *. es *. 2.0)
+      in
+      let mem_time_s =
+        float_of_int w.users *. bytes_per_user
+        /. (d.Device.mem_bandwidth_gbs *. 1e9 *. 0.6)
+      in
+      let time_s = Float.max compute_time_s mem_time_s in
+      let raw = float_of_int w.users *. flops_per_user w /. time_s /. 1e9 in
+      Float.min raw (0.5 *. Device.peak_gflops d w.precision)
+    end
+
+let objective w lookup = gflops w (decode lookup)
+
+(* The paper's comparator is a CPU implementation: model a 2013-class
+   dual-socket Xeon (2 x 8 cores, AVX, ~2.7 GHz: ~691 sp GFLOP/s peak)
+   running a well-optimized ALS at 25% of peak - memory-irregular Gram
+   accumulations keep CPUs far from peak on this kernel. *)
+let cpu_baseline_gflops w =
+  let peak_sp = 2.0 *. 8.0 *. 2.0 *. 8.0 *. 2.7 in
+  let peak =
+    match w.precision with
+    | Device.Single -> peak_sp
+    | Device.Double -> peak_sp /. 2.0
+  in
+  0.25 *. peak

@@ -1,0 +1,50 @@
+(** Alternating least squares for collaborative filtering — the paper's
+    "much more exotic kernel" (Section III, reference [6]: "Accelerating
+    collaborative filtering using concepts from high performance
+    computing"), where BEAST-tuned GPU kernels "achieved significant
+    speedups over CPU implementations of the same operation".
+
+    One ALS half-step updates every user's factor vector x_u of rank f by
+    solving (AᵀA + λI) x_u = AᵀR_u built from that user's ratings: a
+    rank-f Gram-matrix accumulation over the user's n_ratings items
+    followed by an f x f Cholesky solve. The search space tunes how the
+    Gram accumulation and solve are laid out on the GPU; the baseline is
+    a model of a parallel CPU implementation, matching the paper's
+    comparison target. *)
+
+open Beast_gpu
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  rank : int;  (** f, typically 16-128 *)
+  users : int;
+  avg_ratings : int;  (** average ratings per user *)
+}
+
+val default_workload : workload
+(** rank 64, 100k users, 40 ratings/user, single precision (the common
+    recommender configuration). *)
+
+val space : ?workload:workload -> unit -> Beast_core.Space.t
+(** Tunables: [dim_x] (threads per user), [users_per_block],
+    [tile_f] (Gram-matrix tile width), [gram_in_shmem], [unroll].
+    Constraints: launchability, occupancy, full warps, tile divides
+    rank, tile within threads. *)
+
+type config = {
+  dim_x : int;
+  users_per_block : int;
+  tile_f : int;
+  gram_in_shmem : bool;
+  unroll : int;
+}
+
+val decode : Beast_core.Expr.lookup -> config
+val flops_per_user : workload -> float
+val gflops : workload -> config -> float
+val objective : workload -> Beast_core.Expr.lookup -> float
+
+val cpu_baseline_gflops : workload -> float
+(** Model of an optimized multicore-CPU ALS (the paper's comparator):
+    a 2013-class dual-socket Xeon at a solid fraction of its peak. *)

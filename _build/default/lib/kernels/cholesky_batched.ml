@@ -1,0 +1,186 @@
+open Beast_core
+open Beast_gpu
+open Expr.Infix
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  n : int;
+  batch : int;
+}
+
+let default_workload =
+  {
+    device = Device.tesla_k40c;
+    precision = Device.Double;
+    n = 16;
+    batch = 10_000;
+  }
+
+type config = {
+  dim_x : int;
+  batch_per_block : int;
+  blk : int;
+  use_shmem : bool;
+  unroll : int;
+}
+
+let v = Expr.var
+let i = Expr.int
+
+let element_size w =
+  Device.element_size w.device w.precision Device.Real
+
+let space ?(workload = default_workload) () =
+  let w = workload in
+  let d = w.device in
+  let sp = Space.create ~name:"cholesky_batched" () in
+  Space.setting_i sp "n" w.n;
+  Space.setting_i sp "element_size" (element_size w);
+  Space.setting_i sp "max_threads_per_block" d.Device.max_threads_per_block;
+  Space.setting_i sp "max_shared_mem_per_block" d.Device.max_shared_mem_per_block;
+  Space.setting_i sp "warp_size" d.Device.warp_size;
+  Space.setting_i sp "min_threads_per_multi_processor" 128;
+  Space.iterator sp "dim_x" (Iter.range (i 1) (i 129));
+  Space.iterator sp "batch_per_block" (Iter.range (i 1) (i 33));
+  Space.iterator sp "blk" (Iter.range (i 1) (v "n" +: i 1));
+  Space.iterator sp "use_shmem" (Iter.range_i 0 2);
+  Space.iterator sp "unroll" (Iter.ints [ 1; 2; 4; 8 ]);
+  Space.derived sp "threads_per_block" (v "dim_x" *: v "batch_per_block");
+  Space.derived sp "shmem_per_block"
+    (Expr.if_
+       (v "use_shmem" <>: i 0)
+       (v "batch_per_block" *: v "n" *: v "blk" *: v "element_size")
+       (i 0));
+  (* Hard: launchability. *)
+  Space.constrain sp ~cls:Space.Hard "over_max_threads"
+    (v "threads_per_block" >: v "max_threads_per_block");
+  Space.constrain sp ~cls:Space.Hard "over_max_shmem"
+    (v "shmem_per_block" >: v "max_shared_mem_per_block");
+  (* Soft: guaranteed-slow shapes. *)
+  Space.constrain sp ~cls:Space.Soft "partial_warps"
+    (v "threads_per_block" %: v "warp_size" <>: i 0);
+  Space.constrain sp ~cls:Space.Soft "idle_threads" (v "dim_x" >: v "n");
+  (* Correctness: the panel width must tile the matrix, and a panel
+     cannot be wider than the threads that update it. *)
+  Space.constrain sp ~cls:Space.Correctness "blk_divides"
+    (v "n" %: v "blk" <>: i 0);
+  Space.constrain sp ~cls:Space.Correctness "blk_over_dim_x"
+    (v "blk" >: v "dim_x");
+  sp
+
+let decode lookup =
+  let geti name = Value.to_int (lookup name) in
+  {
+    dim_x = geti "dim_x";
+    batch_per_block = geti "batch_per_block";
+    blk = geti "blk";
+    use_shmem = geti "use_shmem" <> 0;
+    unroll = geti "unroll";
+  }
+
+let flops_per_matrix n =
+  let fn = float_of_int n in
+  (fn *. fn *. fn /. 3.0) +. (fn *. fn /. 2.0) +. (fn /. 6.0)
+
+let shmem_per_block w c =
+  if c.use_shmem then c.batch_per_block * w.n * c.blk * element_size w else 0
+
+(* Cost model of the fused batched kernel: a serial chain of n column
+   steps per matrix (issue work shared by dim_x threads; latency from
+   memory accesses, rsqrt and barriers), with batch_per_block matrices
+   per block and as many blocks as occupancy admits in flight per SM. *)
+let gflops w c =
+  let d = w.device in
+  let threads = c.dim_x * c.batch_per_block in
+  let regs = 20 + (2 * c.unroll) + (if c.use_shmem then 4 else 8) in
+  let usage =
+    {
+      Occupancy.threads_per_block = threads;
+      regs_per_thread = regs;
+      shmem_per_block = shmem_per_block w c;
+    }
+  in
+  match Occupancy.calculate d usage with
+  | Error _ -> 0.0
+  | Ok occ ->
+    let active = occ.Occupancy.active_blocks in
+    if active = 0 then 0.0
+    else begin
+      let in_flight = active * c.batch_per_block in
+      let dp_cost =
+        match w.precision with
+        | Device.Double -> 1.0 /. d.Device.fp64_ratio
+        | Device.Single -> 1.0
+      in
+      let fma_issue_cost = dp_cost *. (if c.use_shmem then 1.0 else 2.0) in
+      let col_latency = if c.use_shmem then 300.0 else 1040.0 in
+      let sync_cost = 60.0 in
+      let fdim_x = float_of_int c.dim_x in
+      (* Per-matrix issue cycles: walk the column steps. *)
+      let issue = ref 0.0 in
+      for j = 0 to w.n - 1 do
+        let col = w.n - j in
+        let trailing = float_of_int ((col - 1) * (col - 1)) /. 2.0 in
+        (* scale the column, then rank-1 update of the trailing part *)
+        issue :=
+          !issue
+          +. (2.0 *. Float.of_int ((col + c.dim_x - 1) / c.dim_x))
+          +. (trailing /. fdim_x *. fma_issue_cost)
+      done;
+      let loop_overhead = float_of_int w.n *. 4.0 /. float_of_int c.unroll in
+      let w_issue = !issue +. loop_overhead in
+      let n_panels = (w.n + c.blk - 1) / c.blk in
+      let w_latency =
+        (float_of_int w.n *. col_latency) +. (float_of_int n_panels *. sync_cost)
+      in
+      (* One SM runs [in_flight] matrices concurrently; lane pressure
+         serializes issue beyond the core count. *)
+      let lane_time =
+        w_issue *. fdim_x *. float_of_int in_flight
+        /. float_of_int d.Device.cores_per_multi_processor
+      in
+      let round_cycles = Float.max lane_time (w_issue +. w_latency) in
+      let rounds =
+        (w.batch + (in_flight * d.Device.n_multi_processors) - 1)
+        / (in_flight * d.Device.n_multi_processors)
+      in
+      let clock_hz = float_of_int d.Device.clock_mhz *. 1e6 in
+      let compute_time_s = float_of_int rounds *. round_cycles /. clock_hz in
+      (* DRAM roofline: every matrix is read and written once. Triangular
+         storage coalesces poorly for small orders, shrinking effective
+         bandwidth. *)
+      let es = float_of_int (element_size w) in
+      let bytes_per_matrix =
+        (float_of_int (w.n * (w.n + 1) / 2) *. es *. 2.0) +. 64.0
+      in
+      let coalesce_eff = Float.min 1.0 (float_of_int w.n /. 64.0) in
+      let mem_time_s =
+        float_of_int w.batch *. bytes_per_matrix
+        /. (d.Device.mem_bandwidth_gbs *. 1e9 *. coalesce_eff)
+      in
+      let time_s = Float.max compute_time_s mem_time_s in
+      let raw = float_of_int w.batch *. flops_per_matrix w.n /. time_s /. 1e9 in
+      (* Triangular updates leave part of the FMA array idle whatever the
+         configuration: cap at 62% of peak. *)
+      Float.min raw (0.62 *. Device.peak_gflops d w.precision)
+    end
+
+let objective w lookup = gflops w (decode lookup)
+
+(* The cuBLAS-model comparator: the same execution model at a fixed
+   one-size-fits-all configuration (cuBLAS batched kernels predate
+   per-size tuning), times a generic-code penalty, plus the per-matrix
+   pointer-chasing setup its array-of-pointers interface requires. *)
+let baseline_gflops w =
+  let c =
+    {
+      dim_x = min 64 (max 16 w.n);
+      batch_per_block = 1;
+      blk = 1;
+      use_shmem = false;
+      unroll = 1;
+    }
+  in
+  let generic_penalty = 0.55 in
+  gflops w c *. generic_penalty

@@ -1,0 +1,49 @@
+(** Batched Cholesky factorization — the kernel behind Table I's
+    "Batched factorizations" rows. The paper's reference [5] tuned
+    batched [potrf] for "large sets of very small matrices" with BEAST
+    and beat cuBLAS by 3x-10x; references [34]-[36] extend to medium
+    sizes at up-to-3x.
+
+    The search space models the tunable structure of such a kernel:
+    how many threads cooperate on one matrix, how many matrices share a
+    thread block, the panel blocking width, whether the matrix is staged
+    in shared memory, and the update-loop unroll depth. The performance
+    model charges per-column-step costs on the device model and is scored
+    against the {!Beast_gpu.Baseline} loop-over-potrf model. *)
+
+open Beast_gpu
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  n : int;  (** matrix order *)
+  batch : int;  (** number of matrices *)
+}
+
+val default_workload : workload
+(** n = 16, batch 10000 doubles on the K40c — the "small size" regime. *)
+
+val space : ?workload:workload -> unit -> Beast_core.Space.t
+(** Iterators: [dim_x] (threads per matrix), [batch_per_block],
+    [blk] (panel width), [use_shmem], [unroll]. Constraints: block
+    shape/size hard limits, occupancy, divisibility of the panel
+    blocking, full-warp blocks. *)
+
+type config = {
+  dim_x : int;
+  batch_per_block : int;
+  blk : int;
+  use_shmem : bool;
+  unroll : int;
+}
+
+val decode : Beast_core.Expr.lookup -> config
+val flops_per_matrix : int -> float
+val shmem_per_block : workload -> config -> int
+
+val gflops : workload -> config -> float
+(** Modeled throughput of the fused batched kernel for the whole batch. *)
+
+val objective : workload -> Beast_core.Expr.lookup -> float
+val baseline_gflops : workload -> float
+(** The cuBLAS-model comparator ({!Baseline.batched_cholesky_gflops}). *)

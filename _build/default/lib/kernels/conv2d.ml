@@ -1,0 +1,170 @@
+open Beast_core
+open Beast_gpu
+open Expr.Infix
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  height : int;
+  width : int;
+  channels : int;
+  filters : int;
+  kernel : int;
+}
+
+let default_workload =
+  {
+    device = Device.tesla_k40c;
+    precision = Device.Single;
+    height = 256;
+    width = 256;
+    channels = 64;
+    filters = 64;
+    kernel = 3;
+  }
+
+type config = {
+  tile_h : int;
+  tile_w : int;
+  dim_x : int;
+  dim_y : int;
+  chans_per_iter : int;
+  stage_input : bool;
+  stage_weights : bool;
+  unroll_rs : bool;
+}
+
+let v = Expr.var
+let i = Expr.int
+
+let element_size w = Device.element_size w.device w.precision Device.Real
+
+let space ?(workload = default_workload) () =
+  let w = workload in
+  let d = w.device in
+  let sp = Space.create ~name:"conv2d" () in
+  Space.setting_i sp "kernel" w.kernel;
+  Space.setting_i sp "channels" w.channels;
+  Space.setting_i sp "element_size" (element_size w);
+  Space.setting_i sp "max_threads_per_block" d.Device.max_threads_per_block;
+  Space.setting_i sp "max_shared_mem_per_block" d.Device.max_shared_mem_per_block;
+  Space.setting_i sp "warp_size" d.Device.warp_size;
+  Space.iterator sp "tile_h" (Iter.ints [ 1; 2; 4; 8; 16; 32 ]);
+  Space.iterator sp "tile_w" (Iter.ints [ 4; 8; 16; 32; 64 ]);
+  Space.iterator sp "dim_x" (Iter.range ~step:(i 1) (i 1) (i 33));
+  Space.iterator sp "dim_y" (Iter.range (i 1) (i 17));
+  Space.iterator sp "chans_per_iter" (Iter.ints [ 1; 2; 4; 8; 16 ]);
+  Space.iterator sp "stage_input" (Iter.range_i 0 2);
+  Space.iterator sp "stage_weights" (Iter.range_i 0 2);
+  Space.iterator sp "unroll_rs" (Iter.range_i 0 2);
+  Space.derived sp "threads_per_block" (v "dim_x" *: v "dim_y");
+  Space.derived sp "halo_h" (v "tile_h" +: v "kernel" -: i 1);
+  Space.derived sp "halo_w" (v "tile_w" +: v "kernel" -: i 1);
+  Space.derived sp "shmem_per_block"
+    ((Expr.if_ (v "stage_input" <>: i 0)
+        (v "halo_h" *: v "halo_w" *: v "chans_per_iter")
+        (i 0)
+     +: Expr.if_ (v "stage_weights" <>: i 0)
+          (v "kernel" *: v "kernel" *: v "chans_per_iter")
+          (i 0))
+    *: v "element_size");
+  Space.constrain sp ~cls:Space.Hard "over_max_threads"
+    (v "threads_per_block" >: v "max_threads_per_block");
+  Space.constrain sp ~cls:Space.Hard "over_max_shmem"
+    (v "shmem_per_block" >: v "max_shared_mem_per_block");
+  Space.constrain sp ~cls:Space.Soft "partial_warps"
+    (v "threads_per_block" %: v "warp_size" <>: i 0);
+  Space.constrain sp ~cls:Space.Soft "thin_work"
+    (v "tile_h" *: v "tile_w" <: v "threads_per_block");
+  Space.constrain sp ~cls:Space.Correctness "grid_tiles_h"
+    (v "tile_h" %: v "dim_y" <>: i 0);
+  Space.constrain sp ~cls:Space.Correctness "grid_tiles_w"
+    (v "tile_w" %: v "dim_x" <>: i 0);
+  Space.constrain sp ~cls:Space.Correctness "chans_divide"
+    (v "channels" %: v "chans_per_iter" <>: i 0);
+  sp
+
+let decode lookup =
+  let geti name = Value.to_int (lookup name) in
+  {
+    tile_h = geti "tile_h";
+    tile_w = geti "tile_w";
+    dim_x = geti "dim_x";
+    dim_y = geti "dim_y";
+    chans_per_iter = geti "chans_per_iter";
+    stage_input = geti "stage_input" <> 0;
+    stage_weights = geti "stage_weights" <> 0;
+    unroll_rs = geti "unroll_rs" <> 0;
+  }
+
+let total_flops w =
+  2.0
+  *. float_of_int (w.height * w.width)
+  *. float_of_int (w.channels * w.filters)
+  *. float_of_int (w.kernel * w.kernel)
+
+let shmem_per_block w c =
+  let halo_h = c.tile_h + w.kernel - 1 and halo_w = c.tile_w + w.kernel - 1 in
+  (((if c.stage_input then halo_h * halo_w * c.chans_per_iter else 0)
+   + if c.stage_weights then w.kernel * w.kernel * c.chans_per_iter else 0)
+  * element_size w)
+
+(* Roofline + occupancy, in the style of the GEMM model: staged tiles
+   amortize the halo reads, unstaged ones pay them per output point. *)
+let gflops w c =
+  let d = w.device in
+  let threads = c.dim_x * c.dim_y in
+  if threads < 1 || c.tile_h mod c.dim_y <> 0 || c.tile_w mod c.dim_x <> 0 then
+    0.0
+  else begin
+    let regs =
+      18
+      + (c.tile_h / c.dim_y * (c.tile_w / c.dim_x))
+      + (if c.unroll_rs then w.kernel * w.kernel / 2 else 2)
+    in
+    let usage =
+      {
+        Occupancy.threads_per_block = threads;
+        regs_per_thread = regs;
+        shmem_per_block = shmem_per_block w c;
+      }
+    in
+    match Occupancy.calculate d usage with
+    | Error _ -> 0.0
+    | Ok occ ->
+      let es = float_of_int (element_size w) in
+      let halo_h = float_of_int (c.tile_h + w.kernel - 1) in
+      let halo_w = float_of_int (c.tile_w + w.kernel - 1) in
+      let tile = float_of_int (c.tile_h * c.tile_w) in
+      (* Bytes of input traffic per output element. *)
+      let input_bytes_per_out =
+        if c.stage_input then halo_h *. halo_w /. tile *. es
+        else float_of_int (w.kernel * w.kernel) *. es
+      in
+      let weight_bytes_per_out =
+        if c.stage_weights then 0.05 *. es else 0.4 *. es
+      in
+      let flops_per_out =
+        2.0 *. float_of_int (w.kernel * w.kernel * w.channels)
+      in
+      let bytes_per_flop =
+        (((input_bytes_per_out +. weight_bytes_per_out)
+         *. float_of_int w.channels)
+        +. (2.0 *. es))
+        /. flops_per_out
+      in
+      let memory = d.Device.mem_bandwidth_gbs /. bytes_per_flop in
+      let knee = 0.45 in
+      let occ_eff = Float.min 1.0 (occ.Occupancy.occupancy /. knee) in
+      let unroll_eff = if c.unroll_rs then 1.0 else 0.8 in
+      let cpi_eff =
+        (* channel blocking amortizes addressing *)
+        let f = float_of_int c.chans_per_iter in
+        f /. (f +. 1.0) *. 2.0 |> Float.min 1.0
+      in
+      let peak = Device.peak_gflops d w.precision in
+      let compute = peak *. 0.8 *. occ_eff *. unroll_eff *. cpi_eff in
+      Float.min compute memory
+  end
+
+let objective w lookup = gflops w (decode lookup)

@@ -1,0 +1,43 @@
+(** A 2D direct-convolution tuning space — not one of the paper's
+    kernels, but the worked example of doc/TUTORIAL.md showing how a
+    downstream user builds a new space, model and tuner run with this
+    library. It exercises the same ingredients as the GEMM model
+    problem: a thread-grid shape, a block tile, staging choices, and
+    constraints in all three classes. *)
+
+open Beast_gpu
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  height : int;
+  width : int;
+  channels : int;  (** input channels *)
+  filters : int;  (** output channels *)
+  kernel : int;  (** square filter size (R = S) *)
+}
+
+val default_workload : workload
+(** 256x256, 64 -> 64 channels, 3x3, single precision on the K40c. *)
+
+val space : ?workload:workload -> unit -> Beast_core.Space.t
+(** Tunables: [tile_h] x [tile_w] (output tile per block),
+    [dim_x] x [dim_y] (thread grid), [chans_per_iter] (input-channel
+    blocking), [stage_input], [stage_weights], [unroll_rs]. *)
+
+type config = {
+  tile_h : int;
+  tile_w : int;
+  dim_x : int;
+  dim_y : int;
+  chans_per_iter : int;
+  stage_input : bool;
+  stage_weights : bool;
+  unroll_rs : bool;
+}
+
+val decode : Beast_core.Expr.lookup -> config
+val total_flops : workload -> float
+val shmem_per_block : workload -> config -> int
+val gflops : workload -> config -> float
+val objective : workload -> Beast_core.Expr.lookup -> float

@@ -1,0 +1,95 @@
+open Beast_core
+open Expr.Infix
+
+(* Figure 3's prime generator, including its initial yields of 1 and 2. *)
+let primes_iter =
+  Iter.closure ~deps:[ "max_size" ] (fun env ->
+      let max_v = Value.to_int (env "max_size") in
+      let rec next old_primes n () =
+        if n > max_v then Seq.Nil
+        else if List.exists (fun p -> n mod p = 0) old_primes then
+          next old_primes (n + 2) ()
+        else Seq.Cons (Value.Int n, next (n :: old_primes) (n + 2))
+      in
+      if max_v < 1 then Seq.empty
+      else if max_v < 2 then Seq.return (Value.Int 1)
+      else fun () ->
+        Seq.Cons (Value.Int 1, fun () -> Seq.Cons (Value.Int 2, next [] 3)))
+
+let divisors_iter ~of_ =
+  Iter.closure ~deps:[ of_ ] (fun env ->
+      let n = Value.to_int (env of_) in
+      let rec go d () =
+        if d > n then Seq.Nil
+        else if n mod d = 0 then Seq.Cons (Value.Int d, go (d + 1))
+        else go (d + 1) ()
+      in
+      if n < 1 then Seq.empty else go 1)
+
+let v = Expr.var
+let i = Expr.int
+
+let space ?(max_size = 64) () =
+  let sp = Space.create ~name:"prime_fft" () in
+  Space.setting_i sp "max_size" max_size;
+  Space.iterator sp "size" (Iter.filter (fun p -> Value.to_int p >= 3) primes_iter);
+  Space.iterator sp "strategy" (Iter.range_i 0 2);
+  (* Rader reduces a prime-size DFT to a convolution of length size-1;
+     the radix enumerates that length's divisors - a data-dependent
+     iterator only a closure can express. *)
+  Space.derived sp "conv_len" (v "size" -: i 1);
+  Space.iterator sp "radix" (divisors_iter ~of_:"conv_len");
+  Space.iterator sp "twiddle_in_shmem" (Iter.range_i 0 2);
+  (* A radix of 1 or of the full length is a degenerate factorization;
+     direct strategy needs a proper divisor. *)
+  Space.constrain sp ~cls:Space.Correctness "degenerate_radix"
+    (v "strategy" =: i 1
+    &&: (v "radix" =: i 1 ||: (v "radix" =: v "conv_len")));
+  (* Padded strategy ignores the radix: keep only radix=1 to avoid
+     duplicate variants. *)
+  Space.constrain sp ~cls:Space.Correctness "padded_ignores_radix"
+    (v "strategy" =: i 0 &&: (v "radix" <>: i 1));
+  sp
+
+type config = {
+  size : int;
+  strategy : int;
+  radix : int;
+  twiddle_in_shmem : bool;
+}
+
+let decode lookup =
+  let geti name = Value.to_int (lookup name) in
+  {
+    size = geti "size";
+    strategy = geti "strategy";
+    radix = geti "radix";
+    twiddle_in_shmem = geti "twiddle_in_shmem" <> 0;
+  }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* Toy cost: padded Rader does three power-of-two FFTs of length
+   >= 2(p-1)-1; direct strategy does a mixed-radix convolution whose cost
+   degrades when p-1 / radix is rough. *)
+let modeled_time_us c =
+  let p = c.size in
+  let conv = p - 1 in
+  let shmem_factor = if c.twiddle_in_shmem then 0.85 else 1.0 in
+  let cost =
+    if c.strategy = 0 then begin
+      let m = next_pow2 ((2 * conv) - 1) in
+      3.0 *. float_of_int m *. log (float_of_int (max 2 m))
+    end
+    else begin
+      let rest = conv / c.radix in
+      let stage_cost r n = float_of_int (n * r) in
+      (* radix-r first stage, then whatever remains as a generic DFT *)
+      stage_cost c.radix conv +. stage_cost rest conv
+    end
+  in
+  cost *. shmem_factor /. 100.0
+
+let objective lookup = 1.0 /. modeled_time_us (decode lookup)

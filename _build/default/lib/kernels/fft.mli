@@ -1,0 +1,40 @@
+(** Prime-size FFT tuning space — the use case the paper gives for
+    closure iterators: "One example of when such a prime number generator
+    would be useful is autotuning an FFT implementation for
+    hard-to-optimize problem sizes" (Section V, citing Rader's
+    algorithm, reference [30]).
+
+    For a prime size p, Rader's algorithm maps the DFT to a cyclic
+    convolution of length p-1, which is computed either zero-padded to a
+    power of two or directly if p-1 is smooth. The space enumerates prime
+    sizes with the closure iterator of Figure 3 and, per prime, the
+    convolution strategy and its radix — a genuinely data-dependent inner
+    iterator (the divisors of p-1), impossible to write as a static
+    range. *)
+
+val primes_iter : Beast_core.Iter.t
+(** The prime generator of Figure 3 as a closure iterator; depends on
+    the setting ["max_size"] (includes 1 and 2, as the figure yields). *)
+
+val divisors_iter : of_:string -> Beast_core.Iter.t
+(** Closure iterator over the divisors of the named parameter. *)
+
+val space : ?max_size:int -> unit -> Beast_core.Space.t
+(** Iterators: [size] (prime, via {!primes_iter}), [strategy]
+    (0 = pad to power of two, 1 = direct factorization of p-1),
+    [radix] (divisor of p-1), [twiddle_in_shmem]. *)
+
+type config = {
+  size : int;
+  strategy : int;
+  radix : int;
+  twiddle_in_shmem : bool;
+}
+
+val decode : Beast_core.Expr.lookup -> config
+
+val modeled_time_us : config -> float
+(** Toy cost model: operation count of the chosen convolution plan. *)
+
+val objective : Beast_core.Expr.lookup -> float
+(** Tuner objective (higher is better): 1 / {!modeled_time_us}. *)

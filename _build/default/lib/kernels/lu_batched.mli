@@ -1,0 +1,41 @@
+(** Batched LU factorization with partial pivoting — the third member of
+    the batched-factorization family behind Table I's rows (the paper's
+    references [34]–[36], "Batched matrix computations on hardware
+    accelerators", cover LU alongside Cholesky).
+
+    Compared with {!Cholesky_batched}, each column step additionally
+    pays a pivot search (a reduction over the column) and a row swap;
+    the search space gains a tunable for how the reduction is performed
+    ([pivot_tree]: serial scan vs tree reduction) and loses the
+    symmetric-triangle storage savings. *)
+
+open Beast_gpu
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  n : int;
+  batch : int;
+}
+
+val default_workload : workload
+(** n = 16, batch 10000 doubles on the K40c. *)
+
+val space : ?workload:workload -> unit -> Beast_core.Space.t
+
+type config = {
+  dim_x : int;
+  batch_per_block : int;
+  blk : int;
+  use_shmem : bool;
+  unroll : int;
+  pivot_tree : bool;  (** tree reduction instead of a serial scan *)
+}
+
+val decode : Beast_core.Expr.lookup -> config
+val flops_per_matrix : int -> float
+(** 2n³/3 + lower-order terms (getrf). *)
+
+val gflops : workload -> config -> float
+val objective : workload -> Beast_core.Expr.lookup -> float
+val baseline_gflops : workload -> float

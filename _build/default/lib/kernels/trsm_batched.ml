@@ -1,0 +1,163 @@
+open Beast_core
+open Beast_gpu
+open Expr.Infix
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  n : int;
+  nrhs : int;
+  batch : int;
+}
+
+let default_workload =
+  {
+    device = Device.tesla_k40c;
+    precision = Device.Double;
+    n = 16;
+    nrhs = 16;
+    batch = 10_000;
+  }
+
+type config = {
+  dim_x : int;
+  batch_per_block : int;
+  use_shmem : bool;
+  unroll : int;
+}
+
+let v = Expr.var
+let i = Expr.int
+
+let space ?(workload = default_workload) () =
+  let w = workload in
+  let d = w.device in
+  let sp = Space.create ~name:"trsm_batched" () in
+  Space.setting_i sp "n" w.n;
+  Space.setting_i sp "nrhs" w.nrhs;
+  Space.setting_i sp "element_size"
+    (Device.element_size d w.precision Device.Real);
+  Space.setting_i sp "max_threads_per_block" d.Device.max_threads_per_block;
+  Space.setting_i sp "max_shared_mem_per_block" d.Device.max_shared_mem_per_block;
+  Space.setting_i sp "warp_size" d.Device.warp_size;
+  Space.iterator sp "dim_x" (Iter.range (i 1) (i 129));
+  Space.iterator sp "batch_per_block" (Iter.range (i 1) (i 33));
+  Space.iterator sp "use_shmem" (Iter.range_i 0 2);
+  Space.iterator sp "unroll" (Iter.ints [ 1; 2; 4; 8 ]);
+  Space.derived sp "threads_per_block" (v "dim_x" *: v "batch_per_block");
+  (* Staging the whole triangle of L in shared memory. *)
+  Space.derived sp "shmem_per_block"
+    (Expr.if_
+       (v "use_shmem" <>: i 0)
+       (v "batch_per_block" *: v "n" *: (v "n" +: i 1) /: i 2 *: v "element_size")
+       (i 0));
+  Space.constrain sp ~cls:Space.Hard "over_max_threads"
+    (v "threads_per_block" >: v "max_threads_per_block");
+  Space.constrain sp ~cls:Space.Hard "over_max_shmem"
+    (v "shmem_per_block" >: v "max_shared_mem_per_block");
+  Space.constrain sp ~cls:Space.Soft "partial_warps"
+    (v "threads_per_block" %: v "warp_size" <>: i 0);
+  Space.constrain sp ~cls:Space.Soft "idle_threads" (v "dim_x" >: v "nrhs");
+  sp
+
+let decode lookup =
+  let geti name = Value.to_int (lookup name) in
+  {
+    dim_x = geti "dim_x";
+    batch_per_block = geti "batch_per_block";
+    use_shmem = geti "use_shmem" <> 0;
+    unroll = geti "unroll";
+  }
+
+let flops_per_matrix ~n ~nrhs = float_of_int (n * n * nrhs)
+
+(* Forward substitution: n serial row steps; row j updates the remaining
+   (n - j - 1) x nrhs block with one FMA per element, split across the
+   dim_x threads that each own right-hand sides. *)
+let gflops w c =
+  let d = w.device in
+  let threads = c.dim_x * c.batch_per_block in
+  let regs = 18 + (2 * c.unroll) + (if c.use_shmem then 4 else 8) in
+  let shmem =
+    if c.use_shmem then
+      c.batch_per_block * (w.n * (w.n + 1) / 2)
+      * Device.element_size d w.precision Device.Real
+    else 0
+  in
+  let usage =
+    {
+      Occupancy.threads_per_block = threads;
+      regs_per_thread = regs;
+      shmem_per_block = shmem;
+    }
+  in
+  match Occupancy.calculate d usage with
+  | Error _ -> 0.0
+  | Ok occ ->
+    let active = occ.Occupancy.active_blocks in
+    if active = 0 then 0.0
+    else begin
+      let in_flight = active * c.batch_per_block in
+      let dp_cost =
+        match w.precision with
+        | Device.Double -> 1.0 /. d.Device.fp64_ratio
+        | Device.Single -> 1.0
+      in
+      let fma_issue_cost = dp_cost *. (if c.use_shmem then 1.0 else 2.0) in
+      let row_latency = if c.use_shmem then 180.0 else 640.0 in
+      let fdim_x = float_of_int c.dim_x in
+      let issue = ref 0.0 in
+      for j = 0 to w.n - 1 do
+        let remaining = w.n - j - 1 in
+        issue :=
+          !issue
+          +. Float.of_int ((w.nrhs + c.dim_x - 1) / c.dim_x)
+          +. (float_of_int (remaining * w.nrhs) /. fdim_x *. fma_issue_cost)
+      done;
+      let loop_overhead = float_of_int w.n *. 3.0 /. float_of_int c.unroll in
+      let w_issue = !issue +. loop_overhead in
+      let w_latency = float_of_int w.n *. row_latency in
+      let lane_time =
+        w_issue *. fdim_x *. float_of_int in_flight
+        /. float_of_int d.Device.cores_per_multi_processor
+      in
+      let round_cycles = Float.max lane_time (w_issue +. w_latency) in
+      let rounds =
+        (w.batch + (in_flight * d.Device.n_multi_processors) - 1)
+        / (in_flight * d.Device.n_multi_processors)
+      in
+      let clock_hz = float_of_int d.Device.clock_mhz *. 1e6 in
+      let compute_time_s = float_of_int rounds *. round_cycles /. clock_hz in
+      (* DRAM roofline: L read once, B read and written. *)
+      let es = float_of_int (Device.element_size d w.precision Device.Real) in
+      let bytes_per_matrix =
+        (float_of_int ((w.n * (w.n + 1) / 2) + (2 * w.n * w.nrhs)) *. es)
+        +. 64.0
+      in
+      let coalesce_eff = Float.min 1.0 (float_of_int w.n /. 64.0) in
+      let mem_time_s =
+        float_of_int w.batch *. bytes_per_matrix
+        /. (d.Device.mem_bandwidth_gbs *. 1e9 *. coalesce_eff)
+      in
+      let time_s = Float.max compute_time_s mem_time_s in
+      let raw =
+        float_of_int w.batch *. flops_per_matrix ~n:w.n ~nrhs:w.nrhs /. time_s
+        /. 1e9
+      in
+      (* The solve's dependent rows cap utilization harder than the
+         factorization's rank-1 updates. *)
+      Float.min raw (0.5 *. Device.peak_gflops d w.precision)
+    end
+
+let objective w lookup = gflops w (decode lookup)
+
+let baseline_gflops w =
+  let c =
+    {
+      dim_x = min 64 (max 16 w.nrhs);
+      batch_per_block = 1;
+      use_shmem = false;
+      unroll = 1;
+    }
+  in
+  gflops w c *. 0.55

@@ -1,0 +1,38 @@
+(** Batched triangular solve — the companion kernel to
+    {!Cholesky_batched} in the paper's reference [5] ("batched Cholesky
+    factorization and triangular solve for large sets of very small
+    matrices") and part of Table I's batched-factorization rows.
+
+    Solves L X = B for [batch] independent lower-triangular systems of
+    order [n] with [nrhs] right-hand sides. Tunables: threads along the
+    right-hand sides ([dim_x]), systems per block ([batch_per_block]),
+    whether L is staged in shared memory, and unroll depth of the
+    forward-substitution loop. *)
+
+open Beast_gpu
+
+type workload = {
+  device : Device.t;
+  precision : Device.precision;
+  n : int;
+  nrhs : int;
+  batch : int;
+}
+
+val default_workload : workload
+(** n = 16, nrhs = 16, batch 10000 doubles on the K40c. *)
+
+val space : ?workload:workload -> unit -> Beast_core.Space.t
+
+type config = {
+  dim_x : int;
+  batch_per_block : int;
+  use_shmem : bool;
+  unroll : int;
+}
+
+val decode : Beast_core.Expr.lookup -> config
+val flops_per_matrix : n:int -> nrhs:int -> float
+val gflops : workload -> config -> float
+val objective : workload -> Beast_core.Expr.lookup -> float
+val baseline_gflops : workload -> float

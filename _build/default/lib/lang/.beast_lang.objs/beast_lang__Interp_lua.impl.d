@@ -1,0 +1,1 @@
+lib/lang/interp_lua.ml: Array List Loopnest

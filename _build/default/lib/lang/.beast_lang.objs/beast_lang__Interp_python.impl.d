@@ -1,0 +1,1 @@
+lib/lang/interp_python.ml: Hashtbl List Loopnest Printf

@@ -1,0 +1,1 @@
+lib/lang/loopnest.ml: Float

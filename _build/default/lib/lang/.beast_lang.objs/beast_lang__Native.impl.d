@@ -1,0 +1,1 @@
+lib/lang/native.ml: Array Loopnest

@@ -1,0 +1,1 @@
+lib/lang/native.mli: Loopnest

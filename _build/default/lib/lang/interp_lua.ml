@@ -1,0 +1,113 @@
+type variant =
+  | While_loop
+  | Repeat_until
+  | Numeric_for
+
+let variant_name = function
+  | While_loop -> "while"
+  | Repeat_until -> "repeat-until"
+  | Numeric_for -> "for"
+
+let all_variants = [ While_loop; Repeat_until; Numeric_for ]
+
+type instr =
+  | Loadk of int * int  (* reg <- k *)
+  | Add of int * int * int  (* dst <- a + b *)
+  | Addk of int * int * int  (* dst <- a + k *)
+  | Ltk of int * int * int  (* dst <- a < k *)
+  | Jmp of int
+  | Jz of int * int
+  | Jnz of int * int
+  | Forloop of int * int * int  (* var += 1; if var < limit k, jump *)
+  | Tick
+  | Halt
+
+(* Register map: 0 = acc, 1 = scratch test, 2..2+depth-1 = loop vars. *)
+let compile variant (nest : Loopnest.t) =
+  let n = nest.Loopnest.length in
+  let depth = nest.Loopnest.depth in
+  let code = ref [] in
+  let pc = ref 0 in
+  let emit i =
+    code := i :: !code;
+    incr pc
+  in
+  let acc = 0 and t = 1 in
+  let ivar k = 1 + k in
+  let rec gen k =
+    if k > depth then begin
+      emit Tick;
+      for j = 1 to depth do
+        emit (Add (acc, acc, ivar j))
+      done;
+      emit (Addk (acc, acc, 1))
+    end
+    else begin
+      emit (Loadk (ivar k, 0));
+      match variant with
+      | While_loop ->
+        let test_pc = !pc in
+        emit (Ltk (t, ivar k, n));
+        let jz_pc = !pc in
+        emit (Jz (t, -1));
+        gen (k + 1);
+        emit (Addk (ivar k, ivar k, 1));
+        emit (Jmp test_pc);
+        (* Backpatch the exit jump. *)
+        let exit_pc = !pc in
+        code :=
+          List.mapi
+            (fun i instr ->
+              if !pc - 1 - i = jz_pc then Jz (t, exit_pc) else instr)
+            !code
+      | Repeat_until ->
+        let top_pc = !pc in
+        gen (k + 1);
+        emit (Addk (ivar k, ivar k, 1));
+        emit (Ltk (t, ivar k, n));
+        emit (Jnz (t, top_pc))
+      | Numeric_for ->
+        let top_pc = !pc in
+        gen (k + 1);
+        emit (Forloop (ivar k, n, top_pc))
+    end
+  in
+  emit (Loadk (acc, 0));
+  gen 1;
+  emit Halt;
+  Array.of_list (List.rev !code)
+
+let instruction_count variant nest = Array.length (compile variant nest)
+
+let run variant nest =
+  let code = compile variant nest in
+  let regs = Array.make (2 + nest.Loopnest.depth + 1) 0 in
+  let ticks = ref 0 in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    match code.(!pc) with
+    | Loadk (r, k) ->
+      regs.(r) <- k;
+      incr pc
+    | Add (d, a, b) ->
+      regs.(d) <- regs.(a) + regs.(b);
+      incr pc
+    | Addk (d, a, k) ->
+      regs.(d) <- regs.(a) + k;
+      incr pc
+    | Ltk (d, a, k) ->
+      regs.(d) <- (if regs.(a) < k then 1 else 0);
+      incr pc
+    | Jmp t -> pc := t
+    | Jz (r, t) -> if regs.(r) = 0 then pc := t else incr pc
+    | Jnz (r, t) -> if regs.(r) <> 0 then pc := t else incr pc
+    | Forloop (v, limit, t) ->
+      regs.(v) <- regs.(v) + 1;
+      if regs.(v) < limit then pc := t else incr pc
+    | Tick ->
+      incr ticks;
+      incr pc
+    | Halt -> running := false
+  done;
+  { Loopnest.body_iterations = !ticks; checksum = regs.(0) }

@@ -1,0 +1,27 @@
+(** A Lua-style execution tier for the loop-nest study (Figure 18): the
+    nest compiles to bytecode for a register VM (Lua's design), unboxed
+    values in a register file, a dispatch loop per instruction.
+
+    The three syntactic variants reproduce Figure 18's x-axis, with the
+    cost differences the paper measures:
+
+    - {!constructor-While_loop}: condition compiled as explicit
+      compare + conditional jump at the top plus an unconditional jump
+      back — the slowest (the paper: ~10% slower than repeat);
+    - {!constructor-Repeat_until}: the test at the bottom saves the
+      back-jump;
+    - {!constructor-Numeric_for}: Lua's numeric [for] fuses increment,
+      test and branch into one FORLOOP-style instruction — the fastest
+      (the paper: ~30% faster). *)
+
+type variant =
+  | While_loop
+  | Repeat_until
+  | Numeric_for
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+val run : variant -> Loopnest.t -> Loopnest.outcome
+val instruction_count : variant -> Loopnest.t -> int
+(** Size of the compiled program, for inspection. *)

@@ -1,0 +1,101 @@
+type variant =
+  | While
+  | For_range
+  | For_xrange
+
+let variant_name = function
+  | While -> "while"
+  | For_range -> "range"
+  | For_xrange -> "xrange"
+
+let all_variants = [ While; For_range; For_xrange ]
+
+(* Boxed integers: every arithmetic result is a fresh heap block, as in
+   CPython (small-int caching aside). *)
+type pv = Obj of int
+
+type expr =
+  | Const of int
+  | Name of string
+  | Add of expr * expr
+  | Lt of expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Tick  (** marks one innermost-body execution *)
+  | While_st of expr * stmt list
+  | For_list of string * pv list * stmt list
+  | For_lazy of string * int * stmt list
+
+let rec eval env e : pv =
+  match e with
+  | Const k -> Obj k
+  | Name x -> Hashtbl.find env x
+  | Add (a, b) ->
+    let (Obj x) = eval env a and (Obj y) = eval env b in
+    Obj (x + y)
+  | Lt (a, b) ->
+    let (Obj x) = eval env a and (Obj y) = eval env b in
+    Obj (if x < y then 1 else 0)
+
+let run variant (nest : Loopnest.t) =
+  let env : (string, pv) Hashtbl.t = Hashtbl.create 16 in
+  let ticks = ref 0 in
+  let rec exec = function
+    | Assign (x, e) -> Hashtbl.replace env x (eval env e)
+    | Tick -> incr ticks
+    | While_st (cond, body) ->
+      let rec loop () =
+        let (Obj c) = eval env cond in
+        if c <> 0 then begin
+          List.iter exec body;
+          loop ()
+        end
+      in
+      loop ()
+    | For_list (x, values, body) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace env x v;
+          List.iter exec body)
+        values
+    | For_lazy (x, n, body) ->
+      let rec loop i =
+        if i < n then begin
+          Hashtbl.replace env x (Obj i);
+          List.iter exec body;
+          loop (i + 1)
+        end
+      in
+      loop 0
+  in
+  let n = nest.Loopnest.length in
+  let var k = Printf.sprintf "i%d" k in
+  let body_update =
+    let rec sum k =
+      if k > nest.Loopnest.depth then Const 1 else Add (Name (var k), sum (k + 1))
+    in
+    [ Tick; Assign ("acc", Add (Name "acc", sum 1)) ]
+  in
+  let rec wrap k inner =
+    if k = 0 then inner
+    else
+      let loop =
+        match variant with
+        | While ->
+          [
+            Assign (var k, Const 0);
+            While_st
+              ( Lt (Name (var k), Const n),
+                inner @ [ Assign (var k, Add (Name (var k), Const 1)) ] );
+          ]
+        | For_range ->
+          [ For_list (var k, List.init n (fun i -> Obj i), inner) ]
+        | For_xrange -> [ For_lazy (var k, n, inner) ]
+      in
+      wrap (k - 1) loop
+  in
+  let program = Assign ("acc", Const 0) :: wrap nest.Loopnest.depth body_update in
+  List.iter exec program;
+  let (Obj acc) = Hashtbl.find env "acc" in
+  { Loopnest.body_iterations = !ticks; checksum = acc }

@@ -1,0 +1,28 @@
+(** A CPython-style execution tier for the loop-nest study (Figure 17).
+
+    The interpreter walks a statement AST with every variable access
+    going through an associative table (one per lexical scope) and every
+    integer boxed — the two costs the paper identifies for CPython:
+    "Python's access to variables is through associative array lookup
+    (there is one array per lexical scope)". The three syntactic
+    variants reproduce Figure 17's x-axis:
+
+    - {!constructor-While}: explicit condition, increment and comparison
+      through the environment — the slowest form (the paper measures
+      ~30% slower than range);
+    - {!constructor-For_range}: the loop is driven by the host runtime
+      but the value list is {e materialized} first, like Python 2's
+      [range] "instantiating in memory a list of 10^8 integers";
+    - {!constructor-For_xrange}: the same driving loop over a lazy
+      generator, like [xrange] — no materialization, the fastest. *)
+
+type variant =
+  | While
+  | For_range
+  | For_xrange
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+val run : variant -> Loopnest.t -> Loopnest.outcome
+(** Execute the nest; must equal {!Loopnest.reference}. *)

@@ -1,0 +1,61 @@
+type t = {
+  depth : int;
+  length : int;
+}
+
+let make ~depth ~total =
+  if depth < 1 || depth > 4 then invalid_arg "Loopnest.make: depth in 1..4";
+  if total < 1 then invalid_arg "Loopnest.make: total >= 1";
+  let root = Float.of_int total ** (1.0 /. Float.of_int depth) in
+  let length = int_of_float (Float.ceil (root -. 1e-9)) in
+  { depth; length = max 1 length }
+
+let rec pow base = function
+  | 0 -> 1
+  | k -> base * pow base (k - 1)
+
+let iterations t = pow t.length t.depth
+
+type outcome = {
+  body_iterations : int;
+  checksum : int;
+}
+
+let reference t =
+  let n = t.length in
+  let acc = ref 0 and count = ref 0 in
+  (match t.depth with
+  | 1 ->
+    for i1 = 0 to n - 1 do
+      incr count;
+      acc := !acc + i1 + 1
+    done
+  | 2 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        incr count;
+        acc := !acc + i1 + i2 + 1
+      done
+    done
+  | 3 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          incr count;
+          acc := !acc + i1 + i2 + i3 + 1
+        done
+      done
+    done
+  | 4 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          for i4 = 0 to n - 1 do
+            incr count;
+            acc := !acc + i1 + i2 + i3 + i4 + 1
+          done
+        done
+      done
+    done
+  | _ -> assert false);
+  { body_iterations = !count; checksum = !acc }

@@ -1,0 +1,34 @@
+(** The synthetic loop-nest workload of the paper's performance study
+    (Section XI, Figures 17–19): a nest of depth 1–4 totalling a fixed
+    iteration count, whose innermost body performs "integer arithmetic on
+    local variables – there are no memory accesses through mutable
+    containers".
+
+    All three execution tiers ({!Interp_python}, {!Interp_lua},
+    {!Native}) run {e this} workload with {e identical semantics} — the
+    checksum lets the tests prove it — so their iteration rates are
+    comparable the way the paper compares CPython, Lua and compiled
+    code. *)
+
+type t = {
+  depth : int;  (** 1 to 4 *)
+  length : int;  (** trip count of each loop level *)
+}
+
+val make : depth:int -> total:int -> t
+(** Loop length = ceil(total^(1/depth)), the paper's
+    ceil(d-th-root of 10^8) construction. @raise Invalid_argument unless
+    1 <= depth <= 4. *)
+
+val iterations : t -> int
+(** length^depth: innermost-body executions. *)
+
+type outcome = {
+  body_iterations : int;
+  checksum : int;
+}
+
+val reference : t -> outcome
+(** The semantics every tier must reproduce: nested loops with indices
+    i1..id in [0, length), innermost body
+    [acc <- acc + i1 + ... + id + 1] on a native-int accumulator. *)

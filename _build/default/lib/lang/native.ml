@@ -1,0 +1,144 @@
+type flavour =
+  | C_style
+  | Java_style
+  | Fortran_style
+
+let flavour_name = function
+  | C_style -> "c"
+  | Java_style -> "java"
+  | Fortran_style -> "fortran"
+
+let all_flavours = [ C_style; Java_style; Fortran_style ]
+
+(* Fortran flavour: accumulator in a register (ref is unboxed by the
+   compiler within the loop). *)
+let fortran (nest : Loopnest.t) =
+  let n = nest.Loopnest.length in
+  let acc = ref 0 and count = ref 0 in
+  (match nest.Loopnest.depth with
+  | 1 ->
+    for i1 = 0 to n - 1 do
+      incr count;
+      acc := !acc + i1 + 1
+    done
+  | 2 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        incr count;
+        acc := !acc + i1 + i2 + 1
+      done
+    done
+  | 3 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          incr count;
+          acc := !acc + i1 + i2 + i3 + 1
+        done
+      done
+    done
+  | _ ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          for i4 = 0 to n - 1 do
+            incr count;
+            acc := !acc + i1 + i2 + i3 + i4 + 1
+          done
+        done
+      done
+    done);
+  { Loopnest.body_iterations = !count; checksum = !acc }
+
+(* C flavour: the accumulator is a memory location, stores unchecked. *)
+let c_style (nest : Loopnest.t) =
+  let n = nest.Loopnest.length in
+  let mem = Array.make 2 0 in
+  (match nest.Loopnest.depth with
+  | 1 ->
+    for i1 = 0 to n - 1 do
+      Array.unsafe_set mem 1 (Array.unsafe_get mem 1 + 1);
+      Array.unsafe_set mem 0 (Array.unsafe_get mem 0 + i1 + 1)
+    done
+  | 2 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        Array.unsafe_set mem 1 (Array.unsafe_get mem 1 + 1);
+        Array.unsafe_set mem 0 (Array.unsafe_get mem 0 + i1 + i2 + 1)
+      done
+    done
+  | 3 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          Array.unsafe_set mem 1 (Array.unsafe_get mem 1 + 1);
+          Array.unsafe_set mem 0 (Array.unsafe_get mem 0 + i1 + i2 + i3 + 1)
+        done
+      done
+    done
+  | _ ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          for i4 = 0 to n - 1 do
+            Array.unsafe_set mem 1 (Array.unsafe_get mem 1 + 1);
+            Array.unsafe_set mem 0 (Array.unsafe_get mem 0 + i1 + i2 + i3 + i4 + 1)
+          done
+        done
+      done
+    done);
+  { Loopnest.body_iterations = mem.(1); checksum = mem.(0) }
+
+(* Java flavour: memory accumulator with bounds-checked accesses, plus
+   the safepoint poll a JIT'd loop retains (a volatile-style flag read
+   and branch per iteration). *)
+let safepoint = ref false
+
+let java (nest : Loopnest.t) =
+  let n = nest.Loopnest.length in
+  let mem = Array.make 2 0 in
+  let poll () = if !safepoint then mem.(1) <- mem.(1) in
+  (match nest.Loopnest.depth with
+  | 1 ->
+    for i1 = 0 to n - 1 do
+      poll ();
+      mem.(1) <- mem.(1) + 1;
+      mem.(0) <- mem.(0) + i1 + 1
+    done
+  | 2 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        poll ();
+        mem.(1) <- mem.(1) + 1;
+        mem.(0) <- mem.(0) + i1 + i2 + 1
+      done
+    done
+  | 3 ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          poll ();
+          mem.(1) <- mem.(1) + 1;
+          mem.(0) <- mem.(0) + i1 + i2 + i3 + 1
+        done
+      done
+    done
+  | _ ->
+    for i1 = 0 to n - 1 do
+      for i2 = 0 to n - 1 do
+        for i3 = 0 to n - 1 do
+          for i4 = 0 to n - 1 do
+            poll ();
+            mem.(1) <- mem.(1) + 1;
+            mem.(0) <- mem.(0) + i1 + i2 + i3 + i4 + 1
+          done
+        done
+      done
+    done);
+  { Loopnest.body_iterations = mem.(1); checksum = mem.(0) }
+
+let run flavour nest =
+  match flavour with
+  | C_style -> c_style nest
+  | Java_style -> java nest
+  | Fortran_style -> fortran nest

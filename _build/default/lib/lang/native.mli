@@ -1,0 +1,23 @@
+(** The compiled tier for the loop-nest study (Figure 19): the nest as
+    directly compiled native loops, i.e. what the BEAST translator's C
+    output executes. Three flavours model the paper's C / Java / Fortran
+    comparison:
+
+    - {!constructor-Fortran_style}: pure register arithmetic, the leanest
+      loop the compiler can emit (Fortran wins Figure 19 "albeit by a
+      negligibly small margin");
+    - {!constructor-C_style}: the accumulator lives in memory (one
+      unchecked store per iteration);
+    - {!constructor-Java_style}: memory accumulator with a bounds check
+      on every access, the cost a JIT'd JVM loop retains — the slowest
+      in Figure 19. *)
+
+type flavour =
+  | C_style
+  | Java_style
+  | Fortran_style
+
+val flavour_name : flavour -> string
+val all_flavours : flavour list
+
+val run : flavour -> Loopnest.t -> Loopnest.outcome

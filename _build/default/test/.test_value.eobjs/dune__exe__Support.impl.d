@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Array Beast_core Dag Engine Expr Hashtbl Iter List Space Value

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Beast_core Codegen Codegen_c Engine Engine_staged Expr Filename Iter List Plan Printf Space String Support Sys Unix

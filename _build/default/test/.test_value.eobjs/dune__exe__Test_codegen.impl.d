@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Beast_core Codegen_c Engine Engine_staged Expr Filename Iter List Plan Printf QCheck QCheck_alcotest Space String Support Sys Unix Value

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Beast_core Dag Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Beast_core Buffer Engine Engine_interp Engine_parallel Engine_staged Engine_vm Expr Iter List Plan Printf QCheck QCheck_alcotest Space String Support Value

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Beast_core Expr List QCheck QCheck_alcotest String Value

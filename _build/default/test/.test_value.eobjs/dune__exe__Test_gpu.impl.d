@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Baseline Beast_gpu Capability Device List Occupancy Perf_model Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_iter.ml: Alcotest Array Beast_core Expr Iter List QCheck QCheck_alcotest Seq Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Beast_lang Interp_lua Interp_python List Loopnest Native Printf Unix

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Beast_core Engine Engine_staged Expr Format Iter List Plan Space String Support Value

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Beast_autotune Beast_core Beast_gpu Beast_kernels Device Expr Gemm Iter List Perf_model Plan Random Search Space Tuner Value

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Beast_core Dag Expr Iter List Space String Support Value

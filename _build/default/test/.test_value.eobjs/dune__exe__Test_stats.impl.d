@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Beast_core Engine Engine_staged Iter List Space Stats String Support Sweep Value Visualize

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Beast_autotune Beast_core Beast_gpu Beast_kernels Cholesky_batched Device Engine Expr Fft Float Gemm Iter List Printf Space Sweep Tuner Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Beast_core List QCheck QCheck_alcotest Value

@@ -1,0 +1,210 @@
+open Beast_core
+
+(* Validation of the non-C language backends (Section XI compares
+   Python, Lua, C, Java, Fortran). Python and Java are executed with the
+   container's interpreters; Lua and Fortran are checked structurally
+   (no runtime available offline). *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_command cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> List.rev !lines
+  | _ -> Alcotest.failf "command failed: %s" cmd
+
+let parse_stats lines =
+  let survivors = ref (-1) and iterations = ref (-1) in
+  let pruned = ref [] in
+  List.iter
+    (fun line ->
+      (* Lua's print uses a tab separator; normalize. *)
+      let line = String.map (fun c -> if c = '\t' then ' ' else c) line in
+      match
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      with
+      | [ "survivors"; n ] -> survivors := int_of_string n
+      | [ "iterations"; n ] -> iterations := int_of_string n
+      | [ "pruned"; name; n ] -> pruned := (name, int_of_string n) :: !pruned
+      | _ -> ())
+    lines;
+  (!survivors, !iterations, List.rev !pruned)
+
+let temp_dir () =
+  let dir = Filename.temp_file "beast_backend" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let reference_for sp =
+  let plan = Plan.make_exn sp in
+  (plan, Engine_staged.run plan)
+
+let check_stats name reference (survivors, iterations, pruned) =
+  Alcotest.(check int) (name ^ " survivors") reference.Engine.survivors survivors;
+  Alcotest.(check int) (name ^ " iterations") reference.Engine.loop_iterations
+    iterations;
+  Array.iter
+    (fun (cname, _, k) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s pruned %s" name cname)
+        k
+        (List.assoc (Codegen_c.sanitize cname) pruned))
+    reference.Engine.pruned
+
+let test_python_executes () =
+  let sp = Support.triangle_space () in
+  let plan, reference = reference_for sp in
+  let source = Codegen.generate_exn Codegen.Python plan in
+  let dir = temp_dir () in
+  let file = Filename.concat dir "sweep.py" in
+  write_file file source;
+  let stats = parse_stats (run_command (Printf.sprintf "python3 %s" (Filename.quote file))) in
+  check_stats "python" reference stats
+
+let test_python_negative_division () =
+  (* Backend division must truncate toward zero like the OCaml engines,
+     not floor like native Python //. *)
+  let open Expr.Infix in
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i (-7) 8);
+  Space.derived sp "q" (Expr.var "x" /: Expr.int 3);
+  Space.constrain sp "q_nonzero" (Expr.var "q" =: Expr.int 0);
+  let plan, reference = reference_for sp in
+  let source = Codegen.generate_exn Codegen.Python plan in
+  let dir = temp_dir () in
+  let file = Filename.concat dir "sweep.py" in
+  write_file file source;
+  let stats = parse_stats (run_command (Printf.sprintf "python3 %s" (Filename.quote file))) in
+  check_stats "python negative div" reference stats
+
+let test_java_executes () =
+  let sp = Support.triangle_space () in
+  let plan, reference = reference_for sp in
+  let source = Codegen.generate_exn Codegen.Java plan in
+  let dir = temp_dir () in
+  let file = Filename.concat dir "BeastSweep.java" in
+  write_file file source;
+  let rc = Sys.command (Printf.sprintf "javac -d %s %s 2>&1" (Filename.quote dir) (Filename.quote file)) in
+  if rc <> 0 then Alcotest.fail "javac failed";
+  let stats =
+    parse_stats
+      (run_command (Printf.sprintf "java -cp %s BeastSweep" (Filename.quote dir)))
+  in
+  check_stats "java" reference stats
+
+let test_java_negative_step () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i ~step:(-2) 9 0);
+  Space.iterator sp "y" (Iter.range (Expr.var "x") (Expr.int 12));
+  let plan, reference = reference_for sp in
+  let source = Codegen.generate_exn Codegen.Java plan in
+  let dir = temp_dir () in
+  let file = Filename.concat dir "BeastSweep.java" in
+  write_file file source;
+  let rc = Sys.command (Printf.sprintf "javac -d %s %s 2>&1" (Filename.quote dir) (Filename.quote file)) in
+  if rc <> 0 then Alcotest.fail "javac failed";
+  let stats =
+    parse_stats
+      (run_command (Printf.sprintf "java -cp %s BeastSweep" (Filename.quote dir)))
+  in
+  check_stats "java negative step" reference stats
+
+let test_lua_structure () =
+  let plan, _ = reference_for (Support.triangle_space ()) in
+  let source = Codegen.generate_exn Codegen.Lua plan in
+  Alcotest.(check bool) "no goto (5.1 compatible)" false (contains source "goto");
+  Alcotest.(check bool) "truncating division helper" true
+    (contains source "beast_div");
+  Alcotest.(check bool) "constraint comment" true (contains source "odd_sum");
+  Alcotest.(check bool) "continuation else" true (contains source "else")
+
+let test_fortran_structure () =
+  let plan, _ = reference_for (Support.triangle_space ()) in
+  let source = Codegen.generate_exn Codegen.Fortran plan in
+  Alcotest.(check bool) "program header" true (contains source "program beast_sweep");
+  Alcotest.(check bool) "do loops" true (contains source "do v_");
+  Alcotest.(check bool) "cycle for pruning" true (contains source "cycle");
+  Alcotest.(check bool) "8-byte integers" true (contains source "integer(kind=8)");
+  (* Free-form line-length limit. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line fits" true (String.length line <= 132))
+    (String.split_on_char '\n' source)
+
+let test_all_backends_generate_for_gemm_like () =
+  (* A space with the structural features of the GEMM model: settings,
+     conditionals, dependent ranges, derived chains, several constraint
+     classes. All five backends must generate successfully. *)
+  let open Expr.Infix in
+  let sp = Space.create ~name:"gemm_like" () in
+  Space.setting_s sp "precision" "double";
+  Space.setting_i sp "max_dim" 8;
+  Space.iterator sp "dim_m" (Iter.range (Expr.int 1) (Expr.var "max_dim" +: Expr.int 1));
+  Space.iterator sp "blk_m"
+    (Iter.range ~step:(Expr.var "dim_m") (Expr.var "dim_m")
+       (Expr.var "max_dim" +: Expr.int 1));
+  Space.derived sp "thr_m" (Expr.var "blk_m" /: Expr.var "dim_m");
+  Space.derived sp "regs"
+    (Expr.if_
+       (Expr.var "precision" =: Expr.string "double")
+       (Expr.var "thr_m" *: Expr.int 2)
+       (Expr.var "thr_m"));
+  Space.constrain sp ~cls:Space.Hard "over_regs" (Expr.var "regs" >: Expr.int 8);
+  Space.constrain sp ~cls:Space.Soft "low_work" (Expr.var "thr_m" <: Expr.int 2);
+  let plan = Plan.make_exn sp in
+  List.iter
+    (fun lang ->
+      match Codegen.generate lang plan with
+      | Ok source ->
+        Alcotest.(check bool)
+          (Codegen.lang_name lang ^ " nonempty")
+          true
+          (String.length source > 100)
+      | Error e ->
+        Alcotest.failf "%s failed: %a" (Codegen.lang_name lang) Codegen_c.pp_error
+          e)
+    Codegen.all_langs
+
+let test_file_extensions () =
+  Alcotest.(check (list string))
+    "extensions" [ ".c"; ".py"; ".lua"; ".f90"; ".java" ]
+    (List.map Codegen.file_extension Codegen.all_langs)
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "python",
+        [
+          Alcotest.test_case "executes and matches" `Quick test_python_executes;
+          Alcotest.test_case "negative division" `Quick
+            test_python_negative_division;
+        ] );
+      ( "java",
+        [
+          Alcotest.test_case "executes and matches" `Quick test_java_executes;
+          Alcotest.test_case "negative step" `Quick test_java_negative_step;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "lua" `Quick test_lua_structure;
+          Alcotest.test_case "fortran" `Quick test_fortran_structure;
+          Alcotest.test_case "gemm-like space, all langs" `Quick
+            test_all_backends_generate_for_gemm_like;
+          Alcotest.test_case "extensions" `Quick test_file_extensions;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+open Beast_core
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Compile a generated C file with the system compiler, run it, and parse
+   its statistics output. *)
+let compile_and_run ?(cflags = [ "-O2"; "-std=c99" ]) source =
+  let dir = Filename.temp_file "beast" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_file = Filename.concat dir "sweep.c" in
+  let exe = Filename.concat dir "sweep" in
+  let oc = open_out c_file in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "cc %s -o %s %s %s 2>&1"
+      (String.concat " " cflags)
+      (Filename.quote exe) (Filename.quote c_file)
+      (if contains source "pthread.h" then "-lpthread" else "")
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then Alcotest.failf "cc failed (%d) for:\n%s" rc source;
+  let ic = Unix.open_process_in (Filename.quote exe) in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "generated binary failed");
+  List.rev !lines
+
+let parse_stats lines =
+  let survivors = ref (-1) and iterations = ref (-1) in
+  let pruned = ref [] in
+  let hits = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "survivors"; n ] -> survivors := int_of_string n
+      | [ "iterations"; n ] -> iterations := int_of_string n
+      | [ "pruned"; name; n ] -> pruned := (name, int_of_string n) :: !pruned
+      | "hit" :: vs -> hits := List.map int_of_string vs :: !hits
+      | _ -> ())
+    lines;
+  (!survivors, !iterations, List.rev !pruned, List.rev !hits)
+
+let check_c_matches_staged ?(threads = 1) sp =
+  let plan = Plan.make_exn sp in
+  let reference = Engine_staged.run plan in
+  let source = Codegen_c.generate_exn ~threads plan in
+  let survivors, iterations, pruned, _ = parse_stats (compile_and_run source) in
+  Alcotest.(check int) "survivors" reference.Engine.survivors survivors;
+  Alcotest.(check int) "iterations" reference.Engine.loop_iterations iterations;
+  Array.iter
+    (fun (name, _, k) ->
+      let k' = List.assoc name pruned in
+      Alcotest.(check int) ("pruned " ^ name) k k')
+    reference.Engine.pruned
+
+let test_c_triangle () = check_c_matches_staged (Support.triangle_space ())
+
+let test_c_triangle_threads () =
+  check_c_matches_staged ~threads:3 (Support.triangle_space ())
+
+let test_c_static_closure () =
+  (* Closure iterators over settings only are tabulated into the C. *)
+  let sp = Space.create () in
+  Space.setting_i sp "k" 5;
+  Space.iterator sp "x"
+    (Iter.closure ~deps:[ "k" ] (fun env ->
+         let k = Value.to_int (env "k") in
+         List.to_seq (List.init k (fun i -> Value.Int ((i * i) + 1)))));
+  Space.iterator sp "y" (Iter.upto (Expr.var "x"));
+  check_c_matches_staged sp
+
+let test_c_negative_step () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i ~step:(-2) 9 0);
+  Space.iterator sp "y" (Iter.range (Expr.var "x") (Expr.int 12));
+  check_c_matches_staged sp
+
+let test_c_depth0_constraint () =
+  let open Expr.Infix in
+  let sp = Space.create () in
+  Space.setting_i sp "enabled" 0;
+  Space.iterator sp "x" (Iter.range_i 0 100);
+  Space.constrain sp "disabled_space" (Expr.var "enabled" =: Expr.int 0);
+  check_c_matches_staged sp
+
+let test_c_emit_survivors () =
+  let plan = Plan.make_exn (Support.triangle_space ()) in
+  let source = Codegen_c.generate_exn ~emit_survivors:true plan in
+  let _, _, _, hits = parse_stats (compile_and_run source) in
+  let expected =
+    List.map
+      (fun bindings -> List.map (fun (_, v) -> Value.to_int v) bindings)
+      (Support.brute_force (Support.triangle_space ()))
+  in
+  Alcotest.(check bool) "hit tuples match brute force" true
+    (List.sort compare hits = List.sort compare expected)
+
+let test_c_empty_values_iterator () =
+  (* An empty value-list iterator compiles to a no-point region. *)
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 4);
+  Space.iterator sp "y" (Iter.values []);
+  Space.iterator sp "z" (Iter.range_i 0 3);
+  check_c_matches_staged sp
+
+let test_c_gemm_with_threads () =
+  (* The pthread variant on a realistic space. *)
+  let sp = Support.triangle_space () in
+  check_c_matches_staged ~threads:2 sp
+
+let test_c_unsupported_opaque () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 3);
+  Space.derived_f sp "d" ~deps:[ "x" ] (fun env -> env "x");
+  match Codegen_c.generate (Plan.make_exn sp) with
+  | Error (Codegen_c.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "opaque body accepted"
+
+let test_c_unsupported_dynamic_closure () =
+  match Codegen_c.generate (Plan.make_exn (Support.mixed_space ())) with
+  | Error (Codegen_c.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "dynamic closure accepted"
+
+let test_c_source_shape () =
+  let source = Codegen_c.generate_exn (Plan.make_exn (Support.triangle_space ())) in
+  Alcotest.(check bool) "names preserved in comments" true
+    (contains source "v_dim" || contains source "v_x");
+  Alcotest.(check bool) "constraint names in comments" true
+    (contains source "odd_sum");
+  Alcotest.(check bool) "standard C headers" true (contains source "<stdint.h>");
+  Alcotest.(check bool) "no pthread when single-threaded" false
+    (contains source "pthread")
+
+let prop_c_matches_staged =
+  (* Reuse the random space generator shape from the engine tests, in a
+     reduced form: only translatable constructs. *)
+  let gen =
+    let open QCheck.Gen in
+    int_range 1 3 >>= fun n ->
+    let rec build i prev acc =
+      if i = n then return (List.rev acc)
+      else
+        (match prev with
+        | [] -> map (fun k -> `Const (1 + k)) (int_range 0 4)
+        | _ ->
+          oneof
+            [
+              map (fun k -> `Const (1 + k)) (int_range 0 4);
+              map (fun j -> `Var (List.nth prev (j mod List.length prev)))
+                (int_range 0 10);
+            ])
+        >>= fun stop -> build (i + 1) (Printf.sprintf "i%d" i :: prev)
+                          ((Printf.sprintf "i%d" i, stop) :: acc)
+    in
+    build 0 [] [] >>= fun iters ->
+    int_range 0 2 >>= fun n_cons -> return (iters, n_cons)
+  in
+  QCheck.Test.make ~name:"generated C matches staged engine" ~count:12
+    (QCheck.make gen) (fun (iters, n_cons) ->
+      let open Expr.Infix in
+      let sp = Space.create () in
+      List.iter
+        (fun (name, stop) ->
+          let stop =
+            match stop with
+            | `Const k -> Expr.int k
+            | `Var v -> Expr.var v
+          in
+          Space.iterator sp name (Iter.range (Expr.int 0) stop))
+        iters;
+      let names = List.map fst iters in
+      List.iteri
+        (fun i name ->
+          if i < n_cons then
+            Space.constrain sp
+              (Printf.sprintf "c%d" i)
+              (Expr.var name %: Expr.int 2 =: Expr.int 0))
+        names;
+      let plan = Plan.make_exn sp in
+      let reference = Engine_staged.run plan in
+      let source = Codegen_c.generate_exn plan in
+      let survivors, iterations, _, _ = parse_stats (compile_and_run source) in
+      survivors = reference.Engine.survivors
+      && iterations = reference.Engine.loop_iterations)
+
+let () =
+  Alcotest.run "codegen_c"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "triangle space" `Quick test_c_triangle;
+          Alcotest.test_case "triangle with pthreads" `Quick
+            test_c_triangle_threads;
+          Alcotest.test_case "static closure tabulated" `Quick
+            test_c_static_closure;
+          Alcotest.test_case "negative step" `Quick test_c_negative_step;
+          Alcotest.test_case "depth-0 constraint" `Quick test_c_depth0_constraint;
+          Alcotest.test_case "survivor emission" `Quick test_c_emit_survivors;
+          Alcotest.test_case "empty values iterator" `Quick
+            test_c_empty_values_iterator;
+          Alcotest.test_case "pthread variant again" `Quick
+            test_c_gemm_with_threads;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "opaque body rejected" `Quick
+            test_c_unsupported_opaque;
+          Alcotest.test_case "dynamic closure rejected" `Quick
+            test_c_unsupported_dynamic_closure;
+        ] );
+      ("source", [ Alcotest.test_case "shape" `Quick test_c_source_shape ]);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_c_matches_staged ] );
+    ]

@@ -1,0 +1,215 @@
+open Beast_core
+
+let mk nodes edges =
+  match Dag.create ~nodes ~edges with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "unexpected DAG error: %a" Dag.pp_error e
+
+(* The dependency structure of Figure 16, reduced to its shape. *)
+let fig16 () =
+  mk
+    [
+      "dim_m"; "dim_n"; "blk_k"; "blk_m"; "blk_n"; "max_threads";
+      "partial_warps"; "fetch_a"; "fetch_b"; "blk_m_div"; "blk_n_div";
+      "max_regs_thread"; "max_regs_block"; "low_regs"; "max_shmem";
+      "low_shmem";
+    ]
+    [
+      ("dim_m", "blk_m"); ("dim_n", "blk_n");
+      ("dim_m", "max_threads"); ("dim_n", "max_threads");
+      ("dim_m", "partial_warps"); ("dim_n", "partial_warps");
+      ("blk_m", "fetch_a"); ("blk_k", "fetch_a");
+      ("blk_n", "fetch_b"); ("blk_k", "fetch_b");
+      ("blk_m", "blk_m_div"); ("dim_m", "blk_m_div");
+      ("blk_n", "blk_n_div"); ("dim_n", "blk_n_div");
+      ("blk_m", "max_regs_thread"); ("blk_n", "max_regs_thread");
+      ("max_regs_thread", "max_regs_block");
+      ("max_regs_block", "low_regs");
+      ("blk_m", "max_shmem"); ("blk_n", "max_shmem"); ("blk_k", "max_shmem");
+      ("max_shmem", "low_shmem");
+    ]
+
+let test_levels () =
+  let d = fig16 () in
+  Alcotest.(check int) "source level" 0 (Dag.level d "dim_m");
+  Alcotest.(check int) "blk_k source" 0 (Dag.level d "blk_k");
+  Alcotest.(check int) "blk_m level" 1 (Dag.level d "blk_m");
+  Alcotest.(check int) "fetch_a level" 2 (Dag.level d "fetch_a");
+  Alcotest.(check int) "max_regs_block level" 3 (Dag.level d "max_regs_block");
+  Alcotest.(check int) "low_regs level" 4 (Dag.level d "low_regs")
+
+let test_level_sets () =
+  let d = fig16 () in
+  let sets = Dag.level_sets d in
+  Alcotest.(check int) "5 levels" 5 (List.length sets);
+  Alcotest.(check (list string))
+    "level 0 in declaration order"
+    [ "dim_m"; "dim_n"; "blk_k" ]
+    (List.nth sets 0);
+  (* Every node sits in the set of its level. *)
+  List.iteri
+    (fun i set ->
+      List.iter
+        (fun n -> Alcotest.(check int) (n ^ " level") i (Dag.level d n))
+        set)
+    sets
+
+let test_topo_order () =
+  let d = fig16 () in
+  let order = Dag.topo_order d in
+  Alcotest.(check int) "all nodes" 16 (List.length order);
+  let pos n =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s missing from topo order" n
+      | x :: rest -> if x = n then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun dep ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s after %s" n dep)
+            true
+            (pos dep < pos n))
+        (Dag.deps_of d n))
+    order
+
+let test_cycle_detection () =
+  match
+    Dag.create ~nodes:[ "a"; "b"; "c" ]
+      ~edges:[ ("a", "b"); ("b", "c"); ("c", "a") ]
+  with
+  | Ok _ -> Alcotest.fail "cycle not detected"
+  | Error (Dag.Cycle names) ->
+    Alcotest.(check int) "cycle length" 4 (List.length names)
+  | Error e -> Alcotest.failf "wrong error: %a" Dag.pp_error e
+
+let test_self_cycle () =
+  match Dag.create ~nodes:[ "a" ] ~edges:[ ("a", "a") ] with
+  | Ok _ -> Alcotest.fail "self-cycle not detected"
+  | Error (Dag.Cycle _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Dag.pp_error e
+
+let test_unknown_node () =
+  match Dag.create ~nodes:[ "a" ] ~edges:[ ("ghost", "a") ] with
+  | Ok _ -> Alcotest.fail "unknown node not detected"
+  | Error (Dag.Unknown_node (referrer, missing)) ->
+    Alcotest.(check string) "referrer" "a" referrer;
+    Alcotest.(check string) "missing" "ghost" missing
+  | Error e -> Alcotest.failf "wrong error: %a" Dag.pp_error e
+
+let test_neighbours () =
+  let d = fig16 () in
+  Alcotest.(check (list string))
+    "deps of blk_m_div" [ "dim_m"; "blk_m" ]
+    (Dag.deps_of d "blk_m_div");
+  Alcotest.(check bool)
+    "dim_m used by blk_m" true
+    (List.mem "blk_m" (Dag.users_of d "dim_m"))
+
+let test_transitive () =
+  let d = fig16 () in
+  Alcotest.(check (list string))
+    "ancestors of low_regs"
+    [ "blk_m"; "blk_n"; "dim_m"; "dim_n"; "max_regs_block"; "max_regs_thread" ]
+    (Dag.transitive_deps d "low_regs");
+  Alcotest.(check bool)
+    "low_shmem descends from blk_k" true
+    (List.mem "low_shmem" (Dag.transitive_users d "blk_k"))
+
+let test_dot () =
+  let d = fig16 () in
+  let dot = Dag.to_dot ~name:"fig16" d in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 0 && String.sub dot 0 14 = "digraph fig16 ");
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edge rendered" true
+    (contains dot "\"dim_m\" -> \"blk_m\";")
+
+let test_duplicate_edges () =
+  let d =
+    mk [ "a"; "b" ] [ ("a", "b"); ("a", "b"); ("a", "b") ]
+  in
+  Alcotest.(check (list string)) "dedup" [ "a" ] (Dag.deps_of d "b")
+
+(* Random DAG generator: edges only from lower to higher index, so
+   always acyclic. *)
+let arb_dag =
+  let gen =
+    let open QCheck.Gen in
+    int_range 2 12 >>= fun n ->
+    let nodes = List.init n (fun i -> Printf.sprintf "n%d" i) in
+    list_size (int_range 0 (2 * n))
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun pairs ->
+    let edges =
+      List.filter_map
+        (fun (i, j) ->
+          if i < j then Some (Printf.sprintf "n%d" i, Printf.sprintf "n%d" j)
+          else None)
+        pairs
+    in
+    return (nodes, edges)
+  in
+  QCheck.make gen
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo order respects every edge" ~count:300 arb_dag
+    (fun (nodes, edges) ->
+      let d = mk nodes edges in
+      let order = Dag.topo_order d in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i n -> Hashtbl.replace pos n i) order;
+      List.for_all
+        (fun (u, v) -> Hashtbl.find pos u < Hashtbl.find pos v)
+        edges)
+
+let prop_level_sets_partition =
+  QCheck.Test.make ~name:"level sets partition the nodes" ~count:300 arb_dag
+    (fun (nodes, edges) ->
+      let d = mk nodes edges in
+      let flat = List.concat (Dag.level_sets d) in
+      List.sort String.compare flat = List.sort String.compare nodes)
+
+let prop_level_exceeds_deps =
+  QCheck.Test.make ~name:"node level exceeds dependency levels" ~count:300
+    arb_dag (fun (nodes, edges) ->
+      let d = mk nodes edges in
+      List.for_all
+        (fun n ->
+          List.for_all (fun dep -> Dag.level d dep < Dag.level d n) (Dag.deps_of d n))
+        nodes)
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "level sets (Fig. 16)" `Quick test_level_sets;
+          Alcotest.test_case "topological order" `Quick test_topo_order;
+          Alcotest.test_case "neighbours" `Quick test_neighbours;
+          Alcotest.test_case "transitive closure" `Quick test_transitive;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "cycle" `Quick test_cycle_detection;
+          Alcotest.test_case "self cycle" `Quick test_self_cycle;
+          Alcotest.test_case "unknown node" `Quick test_unknown_node;
+        ] );
+      ("export", [ Alcotest.test_case "dot" `Quick test_dot ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_topo_respects_edges;
+            prop_level_sets_partition;
+            prop_level_exceeds_deps;
+          ] );
+    ]

@@ -1,0 +1,413 @@
+open Beast_core
+open Beast_gpu
+open Beast_kernels
+open Beast_dsl
+
+let parse_ok text =
+  match Parse.space_of_string text with
+  | Ok sp -> sp
+  | Error e -> Alcotest.failf "parse failed: %a" Parse.pp_error e
+
+let parse_err text =
+  match Parse.space_of_string text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let expr text =
+  match Parse.expr_of_string text with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "expr parse failed: %a" Parse.pp_error e
+
+let check_expr msg text expected =
+  Alcotest.(check bool) msg true (Expr.equal (expr text) expected)
+
+let test_expr_precedence () =
+  let open Expr.Infix in
+  check_expr "mul binds tighter" "1 + 2 * 3"
+    (Expr.int 1 +: (Expr.int 2 *: Expr.int 3));
+  check_expr "parens" "(1 + 2) * 3" ((Expr.int 1 +: Expr.int 2) *: Expr.int 3);
+  check_expr "comparison" "a + 1 <= b" (Expr.var "a" +: Expr.int 1 <=: Expr.var "b");
+  check_expr "logic" "a && b || c"
+    ((Expr.var "a" &&: Expr.var "b") ||: Expr.var "c");
+  check_expr "keywords" "a and not b or c"
+    ((Expr.var "a" &&: not_ (Expr.var "b")) ||: Expr.var "c");
+  check_expr "ternary" "c ? 1 : 2" (Expr.if_ (Expr.var "c") (Expr.int 1) (Expr.int 2));
+  check_expr "unary minus" "-x + 1" (Expr.Unop (Expr.Neg, Expr.var "x") +: Expr.int 1);
+  check_expr "builtins" "min(a, max(b, 3))"
+    (Expr.min_ (Expr.var "a") (Expr.max_ (Expr.var "b") (Expr.int 3)));
+  check_expr "modulo" "x % 32 != 0" (Expr.var "x" %: Expr.int 32 <>: Expr.int 0);
+  check_expr "strings" "precision == \"double\""
+    (Expr.var "precision" =: Expr.string "double")
+
+let test_expr_errors () =
+  let e = parse_err "derived x = 1 +" in
+  Alcotest.(check bool) "line recorded" true (e.Parse.line = 1);
+  ignore (parse_err "iter x = range(1, 2, 3, 4)");
+  ignore (parse_err "derived y = foo(1)");
+  ignore (parse_err "setting s = x + 1");
+  ignore (parse_err "constraint hard c = (1 + 2")
+
+let test_roundtrip_random_exprs () =
+  (* Pretty-print library expressions and re-parse them: semantics must
+     survive (Expr.pp prints fully parenthesized C-style syntax). *)
+  let gen =
+    let open QCheck.Gen in
+    let leaf =
+      oneof
+        [ map (fun k -> Expr.int (abs k)) small_signed_int;
+          oneofl [ Expr.var "u"; Expr.var "v" ] ]
+    in
+    let rec go depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 4,
+              map3
+                (fun op a b -> Expr.Binop (op, a, b))
+                (oneofl
+                   [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Lt; Expr.Le; Expr.Eq;
+                     Expr.And; Expr.Or ])
+                (go (depth - 1)) (go (depth - 1)) );
+            (1, map3 Expr.if_ (go (depth - 1)) (go (depth - 1)) (go (depth - 1)));
+            (1, map2 Expr.min_ (go (depth - 1)) (go (depth - 1)));
+          ]
+    in
+    go 3
+  in
+  let arb = QCheck.make ~print:Expr.to_string gen in
+  let prop =
+    QCheck.Test.make ~name:"pp then parse preserves eval" ~count:500 arb
+      (fun e ->
+        let text = Expr.to_string e in
+        match Parse.expr_of_string text with
+        | Error _ -> false
+        | Ok e' ->
+          let env name =
+            match name with
+            | "u" -> Value.Int 3
+            | "v" -> Value.Int 7
+            | _ -> raise Not_found
+          in
+          Value.equal (Expr.eval env e) (Expr.eval env e'))
+  in
+  match QCheck.Test.check_exn prop with
+  | () -> ()
+  | exception QCheck.Test.Test_fail (_, _) -> Alcotest.fail "roundtrip failed"
+
+let triangle_text =
+  {|
+# the triangle space from the test suite, in the textual notation
+space triangle
+setting n = 8
+iter x = range(0, n)
+iter y = range(x, n)
+derived s = x + y
+constraint hard odd_sum = s % 2 == 1
+constraint soft big_x = x > 5
+|}
+
+let test_triangle_equivalent () =
+  let sp = parse_ok triangle_text in
+  let reference = Support.triangle_space () in
+  let a = Engine_staged.run_space sp and b = Engine_staged.run_space reference in
+  Alcotest.(check int) "same survivors" b.Engine.survivors a.Engine.survivors;
+  Alcotest.(check int) "same iterations" b.Engine.loop_iterations
+    a.Engine.loop_iterations;
+  Alcotest.(check string) "space name" "triangle" (Space.name sp)
+
+let test_declaration_order_free () =
+  let sp =
+    parse_ok
+      {|
+iter inner = range(0, outer)
+iter outer = range(0, 5)
+|}
+  in
+  let s = Engine_staged.run_space sp in
+  Alcotest.(check int) "sum 0..4" 10 s.Engine.survivors
+
+let test_conditional_iterator () =
+  (* The paper's deferred-iterator dispatch as a ternary. *)
+  let run precision =
+    let sp =
+      parse_ok
+        (Printf.sprintf
+           {|
+setting precision = "%s"
+iter vec = precision == "double" ? range(1, 3) : range(1, 5, 3)
+|}
+           precision)
+    in
+    List.map
+      (fun point -> Value.to_int (List.assoc "vec" point))
+      (Sweep.survivors sp)
+  in
+  Alcotest.(check (list int)) "double" [ 1; 2 ] (run "double");
+  Alcotest.(check (list int)) "single" [ 1; 4 ] (run "single")
+
+let test_values_union_single () =
+  let sp =
+    parse_ok
+      {|
+iter fib = values(1, 1, 2, 3, 5, 8, 13)
+iter u = union(values(1, 2), values(2, 3))
+iter s = single(4)
+|}
+  in
+  let s = Engine_staged.run_space sp in
+  (* 7 x 3 x 1 *)
+  Alcotest.(check int) "cardinality" 21 s.Engine.survivors
+
+let test_line_continuation_and_comments () =
+  let sp =
+    parse_ok
+      {|
+# comment line
+iter x = range(0, \
+               10)   # trailing comment
+constraint hard none = x > 100
+|}
+  in
+  let s = Engine_staged.run_space sp in
+  Alcotest.(check int) "10 survivors" 10 s.Engine.survivors
+
+let test_error_line_numbers () =
+  let e =
+    parse_err
+      {|
+iter x = range(0, 5)
+iter y = range(0, 5
+|}
+  in
+  Alcotest.(check int) "error on line 3" 3 e.Parse.line
+
+let test_validation_errors_surface () =
+  let e = parse_err "iter x = range(0, ghost)" in
+  Alcotest.(check bool) "mentions ghost" true
+    (let msg = e.Parse.message in
+     let n = String.length msg and m = 5 in
+     let rec go i = i + m <= n && (String.sub msg i m = "ghost" || go (i + 1)) in
+     go 0)
+
+(* The flagship test: the full GEMM model problem written in the textual
+   notation, checked survivor-for-survivor against the library space. *)
+let gemm_beast_text (d : Device.t) =
+  let caps = Capability.lookup_exn d in
+  Printf.sprintf
+    {|
+space gemm
+# ---- Figure 10: global settings (double real, no transposition) ----
+setting precision  = "double"
+setting arithmetic = "real"
+setting trans_a = 0
+setting trans_b = 0
+# ---- Figure 8: device query (%s) ----
+setting max_threads_per_block = %d
+setting max_threads_dim_x = %d
+setting max_threads_dim_y = %d
+setting max_shared_mem_per_block = %d
+setting warp_size = %d
+setting max_regs_per_block = %d
+setting max_registers_per_multi_processor = %d
+setting max_shmem_per_multi_processor = %d
+setting float_size = %d
+# ---- Figure 9: capability lookup ----
+setting max_blocks_per_multi_processor = %d
+setting max_warps_per_multi_processor = %d
+setting max_registers_per_thread = %d
+# ---- Figure 14 tunables ----
+setting min_threads_per_multi_processor = 256
+setting min_fmas_per_load = 2
+
+# ---- Figure 11: the 15 iterators ----
+iter dim_m = range(1, max_threads_dim_x + 1)
+iter dim_n = range(1, max_threads_dim_y + 1)
+iter blk_m = range(dim_m, max_threads_dim_x + 1, dim_m)
+iter blk_n = range(dim_n, max_threads_dim_y + 1, dim_n)
+iter blk_k = range(1, min(max_threads_dim_x, max_threads_dim_y) + 1)
+iter dim_vec = precision == "double" ? \
+    (arithmetic == "real" ? range(1, 3) : range(1, 2)) : \
+    (arithmetic == "real" ? range(1, 5, 3) : range(1, 3))
+iter vec_mul = range(0, dim_vec == 1 ? 1 : 2)
+iter dim_m_a = trans_a != 0 ? range(1, blk_k / dim_vec + 1) \
+                            : range(1, blk_m / dim_vec + 1)
+iter dim_n_a = trans_a != 0 ? range(1, blk_m + 1) : range(1, blk_k + 1)
+iter dim_m_b = trans_b != 0 ? range(1, blk_n / dim_vec + 1) \
+                            : range(1, blk_k / dim_vec + 1)
+iter dim_n_b = trans_b != 0 ? range(1, blk_k + 1) : range(1, blk_n + 1)
+iter tex_a = range(0, 2)
+iter tex_b = range(0, 2)
+iter shmem_l1 = range(0, 2)
+iter shmem_banks = range(0, 2)
+
+# ---- Figure 12: derived variables ----
+derived threads_per_block = dim_m * dim_n
+derived thr_m = blk_m / dim_m
+derived thr_n = blk_n / dim_n
+derived regs_per_thread = arithmetic == "complex" ? \
+    (precision == "double" ? thr_m * thr_n * 2 * 2 : thr_m * thr_n * 2) : \
+    (precision == "double" ? thr_m * thr_n * 2 : thr_m * thr_n)
+derived regs_per_block = regs_per_thread * threads_per_block
+derived shmem_per_block = arithmetic == "complex" ? \
+    (precision == "double" ? blk_k * (blk_m + blk_n) * float_size * 2 * 2 \
+                           : blk_k * (blk_m + blk_n) * float_size * 2) : \
+    (precision == "double" ? blk_k * (blk_m + blk_n) * float_size * 2 \
+                           : blk_k * (blk_m + blk_n) * float_size)
+derived max_blocks_by_regs = \
+    min(max_registers_per_multi_processor / regs_per_block, max_blocks_per_multi_processor)
+derived max_threads_by_regs = max_blocks_by_regs * threads_per_block
+derived max_blocks_by_shmem = \
+    min(max_shmem_per_multi_processor / shmem_per_block, max_blocks_per_multi_processor)
+derived max_threads_by_shmem = max_blocks_by_shmem * threads_per_block
+derived loads_per_thread = (thr_m + thr_n) * blk_k / dim_vec
+derived loads_per_block = arithmetic == "complex" ? \
+    loads_per_thread * threads_per_block * 2 : loads_per_thread * threads_per_block
+derived fmas_per_thread = thr_m * thr_n * blk_k
+derived fmas_per_block = arithmetic == "complex" ? \
+    fmas_per_thread * threads_per_block * 4 : fmas_per_thread * threads_per_block
+
+# ---- Figure 13: hard constraints ----
+constraint hard over_max_threads = threads_per_block > max_threads_per_block
+constraint hard over_max_regs_per_thread = regs_per_thread > max_registers_per_thread
+constraint hard over_max_regs_per_block = regs_per_block > max_regs_per_block
+constraint hard over_max_shmem = shmem_per_block > max_shared_mem_per_block
+
+# ---- Figure 14: soft constraints ----
+constraint soft low_occupancy_regs = max_threads_by_regs < min_threads_per_multi_processor
+constraint soft low_occupancy_shmem = max_threads_by_shmem < min_threads_per_multi_processor
+constraint soft low_fmas = fmas_per_block < min_fmas_per_load * loads_per_block
+constraint soft partial_warps = threads_per_block %% warp_size != 0
+
+# ---- Figure 15: correctness constraints ----
+constraint correctness cant_reshape_a1 = dim_m_a * dim_n_a != threads_per_block
+constraint correctness cant_reshape_b1 = dim_m_b * dim_n_b != threads_per_block
+constraint correctness cant_reshape_a2 = trans_a != 0 ? \
+    (blk_k %% (dim_m_a * dim_vec) != 0 || blk_m %% dim_n_a != 0) : \
+    (blk_m %% (dim_m_a * dim_vec) != 0 || blk_k %% dim_n_a != 0)
+constraint correctness cant_reshape_b2 = trans_b != 0 ? \
+    (blk_n %% (dim_m_b * dim_vec) != 0 || blk_k %% dim_n_b != 0) : \
+    (blk_k %% (dim_m_b * dim_vec) != 0 || blk_n %% dim_n_b != 0)
+|}
+    d.Device.name d.Device.max_threads_per_block d.Device.max_threads_dim_x
+    d.Device.max_threads_dim_y d.Device.max_shared_mem_per_block
+    d.Device.warp_size d.Device.max_regs_per_block
+    d.Device.max_registers_per_multi_processor
+    d.Device.max_shmem_per_multi_processor d.Device.float_size
+    caps.Capability.max_blocks_per_mp caps.Capability.max_warps_per_mp
+    caps.Capability.max_regs_per_thread
+
+let test_gemm_from_text_matches_library () =
+  let device = Device.scale ~max_dim:16 ~max_threads:64 Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let text_space = parse_ok (gemm_beast_text device) in
+  let lib_space = Gemm.space ~settings () in
+  let collect sp =
+    let acc = ref [] in
+    let on_hit lookup =
+      acc :=
+        List.map (fun n -> Value.to_int (lookup n)) Gemm.iterator_names :: !acc
+    in
+    let stats = Engine_staged.run_space ~on_hit sp in
+    (List.sort compare !acc, stats)
+  in
+  let text_survivors, text_stats = collect text_space in
+  let lib_survivors, lib_stats = collect lib_space in
+  Alcotest.(check int) "same survivor count" lib_stats.Engine.survivors
+    text_stats.Engine.survivors;
+  Alcotest.(check bool) "identical survivor tuples" true
+    (text_survivors = lib_survivors);
+  Alcotest.(check int) "same loop iterations" lib_stats.Engine.loop_iterations
+    text_stats.Engine.loop_iterations
+
+let test_print_roundtrip_triangle () =
+  let sp = Support.triangle_space () in
+  match Print.space_to_string sp with
+  | Error e -> Alcotest.failf "print failed: %a" Print.pp_error e
+  | Ok text ->
+    let sp' = parse_ok text in
+    let a = Engine_staged.run_space sp and b = Engine_staged.run_space sp' in
+    Alcotest.(check int) "survivors" a.Engine.survivors b.Engine.survivors;
+    Alcotest.(check int) "iterations" a.Engine.loop_iterations
+      b.Engine.loop_iterations
+
+let test_print_roundtrip_gemm () =
+  (* The programmatically built GEMM space serializes to text and back
+     without changing the enumeration. *)
+  let device = Device.scale ~max_dim:12 ~max_threads:64 Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let sp = Gemm.space ~settings () in
+  match Print.space_to_string sp with
+  | Error e -> Alcotest.failf "print failed: %a" Print.pp_error e
+  | Ok text ->
+    let sp' = parse_ok text in
+    let a = Engine_staged.run_space sp and b = Engine_staged.run_space sp' in
+    Alcotest.(check int) "survivors" a.Engine.survivors b.Engine.survivors;
+    Alcotest.(check int) "iterations" a.Engine.loop_iterations
+      b.Engine.loop_iterations
+
+let test_print_rejects_closures () =
+  let sp = Support.mixed_space () in
+  match Print.space_to_string sp with
+  | Error (Print.Unprintable _) -> ()
+  | Ok _ -> Alcotest.fail "closure iterator should not print"
+
+let test_parser_never_crashes () =
+  (* Fuzz: arbitrary text must come back Ok or Error, never an
+     exception escaping the API. *)
+  let arb = QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable) in
+  let prop =
+    QCheck.Test.make ~name:"parser totality" ~count:2000 arb (fun text ->
+        match Parse.space_of_string text with
+        | Ok _ | Error _ -> true)
+  in
+  QCheck.Test.check_exn prop
+
+let test_parsed_space_translates_to_c () =
+  let sp = parse_ok triangle_text in
+  match Beast_core.Codegen_c.generate (Plan.make_exn sp) with
+  | Ok source -> Alcotest.(check bool) "generates" true (String.length source > 100)
+  | Error e -> Alcotest.failf "codegen failed: %a" Codegen_c.pp_error e
+
+let () =
+  Alcotest.run "dsl"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence" `Quick test_expr_precedence;
+          Alcotest.test_case "errors" `Quick test_expr_errors;
+          Alcotest.test_case "pp/parse roundtrip" `Quick
+            test_roundtrip_random_exprs;
+        ] );
+      ( "declarations",
+        [
+          Alcotest.test_case "triangle equivalence" `Quick
+            test_triangle_equivalent;
+          Alcotest.test_case "order free" `Quick test_declaration_order_free;
+          Alcotest.test_case "conditional iterator" `Quick
+            test_conditional_iterator;
+          Alcotest.test_case "values/union/single" `Quick
+            test_values_union_single;
+          Alcotest.test_case "continuations and comments" `Quick
+            test_line_continuation_and_comments;
+          Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+          Alcotest.test_case "validation errors" `Quick
+            test_validation_errors_surface;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "GEMM text = GEMM library" `Quick
+            test_gemm_from_text_matches_library;
+          Alcotest.test_case "parsed space to C" `Quick
+            test_parsed_space_translates_to_c;
+          Alcotest.test_case "print roundtrip (triangle)" `Quick
+            test_print_roundtrip_triangle;
+          Alcotest.test_case "print roundtrip (GEMM)" `Quick
+            test_print_roundtrip_gemm;
+          Alcotest.test_case "print rejects closures" `Quick
+            test_print_rejects_closures;
+          Alcotest.test_case "parser totality (fuzz)" `Quick
+            test_parser_never_crashes;
+        ] );
+    ]

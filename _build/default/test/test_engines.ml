@@ -1,0 +1,338 @@
+open Beast_core
+
+let engines_on sp =
+  let plan = Plan.make_exn sp in
+  [
+    ("interp-naive", (Engine_interp.run ~variant:`Naive sp).Engine.survivors);
+    ("interp-hoisted", (Engine_interp.run ~variant:`Hoisted sp).Engine.survivors);
+    ("vm", (Engine_vm.run_plan plan).Engine.survivors);
+    ("staged", (Engine_staged.run plan).Engine.survivors);
+    ("parallel-1", (Engine_parallel.run ~domains:1 plan).Engine.survivors);
+    ("parallel-3", (Engine_parallel.run ~domains:3 plan).Engine.survivors);
+  ]
+
+let check_all_engines sp =
+  let expected = Support.survivor_count sp in
+  List.iter
+    (fun (name, got) ->
+      Alcotest.(check int) (name ^ " survivors") expected got)
+    (engines_on sp)
+
+let test_triangle_agreement () = check_all_engines (Support.triangle_space ())
+let test_mixed_agreement () = check_all_engines (Support.mixed_space ())
+
+let test_triangle_exact () =
+  (* x in 0..7, y in x..7, prune odd x+y and x>5: count by hand. *)
+  let count = ref 0 in
+  for x = 0 to 7 do
+    for y = x to 7 do
+      if (x + y) mod 2 = 0 && x <= 5 then incr count
+    done
+  done;
+  let s = Engine_staged.run_space (Support.triangle_space ()) in
+  Alcotest.(check int) "hand count" !count s.Engine.survivors
+
+let test_stats_pruned_counts () =
+  (* big_x depends only on x, so hoisting lifts it to depth 1: it fires
+     once per rejected x (2 times) and the y loop never opens there.
+     odd_sum sits at depth 2 and fires per surviving (x, y) pair with an
+     odd sum. *)
+  let s = Engine_staged.run_space (Support.triangle_space ()) in
+  let fired name =
+    let _, _, k =
+      List.find (fun (n, _, _) -> n = name) (Array.to_list s.Engine.pruned)
+    in
+    k
+  in
+  let odd = ref 0 in
+  for x = 0 to 5 do
+    for y = x to 7 do
+      if (x + y) mod 2 = 1 then incr odd
+    done
+  done;
+  Alcotest.(check int) "big_x fired once per pruned subtree" 2 (fired "big_x");
+  Alcotest.(check int) "odd_sum fired" !odd (fired "odd_sum");
+  (* x loop: 8 entries; y loop opens only for x <= 5: 8+7+6+5+4+3 = 33. *)
+  Alcotest.(check int) "loop iterations" (8 + 33) s.Engine.loop_iterations
+
+let test_vm_staged_stats_identical () =
+  let plan = Plan.make_exn (Support.mixed_space ()) in
+  Alcotest.check Support.stats_testable "vm = staged"
+    (Engine_staged.run plan) (Engine_vm.run_plan plan)
+
+let test_parallel_stats_match_sequential () =
+  let plan = Plan.make_exn (Support.triangle_space ()) in
+  let seq = Engine_staged.run plan in
+  let par = Engine_parallel.run ~domains:4 plan in
+  Alcotest.(check int) "survivors" seq.Engine.survivors par.Engine.survivors;
+  Alcotest.(check int) "pruned total" (Engine.total_pruned seq)
+    (Engine.total_pruned par)
+
+let test_on_hit_receives_bindings () =
+  let acc = ref [] in
+  let on_hit lookup =
+    acc := (Value.to_int (lookup "x"), Value.to_int (lookup "y"),
+            Value.to_int (lookup "s")) :: !acc
+  in
+  ignore (Engine_staged.run_space ~on_hit (Support.triangle_space ()));
+  Alcotest.(check bool) "every hit satisfies constraints" true
+    (List.for_all (fun (x, y, s) -> s = x + y && s mod 2 = 0 && x <= 5) !acc);
+  let expected = Support.survivor_count (Support.triangle_space ()) in
+  Alcotest.(check int) "hit count" expected (List.length !acc)
+
+let test_on_hit_matches_brute_force () =
+  let sp = Support.mixed_space () in
+  let expected =
+    List.map
+      (fun bindings -> List.map (fun (n, v) -> (n, Value.to_int v)) bindings)
+      (Support.brute_force sp)
+  in
+  let plan = Plan.make_exn sp in
+  let got = ref [] in
+  let on_hit lookup =
+    got :=
+      List.map
+        (fun n -> (n, Value.to_int (lookup n)))
+        plan.Plan.iter_order
+      :: !got
+  in
+  ignore (Engine_staged.run ~on_hit plan);
+  let norm l = List.sort compare l in
+  Alcotest.(check bool) "same survivor set" true
+    (norm expected = norm (List.rev !got))
+
+let test_empty_space () =
+  (* A space with no iterators has exactly one (empty) point. *)
+  let sp = Space.create () in
+  let s = Engine_staged.run_space sp in
+  Alcotest.(check int) "one point" 1 s.Engine.survivors;
+  (* And a depth-0 constraint can prune it. *)
+  let sp = Space.create () in
+  Space.constrain sp "never" (Expr.bool true);
+  let s = Engine_staged.run_space sp in
+  Alcotest.(check int) "zero points" 0 s.Engine.survivors
+
+let test_empty_iterator () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 5 5);
+  Space.iterator sp "y" (Iter.range_i 0 10);
+  let s = Engine_staged.run_space sp in
+  Alcotest.(check int) "no points" 0 s.Engine.survivors;
+  Alcotest.(check int) "outer loop never iterates" 0 s.Engine.loop_iterations
+
+let test_division_by_zero_propagates () =
+  let open Expr.Infix in
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 3);
+  Space.derived sp "bad" (Expr.int 1 /: Expr.var "x");
+  Alcotest.check_raises "staged raises" Division_by_zero (fun () ->
+      ignore (Engine_staged.run_space sp));
+  Alcotest.check_raises "vm raises" Division_by_zero (fun () ->
+      ignore (Engine_vm.run_space sp))
+
+let test_dynamic_algebra_iterators () =
+  (* Union/intersection/filter with iterator-dependent operands exercise
+     the CDyn lowering in every engine. *)
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 1 6);
+  Space.iterator sp "u"
+    (Iter.union (Iter.upto (Expr.var "x")) (Iter.ints [ 7; 9 ]));
+  Space.iterator sp "f"
+    (Iter.filter
+       (fun v -> Value.to_int v mod 2 = 0)
+       (Iter.concat (Iter.upto (Expr.var "u")) (Iter.ints [ 10 ])));
+  check_all_engines sp
+
+let test_negative_values_everywhere () =
+  let open Expr.Infix in
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i (-5) 6);
+  Space.iterator sp "y" (Iter.range ~step:(Expr.int (-2)) (Expr.int 5) (Expr.var "x"));
+  Space.derived sp "d" (Expr.var "x" *: Expr.var "y");
+  Space.constrain sp "negprod" (Expr.var "d" <: Expr.int 0);
+  check_all_engines sp
+
+let test_vm_disassembly () =
+  let plan = Plan.make_exn (Support.triangle_space ()) in
+  let prog = Engine_vm.compile plan in
+  let text = Engine_vm.disassemble prog in
+  Alcotest.(check bool) "has instructions" true
+    (Engine_vm.instruction_count prog > 10);
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prune instruction" true (contains "prune");
+  Alcotest.(check bool) "hit instruction" true (contains "hit");
+  Alcotest.(check bool) "trip instruction" true (contains "trip")
+
+let test_deep_nest () =
+  (* Eight nested dependent loops; checks engines handle depth. *)
+  let sp = Space.create () in
+  Space.iterator sp "x0" (Iter.range_i 1 3);
+  for i = 1 to 7 do
+    Space.iterator sp
+      (Printf.sprintf "x%d" i)
+      (Iter.range (Expr.int 0) (Expr.var (Printf.sprintf "x%d" (i - 1))))
+  done;
+  check_all_engines sp
+
+(* Property: random small spaces agree across engines and match the
+   brute-force reference. *)
+let gen_space =
+  let open QCheck.Gen in
+  let gen_bound prev =
+    match prev with
+    | [] -> map (fun k -> Expr.int (1 + k)) (int_range 0 4)
+    | _ ->
+      oneof
+        [
+          map (fun k -> Expr.int (1 + k)) (int_range 0 4);
+          map
+            (fun i -> Expr.var (List.nth prev (i mod List.length prev)))
+            (int_range 0 10);
+        ]
+  in
+  let gen_expr_over names =
+    let open Expr.Infix in
+    oneofl names >>= fun a ->
+    oneofl names >>= fun b ->
+    oneofl
+      [
+        Expr.var a +: Expr.var b;
+        Expr.var a *: Expr.int 2;
+        Expr.max_ (Expr.var a) (Expr.var b);
+        (Expr.var a %: Expr.int 3) =: Expr.int 0;
+        Expr.var a <=: Expr.var b;
+      ]
+  in
+  int_range 1 4 >>= fun n_iters ->
+  let rec build_iters i prev acc =
+    if i = n_iters then return (List.rev acc)
+    else
+      gen_bound prev >>= fun stop ->
+      let name = Printf.sprintf "i%d" i in
+      build_iters (i + 1) (name :: prev) ((name, stop) :: acc)
+  in
+  build_iters 0 [] [] >>= fun iters ->
+  let names = List.map fst iters in
+  gen_expr_over names >>= fun dv ->
+  int_range 0 2 >>= fun n_cons ->
+  list_repeat n_cons (gen_expr_over ("d0" :: names)) >>= fun cons ->
+  return (iters, dv, cons)
+
+let space_of (iters, dv, cons) =
+  let sp = Space.create () in
+  List.iter (fun (n, stop) -> Space.iterator sp n (Iter.range (Expr.int 0) stop)) iters;
+  Space.derived sp "d0" dv;
+  List.iteri
+    (fun i e -> Space.constrain sp (Printf.sprintf "c%d" i) e)
+    cons;
+  sp
+
+let arb_space =
+  QCheck.make
+    ~print:(fun (iters, dv, cons) ->
+      let b = Buffer.create 128 in
+      List.iter
+        (fun (n, e) -> Buffer.add_string b (Printf.sprintf "%s in 0..%s; " n (Expr.to_string e)))
+        iters;
+      Buffer.add_string b ("d0 = " ^ Expr.to_string dv ^ "; ");
+      List.iteri
+        (fun i e ->
+          Buffer.add_string b (Printf.sprintf "c%d: %s; " i (Expr.to_string e)))
+        cons;
+      Buffer.contents b)
+    gen_space
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"all engines match brute force" ~count:200 arb_space
+    (fun descr ->
+      let expected = Support.survivor_count (space_of descr) in
+      List.for_all (fun (_, got) -> got = expected) (engines_on (space_of descr)))
+
+let prop_vm_staged_stats =
+  QCheck.Test.make ~name:"vm and staged produce identical stats" ~count:200
+    arb_space (fun descr ->
+      let plan = Plan.make_exn (space_of descr) in
+      let a = Engine_staged.run plan and b = Engine_vm.run_plan plan in
+      a = b)
+
+let prop_hoisting_preserves_semantics =
+  QCheck.Test.make ~name:"hoisting never changes the survivor set" ~count:150
+    arb_space (fun descr ->
+      let sp = space_of descr in
+      let hoisted = Engine_staged.run (Plan.make_exn ~hoist:true sp) in
+      let flat = Engine_staged.run (Plan.make_exn ~hoist:false sp) in
+      hoisted.Engine.survivors = flat.Engine.survivors)
+
+let prop_constraint_subsets_monotone =
+  QCheck.Test.make ~name:"removing constraints never removes survivors"
+    ~count:150 arb_space (fun descr ->
+      let sp = space_of descr in
+      let all = (Engine_staged.run_space sp).Engine.survivors in
+      let none =
+        (Engine_staged.run_space (Space.filter_constraints sp ~keep:(fun _ -> false)))
+          .Engine.survivors
+      in
+      none >= all)
+
+let prop_slices_partition =
+  QCheck.Test.make ~name:"parallel slices partition the space" ~count:100
+    arb_space (fun descr ->
+      let plan = Plan.make_exn (space_of descr) in
+      let full = (Engine_staged.run plan).Engine.survivors in
+      let parts =
+        List.init 4 (fun index ->
+            (Engine_staged.run (Plan.slice_outer plan ~index ~of_:4))
+              .Engine.survivors)
+      in
+      full = List.fold_left ( + ) 0 parts)
+
+let () =
+  Alcotest.run "engines"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "triangle space" `Quick test_triangle_agreement;
+          Alcotest.test_case "mixed space" `Quick test_mixed_agreement;
+          Alcotest.test_case "triangle exact count" `Quick test_triangle_exact;
+          Alcotest.test_case "deep nest" `Quick test_deep_nest;
+          Alcotest.test_case "dynamic iterator algebra" `Quick
+            test_dynamic_algebra_iterators;
+          Alcotest.test_case "negative values" `Quick
+            test_negative_values_everywhere;
+          Alcotest.test_case "vm disassembly" `Quick test_vm_disassembly;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "pruned counts" `Quick test_stats_pruned_counts;
+          Alcotest.test_case "vm = staged stats" `Quick
+            test_vm_staged_stats_identical;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_stats_match_sequential;
+        ] );
+      ( "callbacks",
+        [
+          Alcotest.test_case "on_hit bindings" `Quick test_on_hit_receives_bindings;
+          Alcotest.test_case "on_hit matches brute force" `Quick
+            test_on_hit_matches_brute_force;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty space" `Quick test_empty_space;
+          Alcotest.test_case "empty iterator" `Quick test_empty_iterator;
+          Alcotest.test_case "division by zero" `Quick
+            test_division_by_zero_propagates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engines_agree;
+            prop_vm_staged_stats;
+            prop_slices_partition;
+            prop_hoisting_preserves_semantics;
+            prop_constraint_subsets_monotone;
+          ] );
+    ]

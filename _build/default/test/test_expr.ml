@@ -1,0 +1,189 @@
+open Beast_core
+open Expr.Infix
+
+let env_of bindings name = List.assoc name bindings
+
+let check_eval msg env e expected =
+  Alcotest.(check bool)
+    msg true
+    (Value.equal (Expr.eval env e) expected)
+
+let test_literals_and_vars () =
+  let env = env_of [ ("x", Value.Int 5) ] in
+  check_eval "literal" env (Expr.int 3) (Value.Int 3);
+  check_eval "variable" env (Expr.var "x") (Value.Int 5);
+  Alcotest.check_raises "unbound"
+    (Expr.Eval_error "unbound variable y")
+    (fun () -> ignore (Expr.eval env (Expr.var "y")))
+
+let test_arithmetic () =
+  let env = env_of [ ("x", Value.Int 7); ("y", Value.Int 3) ] in
+  check_eval "x+y" env (Expr.var "x" +: Expr.var "y") (Value.Int 10);
+  check_eval "x/y truncates" env (Expr.var "x" /: Expr.var "y") (Value.Int 2);
+  check_eval "x%y" env (Expr.var "x" %: Expr.var "y") (Value.Int 1);
+  check_eval "nested" env
+    ((Expr.var "x" +: Expr.int 1) *: Expr.var "y")
+    (Value.Int 24)
+
+let test_relations () =
+  let env = env_of [ ("x", Value.Int 7) ] in
+  check_eval "lt" env (Expr.var "x" <: Expr.int 8) (Value.Bool true);
+  check_eval "ge" env (Expr.var "x" >=: Expr.int 8) (Value.Bool false);
+  check_eval "eq str" env
+    (Expr.string "double" =: Expr.string "double")
+    (Value.Bool true)
+
+let test_short_circuit () =
+  (* The right operand would divide by zero; short-circuiting must
+     protect it, as the paper highlights in Section VIII-A. *)
+  let env = env_of [ ("d", Value.Int 0); ("x", Value.Int 4) ] in
+  let divides = Expr.var "x" %: Expr.var "d" =: Expr.int 0 in
+  check_eval "and short-circuits" env
+    (Expr.var "d" <>: Expr.int 0 &&: divides)
+    (Value.Bool false);
+  check_eval "or short-circuits" env
+    (Expr.var "d" =: Expr.int 0 ||: divides)
+    (Value.Bool true);
+  Alcotest.check_raises "strict eval raises" Division_by_zero (fun () ->
+      ignore (Expr.eval env divides))
+
+let test_if () =
+  let env = env_of [ ("p", Value.Str "double") ] in
+  let e =
+    Expr.if_ (Expr.var "p" =: Expr.string "double") (Expr.int 2) (Expr.int 1)
+  in
+  check_eval "if true branch" env e (Value.Int 2);
+  let env = env_of [ ("p", Value.Str "single") ] in
+  check_eval "if false branch" env e (Value.Int 1)
+
+let test_builtins () =
+  let env = env_of [] in
+  check_eval "min" env (Expr.min_ (Expr.int 3) (Expr.int 5)) (Value.Int 3);
+  check_eval "max" env (Expr.max_ (Expr.int 3) (Expr.int 5)) (Value.Int 5);
+  check_eval "abs" env (Expr.abs_ (Expr.int (-4))) (Value.Int 4);
+  check_eval "ceil_div" env (Expr.ceil_div (Expr.int 7) (Expr.int 2)) (Value.Int 4)
+
+let test_free_vars () =
+  let e = (Expr.var "b" +: Expr.var "a") *: Expr.var "b" in
+  Alcotest.(check (list string)) "sorted dedup" [ "a"; "b" ] (Expr.free_vars e);
+  Alcotest.(check (list string)) "literal none" [] (Expr.free_vars (Expr.int 1));
+  let e = Expr.if_ (Expr.var "c") (Expr.var "t") (Expr.var "f") in
+  Alcotest.(check (list string)) "if collects all" [ "c"; "f"; "t" ]
+    (Expr.free_vars e)
+
+let test_subst_simplify () =
+  let resolve = function
+    | "precision" -> Some (Value.Str "double")
+    | _ -> None
+  in
+  let e =
+    Expr.if_
+      (Expr.var "precision" =: Expr.string "double")
+      (Expr.var "x" *: Expr.int 2)
+      (Expr.var "x")
+  in
+  let folded = Expr.simplify (Expr.subst resolve e) in
+  Alcotest.(check bool)
+    "settings fold selects branch" true
+    (Expr.equal folded (Expr.var "x" *: Expr.int 2));
+  let const = Expr.simplify (Expr.int 2 +: (Expr.int 3 *: Expr.int 4)) in
+  Alcotest.(check bool) "constant folding" true (Expr.equal const (Expr.int 14))
+
+let test_simplify_short_circuit () =
+  (* (false && anything) folds even when `anything` is not constant. *)
+  let e = Expr.bool false &&: (Expr.var "x" /: Expr.int 0 =: Expr.int 1) in
+  Alcotest.(check bool)
+    "false && _ folds to false" true
+    (Expr.equal (Expr.simplify e) (Expr.bool false));
+  let e = Expr.bool true ||: Expr.var "x" in
+  Alcotest.(check bool)
+    "true || _ folds to true" true
+    (Expr.equal (Expr.simplify e) (Expr.bool true))
+
+let test_pp () =
+  let e = (Expr.var "a" +: Expr.int 1) <=: Expr.var "b" in
+  Alcotest.(check string) "render" "((a + 1) <= b)" (Expr.to_string e)
+
+(* Random expression generator over a fixed set of variables; evaluation
+   domain is kept positive and small to avoid division by zero. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Expr.int (1 + abs i)) small_signed_int;
+        oneofl [ Expr.var "u"; Expr.var "v" ];
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map3
+              (fun op a b -> Expr.Binop (op, a, b))
+              (oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Lt; Expr.Le; Expr.Eq ])
+              (go (depth - 1)) (go (depth - 1)) );
+          ( 1,
+            map3
+              (fun c t f -> Expr.if_ c t f)
+              (go (depth - 1)) (go (depth - 1)) (go (depth - 1)) );
+          (1, map2 Expr.min_ (go (depth - 1)) (go (depth - 1)));
+          (1, map2 Expr.max_ (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 4
+
+let arb_expr = QCheck.make ~print:Expr.to_string gen_expr
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:1000 arb_expr
+    (fun e ->
+      let env = env_of [ ("u", Value.Int 3); ("v", Value.Int 7) ] in
+      Value.equal (Expr.eval env e) (Expr.eval env (Expr.simplify e)))
+
+let prop_subst_closes =
+  QCheck.Test.make ~name:"subst removes resolved vars" ~count:500 arb_expr
+    (fun e ->
+      let resolve = function
+        | "u" -> Some (Value.Int 3)
+        | _ -> None
+      in
+      not (List.mem "u" (Expr.free_vars (Expr.subst resolve e))))
+
+let prop_free_vars_sorted =
+  QCheck.Test.make ~name:"free_vars sorted and unique" ~count:500 arb_expr
+    (fun e ->
+      let fv = Expr.free_vars e in
+      List.sort_uniq String.compare fv = fv)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "literals and vars" `Quick test_literals_and_vars;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "relations" `Quick test_relations;
+          Alcotest.test_case "short-circuit" `Quick test_short_circuit;
+          Alcotest.test_case "if" `Quick test_if;
+          Alcotest.test_case "builtins" `Quick test_builtins;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "free_vars" `Quick test_free_vars;
+          Alcotest.test_case "subst+simplify" `Quick test_subst_simplify;
+          Alcotest.test_case "simplify short-circuit" `Quick
+            test_simplify_short_circuit;
+          Alcotest.test_case "pretty-print" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplify_preserves_semantics;
+            prop_subst_closes;
+            prop_free_vars_sorted;
+          ] );
+    ]

@@ -1,0 +1,316 @@
+open Beast_gpu
+
+(* Figure 8: every listed value for the Tesla K40c. *)
+let test_figure8_values () =
+  let d = Device.tesla_k40c in
+  Alcotest.(check int) "max_threads_per_block" 1024 d.Device.max_threads_per_block;
+  Alcotest.(check int) "max_threads_dim_x" 1024 d.Device.max_threads_dim_x;
+  Alcotest.(check int) "max_threads_dim_y" 1024 d.Device.max_threads_dim_y;
+  Alcotest.(check int) "max_shared_mem_per_block" 49152
+    d.Device.max_shared_mem_per_block;
+  Alcotest.(check int) "warp_size" 32 d.Device.warp_size;
+  Alcotest.(check int) "max_regs_per_block" 65536 d.Device.max_regs_per_block;
+  Alcotest.(check int) "max_threads_per_multi_processor" 2048
+    d.Device.max_threads_per_multi_processor;
+  Alcotest.(check int) "cudamajor" 3 d.Device.cuda_major;
+  Alcotest.(check int) "cudaminor" 5 d.Device.cuda_minor;
+  Alcotest.(check int) "max_registers_per_multi_processor" 65536
+    d.Device.max_registers_per_multi_processor;
+  Alcotest.(check int) "max_shmem_per_multi_processor" 49152
+    d.Device.max_shmem_per_multi_processor;
+  Alcotest.(check int) "float_size" 4 d.Device.float_size
+
+(* Figure 9: the compute-capability lookups the paper performs. *)
+let test_figure9_k40c_lookup () =
+  let caps = Capability.lookup_exn Device.tesla_k40c in
+  Alcotest.(check int) "max_blocks_per_multi_processor" 16
+    caps.Capability.max_blocks_per_mp;
+  Alcotest.(check int) "max_warps_per_multi_processor" 64
+    caps.Capability.max_warps_per_mp;
+  Alcotest.(check int) "max_registers_per_thread" 255
+    caps.Capability.max_regs_per_thread
+
+let test_figure9_table_entries () =
+  let check_entry f major minor expected =
+    match f ~major ~minor with
+    | Ok v -> Alcotest.(check int) (Printf.sprintf "cc %d.%d" major minor) expected v
+    | Error e -> Alcotest.failf "unexpected: %a" Capability.pp_error e
+  in
+  (* Fermi (2.0): 8 blocks, 48 warps, 63 regs. *)
+  check_entry Capability.max_blocks_per_multi_processor 2 0 8;
+  check_entry Capability.max_warps_per_multi_processor 2 0 48;
+  check_entry Capability.max_registers_per_thread 2 0 63;
+  (* Kepler 3.0: 16 blocks, 64 warps, 63 regs. *)
+  check_entry Capability.max_blocks_per_multi_processor 3 0 16;
+  check_entry Capability.max_warps_per_multi_processor 3 0 64;
+  check_entry Capability.max_registers_per_thread 3 0 63;
+  (* cc 1.2: 32 warps, 128 regs. *)
+  check_entry Capability.max_warps_per_multi_processor 1 2 32;
+  check_entry Capability.max_registers_per_thread 1 0 128
+
+let test_figure9_holes () =
+  (* -1 entries are errors, exactly as in the table. *)
+  (match Capability.max_blocks_per_multi_processor ~major:3 ~minor:2 with
+  | Error (Capability.Unknown_capability (3, 2)) -> ()
+  | _ -> Alcotest.fail "cc 3.2 should be unknown");
+  match Capability.max_warps_per_multi_processor ~major:0 ~minor:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cc 0.0 should be unknown"
+
+let test_peak_gflops () =
+  (* K40c: 15 SMX x 192 cores x 745 MHz x 2 = 4291 sp, /3 = 1430 dp. *)
+  let sp = Device.peak_gflops Device.tesla_k40c Device.Single in
+  let dp = Device.peak_gflops Device.tesla_k40c Device.Double in
+  Alcotest.(check bool) "sp near 4291" true (abs_float (sp -. 4291.2) < 1.0);
+  Alcotest.(check bool) "dp near 1430" true (abs_float (dp -. 1430.4) < 1.0)
+
+let test_element_size () =
+  let d = Device.tesla_k40c in
+  Alcotest.(check int) "sreal" 4 (Device.element_size d Device.Single Device.Real);
+  Alcotest.(check int) "dreal" 8 (Device.element_size d Device.Double Device.Real);
+  Alcotest.(check int) "scomplex" 8
+    (Device.element_size d Device.Single Device.Complex);
+  Alcotest.(check int) "dcomplex" 16
+    (Device.element_size d Device.Double Device.Complex)
+
+let test_scale () =
+  let s = Device.scale ~max_dim:64 ~max_threads:256 Device.tesla_k40c in
+  Alcotest.(check int) "dim capped" 64 s.Device.max_threads_dim_x;
+  Alcotest.(check int) "threads capped" 256 s.Device.max_threads_per_block;
+  Alcotest.(check int) "perf untouched" 15 s.Device.n_multi_processors
+
+let test_presets () =
+  Alcotest.(check int) "4 presets" 4 (List.length Device.presets);
+  Alcotest.(check bool) "find k40c" true (Device.find "k40c" <> None);
+  Alcotest.(check bool) "find unknown" true (Device.find "h100" = None);
+  (* Every preset has a valid capability entry. *)
+  List.iter
+    (fun (_, d) -> ignore (Capability.lookup_exn d))
+    Device.presets
+
+(* ---- occupancy calculator ---- *)
+
+let usage threads regs shmem =
+  {
+    Occupancy.threads_per_block = threads;
+    regs_per_thread = regs;
+    shmem_per_block = shmem;
+  }
+
+let calc u = Occupancy.calculate_exn Device.tesla_k40c u
+
+let test_occupancy_full () =
+  (* 256 threads, 32 regs, 12KB shared: regs allow 8 blocks, shmem 4,
+     warps 8, hw 16 -> 4 blocks, 32 warps, occupancy 0.5. *)
+  let r = calc (usage 256 32 12288) in
+  Alcotest.(check int) "warps per block" 8 r.Occupancy.warps_per_block;
+  Alcotest.(check int) "blocks by warps" 8 r.Occupancy.blocks_by_warps;
+  Alcotest.(check int) "blocks by regs" 8 r.Occupancy.blocks_by_regs;
+  Alcotest.(check int) "blocks by shmem" 4 r.Occupancy.blocks_by_shmem;
+  Alcotest.(check int) "active blocks" 4 r.Occupancy.active_blocks;
+  Alcotest.(check (float 1e-9)) "occupancy" 0.5 r.Occupancy.occupancy;
+  Alcotest.(check string) "limiter" "shared-memory" (Occupancy.limiting_factor r)
+
+let test_occupancy_reg_limited () =
+  (* 1024 threads at 64 regs = 65536 regs/block -> exactly 1 block. *)
+  let r = calc (usage 1024 64 0) in
+  Alcotest.(check int) "one block" 1 r.Occupancy.active_blocks;
+  Alcotest.(check (float 1e-9)) "half occupancy" 0.5 r.Occupancy.occupancy
+
+let test_occupancy_hw_limited () =
+  (* Tiny blocks: the 16-block hardware limit binds. *)
+  let r = calc (usage 32 8 0) in
+  Alcotest.(check int) "hw blocks" 16 r.Occupancy.active_blocks;
+  Alcotest.(check string) "limiter" "hardware" (Occupancy.limiting_factor r);
+  Alcotest.(check (float 1e-9)) "quarter occupancy" 0.25 r.Occupancy.occupancy
+
+let test_occupancy_infeasible () =
+  let err u =
+    match Occupancy.calculate Device.tesla_k40c u with
+    | Error e -> Occupancy.infeasible_name e
+    | Ok _ -> "ok"
+  in
+  Alcotest.(check string) "too many threads" "too many threads per block"
+    (err (usage 2048 16 0));
+  Alcotest.(check string) "too many regs/thread"
+    "too many registers per thread" (err (usage 32 256 0));
+  Alcotest.(check string) "too much shmem" "too much shared memory per block"
+    (err (usage 32 16 65536));
+  Alcotest.(check string) "empty block" "empty block" (err (usage 0 16 0));
+  Alcotest.(check string) "too many regs/block"
+    "too many registers per block" (err (usage 1024 65 0))
+
+let test_occupancy_partial_warp_rounds_up () =
+  let r = calc (usage 33 16 0) in
+  Alcotest.(check int) "2 warps for 33 threads" 2 r.Occupancy.warps_per_block
+
+let prop_occupancy_bounded =
+  QCheck.Test.make ~name:"occupancy in (0, 1]" ~count:500
+    QCheck.(triple (int_range 1 1024) (int_range 0 255) (int_range 0 49152))
+    (fun (threads, regs, shmem) ->
+      match Occupancy.calculate Device.tesla_k40c (usage threads regs shmem) with
+      | Error _ -> true
+      | Ok r -> r.Occupancy.occupancy > 0.0 && r.Occupancy.occupancy <= 1.0)
+
+let prop_occupancy_monotone_regs =
+  QCheck.Test.make ~name:"more registers never raise occupancy" ~count:300
+    QCheck.(pair (int_range 1 512) (int_range 1 127))
+    (fun (threads, regs) ->
+      match
+        ( Occupancy.calculate Device.tesla_k40c (usage threads regs 0),
+          Occupancy.calculate Device.tesla_k40c (usage threads (regs * 2) 0) )
+      with
+      | Ok a, Ok b -> b.Occupancy.occupancy <= a.Occupancy.occupancy
+      | _ -> true)
+
+(* ---- perf model + sim ---- *)
+
+let good_dgemm =
+  {
+    Perf_model.precision = Device.Double;
+    arithmetic = Device.Real;
+    trans_a = false;
+    trans_b = false;
+    dim_m = 16;
+    dim_n = 16;
+    blk_m = 96;
+    blk_n = 96;
+    blk_k = 16;
+    dim_vec = 2;
+    vec_mul = 1;
+    dim_m_a = 16;
+    dim_n_a = 16;
+    dim_m_b = 8;
+    dim_n_b = 32;
+    tex_a = 0;
+    tex_b = 0;
+    shmem_l1 = 0;
+    shmem_banks = 1;
+  }
+
+let test_perf_model_good_config () =
+  let b = Perf_model.evaluate Device.tesla_k40c good_dgemm in
+  let peak = Device.peak_gflops Device.tesla_k40c Device.Double in
+  Alcotest.(check bool) "substantial fraction of peak" true
+    (b.Perf_model.gflops > 0.5 *. peak && b.Perf_model.gflops <= peak)
+
+let test_perf_model_degenerate_configs () =
+  let tiny = { good_dgemm with Perf_model.blk_m = 8; blk_n = 8; blk_k = 8;
+               dim_m = 8; dim_n = 8 } in
+  let good = Perf_model.gflops Device.tesla_k40c good_dgemm in
+  let small = Perf_model.gflops Device.tesla_k40c tiny in
+  Alcotest.(check bool) "tiny tiles lose" true (small < 0.5 *. good);
+  (* Non-dividing block shape scores zero. *)
+  let broken = { good_dgemm with Perf_model.blk_m = 97 } in
+  Alcotest.(check (float 0.0)) "broken scores 0" 0.0
+    (Perf_model.gflops Device.tesla_k40c broken)
+
+let test_perf_model_infeasible_zero () =
+  (* Excessive shared memory demand -> occupancy rejects -> 0. *)
+  let huge = { good_dgemm with Perf_model.blk_m = 512; blk_n = 512 } in
+  Alcotest.(check (float 0.0)) "infeasible 0" 0.0
+    (Perf_model.gflops Device.tesla_k40c huge)
+
+let test_perf_model_memory_bound_small_tiles () =
+  let thin = { good_dgemm with Perf_model.blk_m = 16; blk_n = 16;
+               dim_m = 8; dim_n = 8; blk_k = 8 } in
+  let b = Perf_model.evaluate Device.tesla_k40c thin in
+  Alcotest.(check bool) "memory roofline binds" true
+    (b.Perf_model.memory_gflops < b.Perf_model.compute_gflops)
+
+let test_perf_model_figure12_formulas () =
+  Alcotest.(check int) "shmem: blk_k*(blk_m+blk_n)*4*2 for double"
+    (16 * (96 + 96) * 4 * 2)
+    (Perf_model.shmem_per_block good_dgemm);
+  (* thr 6x6 doubles -> 72 words + overhead. *)
+  Alcotest.(check bool) "regs include accumulator" true
+    (Perf_model.regs_per_thread good_dgemm >= 72)
+
+let test_sim_runs () =
+  match Sim.simulate Device.tesla_k40c good_dgemm with
+  | None -> Alcotest.fail "good config must simulate"
+  | Some r ->
+    let peak = Device.peak_gflops Device.tesla_k40c Device.Double in
+    Alcotest.(check bool) "positive" true (r.Sim.gflops > 0.0);
+    Alcotest.(check bool) "below peak" true (r.Sim.gflops <= peak);
+    Alcotest.(check int) "stripes" (4096 / 16) r.Sim.stripes;
+    Alcotest.(check bool) "resident blocks" true (r.Sim.resident_blocks >= 1)
+
+let test_sim_agrees_on_ordering () =
+  (* The two estimators must agree that the good config beats the tiny
+     one by a wide margin. *)
+  let tiny = { good_dgemm with Perf_model.blk_m = 8; blk_n = 8; blk_k = 4;
+               dim_m = 4; dim_n = 8 } in
+  let pm_good = Perf_model.gflops Device.tesla_k40c good_dgemm in
+  let pm_tiny = Perf_model.gflops Device.tesla_k40c tiny in
+  let sim_good = Sim.gflops Device.tesla_k40c good_dgemm in
+  let sim_tiny = Sim.gflops Device.tesla_k40c tiny in
+  Alcotest.(check bool) "perf model orders" true (pm_good > 2.0 *. pm_tiny);
+  Alcotest.(check bool) "sim orders" true (sim_good > 2.0 *. sim_tiny)
+
+let test_sim_infeasible () =
+  let huge = { good_dgemm with Perf_model.blk_m = 512; blk_n = 512 } in
+  Alcotest.(check bool) "None" true (Sim.simulate Device.tesla_k40c huge = None)
+
+let test_baseline_shapes () =
+  let d = Device.tesla_k40c in
+  let big = Baseline.gemm_gflops d Device.Double Device.Real ~n:8192 in
+  let small = Baseline.gemm_gflops d Device.Double Device.Real ~n:128 in
+  let peak = Device.peak_gflops d Device.Double in
+  Alcotest.(check bool) "large-n solid fraction" true
+    (big > 0.6 *. peak && big < 0.8 *. peak);
+  Alcotest.(check bool) "small-n ramps down" true (small < 0.5 *. big);
+  (* Batched baselines collapse for tiny matrices. *)
+  let tiny_batched = Baseline.batched_cholesky_gflops d Device.Double ~n:16 ~batch:10000 in
+  Alcotest.(check bool) "tiny batched is slow" true (tiny_batched < 0.02 *. peak)
+
+let () =
+  Alcotest.run "gpu"
+    [
+      ( "device (Fig. 8)",
+        [
+          Alcotest.test_case "K40c query values" `Quick test_figure8_values;
+          Alcotest.test_case "peak gflops" `Quick test_peak_gflops;
+          Alcotest.test_case "element size" `Quick test_element_size;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "presets" `Quick test_presets;
+        ] );
+      ( "capability (Fig. 9)",
+        [
+          Alcotest.test_case "K40c lookup" `Quick test_figure9_k40c_lookup;
+          Alcotest.test_case "table entries" `Quick test_figure9_table_entries;
+          Alcotest.test_case "holes are errors" `Quick test_figure9_holes;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "mixed limits" `Quick test_occupancy_full;
+          Alcotest.test_case "register limited" `Quick test_occupancy_reg_limited;
+          Alcotest.test_case "hardware limited" `Quick test_occupancy_hw_limited;
+          Alcotest.test_case "infeasible" `Quick test_occupancy_infeasible;
+          Alcotest.test_case "partial warp" `Quick
+            test_occupancy_partial_warp_rounds_up;
+        ] );
+      ( "perf model",
+        [
+          Alcotest.test_case "good DGEMM config" `Quick test_perf_model_good_config;
+          Alcotest.test_case "degenerate configs" `Quick
+            test_perf_model_degenerate_configs;
+          Alcotest.test_case "infeasible scores 0" `Quick
+            test_perf_model_infeasible_zero;
+          Alcotest.test_case "memory roofline" `Quick
+            test_perf_model_memory_bound_small_tiles;
+          Alcotest.test_case "Figure 12 formulas" `Quick
+            test_perf_model_figure12_formulas;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "runs" `Quick test_sim_runs;
+          Alcotest.test_case "agrees on ordering" `Quick test_sim_agrees_on_ordering;
+          Alcotest.test_case "infeasible" `Quick test_sim_infeasible;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "cuBLAS-model shapes" `Quick test_baseline_shapes ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_occupancy_bounded; prop_occupancy_monotone_regs ] );
+    ]

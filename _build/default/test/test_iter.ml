@@ -1,0 +1,194 @@
+open Beast_core
+
+let no_env : Expr.lookup = fun _ -> raise Not_found
+let env_of bindings name = List.assoc name bindings
+
+let ints_of arr = Array.to_list (Array.map Value.to_int arr)
+
+let check_mat msg env it expected =
+  Alcotest.(check (list int)) msg expected (ints_of (Iter.materialize env it))
+
+let test_range_basic () =
+  check_mat "range 0..5" no_env (Iter.range_i 0 5) [ 0; 1; 2; 3; 4 ];
+  check_mat "range step 2" no_env (Iter.range_i ~step:2 1 8) [ 1; 3; 5; 7 ];
+  check_mat "empty range" no_env (Iter.range_i 5 5) [];
+  check_mat "backwards empty" no_env (Iter.range_i 5 2) []
+
+let test_range_negative_step () =
+  (* Figure 5 uses range(x, 0, -1). *)
+  check_mat "descending" no_env (Iter.range_i ~step:(-1) 4 0) [ 4; 3; 2; 1 ];
+  check_mat "descending step 2" no_env (Iter.range_i ~step:(-2) 7 0) [ 7; 5; 3; 1 ]
+
+let test_range_zero_step () =
+  Alcotest.check_raises "zero step"
+    (Expr.Eval_error "range: zero step")
+    (fun () -> ignore (Iter.materialize no_env (Iter.range_i ~step:0 0 5)))
+
+let test_range_dependent () =
+  (* The nested iterator of Figure 1: inner = range(outer). *)
+  let it = Iter.upto (Expr.var "outer") in
+  let env = env_of [ ("outer", Value.Int 3) ] in
+  check_mat "depends on outer" env it [ 0; 1; 2 ];
+  Alcotest.(check (list string)) "deps" [ "outer" ] (Iter.deps it)
+
+let test_values () =
+  (* The Fibonacci list iterator of Figure 1. *)
+  check_mat "explicit list" no_env
+    (Iter.ints [ 1; 1; 2; 3; 5; 8; 13 ])
+    [ 1; 1; 2; 3; 5; 8; 13 ]
+
+let test_single () =
+  check_mat "single expression value" no_env (Iter.single (Expr.int 42)) [ 42 ]
+
+let primes_upto max_n =
+  (* The closure iterator of Figure 3. *)
+  Iter.closure ~deps:[ "max" ] (fun env ->
+      let maxv = Value.to_int (env "max") in
+      ignore max_n;
+      let rec next old_primes n () =
+        if n > maxv then Seq.Nil
+        else if List.exists (fun p -> n mod p = 0) old_primes then
+          next old_primes (n + 2) ()
+        else Seq.Cons (Value.Int n, next (n :: old_primes) (n + 2))
+      in
+      fun () -> Seq.Cons (Value.Int 1, fun () -> Seq.Cons (Value.Int 2, next [] 3)))
+
+let test_closure_primes () =
+  let env = env_of [ ("max", Value.Int 13) ] in
+  check_mat "primes per Figure 3" env (primes_upto ()) [ 1; 2; 3; 5; 7; 11; 13 ];
+  Alcotest.(check (list string)) "declared deps" [ "max" ] (Iter.deps (primes_upto ()))
+
+let test_closure_fibonacci () =
+  (* Figure 6: Fibonacci numbers up to and including MAX. *)
+  let fib =
+    Iter.closure ~deps:[ "max" ] (fun env ->
+        let maxv = Value.to_int (env "max") in
+        let rec go k n () =
+          if n > maxv then Seq.Nil else Seq.Cons (Value.Int n, go n (n + k))
+        in
+        go 1 1)
+  in
+  let env = env_of [ ("max", Value.Int 21) ] in
+  check_mat "fibonacci" env fib [ 1; 2; 3; 5; 8; 13; 21 ]
+
+let test_union () =
+  check_mat "union sorts and dedups" no_env
+    (Iter.union (Iter.ints [ 3; 1; 5 ]) (Iter.ints [ 5; 2 ]))
+    [ 1; 2; 3; 5 ]
+
+let test_inter () =
+  check_mat "intersection" no_env
+    (Iter.inter (Iter.ints [ 1; 2; 3; 4 ]) (Iter.ints [ 3; 4; 5 ]))
+    [ 3; 4 ];
+  check_mat "disjoint" no_env
+    (Iter.inter (Iter.ints [ 1 ]) (Iter.ints [ 2 ]))
+    []
+
+let test_concat () =
+  check_mat "concat preserves order" no_env
+    (Iter.concat (Iter.ints [ 3; 1 ]) (Iter.ints [ 2 ]))
+    [ 3; 1; 2 ]
+
+let test_map_filter () =
+  let doubled = Iter.map (fun v -> Value.mul v (Value.Int 2)) (Iter.range_i 0 4) in
+  check_mat "map" no_env doubled [ 0; 2; 4; 6 ];
+  let evens =
+    Iter.filter
+      (fun v -> Value.to_int v mod 2 = 0)
+      (Iter.range_i 0 10)
+  in
+  check_mat "filter" no_env evens [ 0; 2; 4; 6; 8 ]
+
+let test_algebra_deps () =
+  let it =
+    Iter.union
+      (Iter.upto (Expr.var "a"))
+      (Iter.closure ~deps:[ "b" ] (fun _ -> Seq.empty))
+  in
+  Alcotest.(check (list string)) "union deps" [ "a"; "b" ] (Iter.deps it);
+  Alcotest.(check bool) "static" true (Iter.is_static (Iter.range_i 0 3));
+  Alcotest.(check bool) "not static" false (Iter.is_static it)
+
+let test_cardinality () =
+  let card it = Iter.cardinality no_env it in
+  Alcotest.(check int) "range card" 5 (card (Iter.range_i 0 5));
+  Alcotest.(check int) "stepped card" 4 (card (Iter.range_i ~step:2 1 8));
+  Alcotest.(check int) "descending card" 4 (card (Iter.range_i ~step:(-1) 4 0));
+  Alcotest.(check int) "values card" 3 (card (Iter.ints [ 1; 2; 3 ]));
+  Alcotest.(check int) "union card" 4
+    (card (Iter.union (Iter.ints [ 1; 2 ]) (Iter.ints [ 2; 3; 4 ])))
+
+let prop_range_matches_python =
+  QCheck.Test.make ~name:"range cardinality matches contents" ~count:500
+    QCheck.(triple (int_range (-20) 20) (int_range (-20) 20)
+              (oneofl [ -3; -2; -1; 1; 2; 3 ]))
+    (fun (start, stop, step) ->
+      let it = Iter.range_i ~step start stop in
+      Iter.cardinality no_env it
+      = Array.length (Iter.materialize no_env it))
+
+let prop_range_monotone =
+  QCheck.Test.make ~name:"positive-step range strictly increasing" ~count:500
+    QCheck.(triple (int_range (-20) 20) (int_range (-20) 20) (int_range 1 4))
+    (fun (start, stop, step) ->
+      let vs = ints_of (Iter.materialize no_env (Iter.range_i ~step start stop)) in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      increasing vs && List.for_all (fun v -> v >= start && v < stop) vs)
+
+let prop_union_commutative =
+  let arb = QCheck.(pair (small_list small_nat) (small_list small_nat)) in
+  QCheck.Test.make ~name:"union commutative" ~count:300 arb (fun (xs, ys) ->
+      ints_of
+        (Iter.materialize no_env (Iter.union (Iter.ints xs) (Iter.ints ys)))
+      = ints_of
+          (Iter.materialize no_env (Iter.union (Iter.ints ys) (Iter.ints xs))))
+
+let prop_inter_subset =
+  let arb = QCheck.(pair (small_list small_nat) (small_list small_nat)) in
+  QCheck.Test.make ~name:"intersection is a subset of both" ~count:300 arb
+    (fun (xs, ys) ->
+      let inter =
+        ints_of
+          (Iter.materialize no_env (Iter.inter (Iter.ints xs) (Iter.ints ys)))
+      in
+      List.for_all (fun v -> List.mem v xs && List.mem v ys) inter)
+
+let () =
+  Alcotest.run "iter"
+    [
+      ( "ranges",
+        [
+          Alcotest.test_case "basic" `Quick test_range_basic;
+          Alcotest.test_case "negative step" `Quick test_range_negative_step;
+          Alcotest.test_case "zero step" `Quick test_range_zero_step;
+          Alcotest.test_case "dependent bounds" `Quick test_range_dependent;
+          Alcotest.test_case "cardinality" `Quick test_cardinality;
+        ] );
+      ( "kinds",
+        [
+          Alcotest.test_case "value list" `Quick test_values;
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "closure primes (Fig. 3)" `Quick test_closure_primes;
+          Alcotest.test_case "closure fibonacci (Fig. 6)" `Quick
+            test_closure_fibonacci;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "intersection" `Quick test_inter;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "map/filter" `Quick test_map_filter;
+          Alcotest.test_case "deps" `Quick test_algebra_deps;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_range_matches_python;
+            prop_range_monotone;
+            prop_union_commutative;
+            prop_inter_subset;
+          ] );
+    ]

@@ -1,0 +1,227 @@
+open Beast_core
+
+let plan_of sp = Plan.make_exn sp
+
+let test_loop_order_respects_deps () =
+  let p = plan_of (Support.triangle_space ()) in
+  Alcotest.(check (list string)) "x before y" [ "x"; "y" ] p.Plan.iter_order
+
+let test_hoisting_depth () =
+  (* In the triangle space, s and both constraints depend on x and y, so
+     they sit at depth 2 — directly inside the y loop, before nothing
+     deeper. With an extra constraint on x only, that constraint must sit
+     at depth 1 (between the x and y loops). *)
+  let open Expr.Infix in
+  let sp = Support.triangle_space () in
+  Space.constrain sp "x_only" (Expr.var "x" =: Expr.int 3);
+  let p = plan_of sp in
+  let rec find_depth steps depth name =
+    List.fold_left
+      (fun acc step ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match (step : Plan.step) with
+          | Check { c_name; _ } when c_name = name -> Some depth
+          | Loop { l_body; _ } -> find_depth l_body (depth + 1) name
+          | _ -> None))
+      None steps
+  in
+  Alcotest.(check (option int)) "x_only at depth 1" (Some 1)
+    (find_depth p.Plan.steps 0 "x_only");
+  Alcotest.(check (option int)) "odd_sum at depth 2" (Some 2)
+    (find_depth p.Plan.steps 0 "odd_sum")
+
+let test_no_hoisting () =
+  let open Expr.Infix in
+  let sp = Support.triangle_space () in
+  Space.constrain sp "x_only" (Expr.var "x" =: Expr.int 3);
+  let p = Plan.make_exn ~hoist:false sp in
+  let rec innermost steps =
+    List.fold_left
+      (fun acc step ->
+        match (step : Plan.step) with
+        | Plan.Loop { l_body; _ } -> innermost l_body
+        | Plan.Check { c_name; _ } -> c_name :: acc
+        | _ -> acc)
+      []
+    steps
+  in
+  Alcotest.(check bool) "x_only forced innermost" true
+    (List.mem "x_only" (innermost p.Plan.steps))
+
+let test_settings_folded () =
+  (* After planning, no expression mentions a setting: the triangle space
+     bound n=8, so the x loop is range(0, 8). *)
+  let p = plan_of (Support.triangle_space ()) in
+  match p.Plan.steps with
+  | Plan.Loop { l_iter = Plan.CRange (Plan.CLit 0, Plan.CLit 8, Plan.CLit 1); _ }
+    :: _ ->
+    ()
+  | _ -> Alcotest.failf "unexpected plan head:@\n%a" Plan.pp p
+
+let test_static_closure_tabulated () =
+  (* A closure iterator depending only on settings becomes a CValues
+     table — the rule that lets the C generator handle it. *)
+  let sp = Space.create () in
+  Space.setting_i sp "k" 3;
+  Space.iterator sp "x"
+    (Iter.closure ~deps:[ "k" ] (fun env ->
+         let k = Value.to_int (env "k") in
+         List.to_seq (List.init k (fun i -> Value.Int (i * i)))));
+  let p = plan_of sp in
+  match p.Plan.steps with
+  | Plan.Loop { l_iter = Plan.CValues [| 0; 1; 4 |]; _ } :: _ -> ()
+  | _ -> Alcotest.failf "closure not tabulated:@\n%a" Plan.pp p
+
+let test_dynamic_closure_stays_dynamic () =
+  let sp = Support.mixed_space () in
+  let p = plan_of sp in
+  let rec has_dyn steps =
+    List.exists
+      (fun (step : Plan.step) ->
+        match step with
+        | Plan.Loop { l_iter = Plan.CDyn _; _ } -> true
+        | Plan.Loop { l_body; _ } -> has_dyn l_body
+        | _ -> false)
+      steps
+  in
+  Alcotest.(check bool) "b stays dynamic" true (has_dyn p.Plan.steps)
+
+let test_order_override () =
+  let sp = Support.triangle_space () in
+  (* y depends on x, so ordering y first must fail... *)
+  (match Plan.make ~order:[ "y"; "x" ] sp with
+  | Error (Plan.Unsupported _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Plan.pp_error e
+  | Ok _ -> Alcotest.fail "invalid order accepted");
+  (* ...while the valid order is accepted. *)
+  match Plan.make ~order:[ "x"; "y" ] sp with
+  | Ok p -> Alcotest.(check (list string)) "order kept" [ "x"; "y" ] p.Plan.iter_order
+  | Error e -> Alcotest.failf "valid order rejected: %a" Plan.pp_error e
+
+let test_order_override_not_permutation () =
+  let sp = Support.triangle_space () in
+  match Plan.make ~order:[ "x" ] sp with
+  | Error (Plan.Unsupported _) -> ()
+  | _ -> Alcotest.fail "non-permutation accepted"
+
+let test_independent_iterators_interchangeable () =
+  (* Within a level set, loops may be interchanged (Section X-B). *)
+  let sp = Space.create () in
+  Space.iterator sp "a" (Iter.range_i 0 3);
+  Space.iterator sp "b" (Iter.range_i 0 4);
+  let p1 = Plan.make_exn ~order:[ "a"; "b" ] sp in
+  let p2 = Plan.make_exn ~order:[ "b"; "a" ] sp in
+  let s1 = Engine_staged.run p1 and s2 = Engine_staged.run p2 in
+  Alcotest.(check int) "same survivors" s1.Engine.survivors s2.Engine.survivors;
+  Alcotest.(check int) "12 points" 12 s1.Engine.survivors
+
+let test_unsupported_float () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.values [ Value.Float 1.5 ]);
+  match Plan.make sp with
+  | Error (Plan.Unsupported _) -> ()
+  | _ -> Alcotest.fail "float iterator accepted in enumeration path"
+
+let test_slot_names () =
+  let p = plan_of (Support.triangle_space ()) in
+  Alcotest.(check int) "three slots" 3 p.Plan.n_slots;
+  Alcotest.(check int) "x slot" 0 (Plan.slot_of p "x");
+  Alcotest.(check int) "y slot" 1 (Plan.slot_of p "y");
+  Alcotest.(check int) "s slot" 2 (Plan.slot_of p "s");
+  Alcotest.check_raises "constraints have no slot" Not_found (fun () ->
+      ignore (Plan.slot_of p "odd_sum"))
+
+let test_lookup_of_slots () =
+  let p = plan_of (Support.triangle_space ()) in
+  let slots = [| 4; 5; 9 |] in
+  let lookup = Plan.lookup_of_slots p slots in
+  Alcotest.(check int) "iterator" 4 (Value.to_int (lookup "x"));
+  Alcotest.(check int) "derived" 9 (Value.to_int (lookup "s"));
+  Alcotest.(check int) "setting" 8 (Value.to_int (lookup "n"))
+
+let test_eval_cexpr () =
+  let slots = [| 7; 3 |] in
+  let e =
+    Plan.CBin
+      ( Expr.Add,
+        Plan.CSlot 0,
+        Plan.CCall (Expr.Min, [ Plan.CSlot 1; Plan.CLit 10 ]) )
+  in
+  Alcotest.(check int) "7 + min(3,10)" 10 (Plan.eval_cexpr slots e);
+  Alcotest.(check (list int)) "slots used" [ 0; 1 ] (Plan.cexpr_slots e)
+
+let test_slice_outer_partition () =
+  (* Slices must partition the original survivors. *)
+  let p = plan_of (Support.triangle_space ()) in
+  let full = (Engine_staged.run p).Engine.survivors in
+  let parts =
+    List.init 3 (fun index ->
+        (Engine_staged.run (Plan.slice_outer p ~index ~of_:3)).Engine.survivors)
+  in
+  Alcotest.(check int) "partition" full (List.fold_left ( + ) 0 parts)
+
+let test_slice_outer_values_and_dyn () =
+  (* Slicing must partition when the outermost loop is a value table or
+     a dynamic closure, not just a range. *)
+  let check sp =
+    let p = Plan.make_exn sp in
+    let full = (Engine_staged.run p).Engine.survivors in
+    let parts =
+      List.init 3 (fun index ->
+          (Engine_staged.run (Plan.slice_outer p ~index ~of_:3)).Engine.survivors)
+    in
+    Alcotest.(check int) "partition" full (List.fold_left ( + ) 0 parts)
+  in
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.ints [ 3; 1; 4; 1; 5; 9; 2; 6 ]);
+  Space.iterator sp "y" (Iter.upto (Expr.var "x"));
+  check sp;
+  let sp = Space.create () in
+  Space.setting_i sp "k" 7;
+  Space.iterator sp "x"
+    (Iter.filter (fun v -> Value.to_int v mod 2 = 1) (Iter.range_i 0 20));
+  Space.iterator sp "y" (Iter.upto (Expr.var "x"));
+  check sp
+
+let test_pp_smoke () =
+  let p = plan_of (Support.triangle_space ()) in
+  let s = Format.asprintf "%a" Plan.pp p in
+  Alcotest.(check bool) "mentions loops" true (String.length s > 40)
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "loop order" `Quick test_loop_order_respects_deps;
+          Alcotest.test_case "hoisting depth" `Quick test_hoisting_depth;
+          Alcotest.test_case "no hoisting" `Quick test_no_hoisting;
+          Alcotest.test_case "settings folded" `Quick test_settings_folded;
+          Alcotest.test_case "static closure tabulated" `Quick
+            test_static_closure_tabulated;
+          Alcotest.test_case "dynamic closure" `Quick
+            test_dynamic_closure_stays_dynamic;
+          Alcotest.test_case "slot names" `Quick test_slot_names;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "order override" `Quick test_order_override;
+          Alcotest.test_case "non-permutation rejected" `Quick
+            test_order_override_not_permutation;
+          Alcotest.test_case "interchange within level" `Quick
+            test_independent_iterators_interchangeable;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "float rejected" `Quick test_unsupported_float;
+          Alcotest.test_case "lookup_of_slots" `Quick test_lookup_of_slots;
+          Alcotest.test_case "eval_cexpr" `Quick test_eval_cexpr;
+          Alcotest.test_case "slice_outer partitions" `Quick
+            test_slice_outer_partition;
+          Alcotest.test_case "slice_outer values/dyn" `Quick
+            test_slice_outer_values_and_dyn;
+        ] );
+    ]

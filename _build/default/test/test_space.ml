@@ -1,0 +1,124 @@
+open Beast_core
+
+let test_declaration_order_free () =
+  (* Deferred semantics (Figure 2): using an iterator before its
+     definition must be fine. *)
+  let sp = Space.create () in
+  Space.iterator sp "inner" (Iter.upto (Expr.var "outer"));
+  Space.iterator sp "outer" (Iter.range_i 0 5);
+  match Space.validate sp with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "should validate: %a" Space.pp_error e
+
+let test_duplicate_name () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 5);
+  Alcotest.check_raises "duplicate"
+    (Space.Error (Space.Duplicate_name "x"))
+    (fun () -> Space.setting_i sp "x" 3)
+
+let test_undefined_reference () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.upto (Expr.var "ghost"));
+  match Space.validate sp with
+  | Error (Space.Undefined_reference ("x", "ghost")) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Space.pp_error e
+  | Ok () -> Alcotest.fail "undefined reference not caught"
+
+let test_cycle () =
+  let sp = Space.create () in
+  Space.iterator sp "a" (Iter.upto (Expr.var "b"));
+  Space.iterator sp "b" (Iter.upto (Expr.var "a"));
+  match Space.validate sp with
+  | Error (Space.Cyclic _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Space.pp_error e
+  | Ok () -> Alcotest.fail "cycle not caught"
+
+let test_settings_are_constants () =
+  (* Settings never appear in the DAG (they are constants, Figure 10). *)
+  let sp = Space.create () in
+  Space.setting_i sp "n" 10;
+  Space.iterator sp "x" (Iter.upto (Expr.var "n"));
+  match Space.dag sp with
+  | Ok d -> Alcotest.(check (list string)) "only x" [ "x" ] (Dag.nodes d)
+  | Error e -> Alcotest.failf "unexpected: %a" Space.pp_error e
+
+let test_constraint_classes () =
+  let sp = Support.triangle_space () in
+  let classes =
+    List.map (fun c -> c.Space.cn_class) (Space.constraints sp)
+  in
+  Alcotest.(check (list string))
+    "classes recorded" [ "hard"; "soft" ]
+    (List.map Space.constraint_class_name classes)
+
+let test_inspection () =
+  let sp = Support.mixed_space () in
+  Alcotest.(check int) "settings" 2 (List.length (Space.settings sp));
+  Alcotest.(check int) "iterators" 3 (List.length (Space.iterators sp));
+  Alcotest.(check int) "deriveds" 1 (List.length (Space.deriveds sp));
+  Alcotest.(check int) "constraints" 2 (List.length (Space.constraints sp));
+  Alcotest.(check bool) "find_setting" true
+    (match Space.find_setting sp "limit" with
+    | Some (Value.Int 10) -> true
+    | _ -> false)
+
+let test_body_deps () =
+  let open Expr.Infix in
+  Alcotest.(check (list string))
+    "expression body deps" [ "a"; "b" ]
+    (Space.body_deps (Space.E (Expr.var "b" *: Expr.var "a")));
+  Alcotest.(check (list string))
+    "function body deps sorted" [ "p"; "q" ]
+    (Space.body_deps
+       (Space.F { fn_deps = [ "q"; "p"; "q" ]; fn = (fun _ -> Value.Int 0) }))
+
+let test_dag_edges () =
+  let sp = Support.triangle_space () in
+  match Space.dag sp with
+  | Error e -> Alcotest.failf "unexpected: %a" Space.pp_error e
+  | Ok d ->
+    Alcotest.(check (list string)) "s depends on x y" [ "x"; "y" ] (Dag.deps_of d "s");
+    Alcotest.(check (list string)) "odd_sum depends on s" [ "s" ]
+      (Dag.deps_of d "odd_sum");
+    Alcotest.(check (list string)) "y depends on x" [ "x" ] (Dag.deps_of d "y")
+
+let test_to_dot () =
+  let dot = Space.to_dot (Support.triangle_space ()) in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "iterators styled as ellipses" true
+    (contains "\"x\" [label=\"x\", shape=ellipse");
+  Alcotest.(check bool) "constraints styled as octagons" true
+    (contains "\"odd_sum\" [label=\"odd_sum\", shape=octagon");
+  Alcotest.(check bool) "derived styled as box" true
+    (contains "\"s\" [label=\"s\", shape=box")
+
+let () =
+  Alcotest.run "space"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "declaration order free" `Quick
+            test_declaration_order_free;
+          Alcotest.test_case "duplicate name" `Quick test_duplicate_name;
+          Alcotest.test_case "constraint classes" `Quick test_constraint_classes;
+          Alcotest.test_case "inspection" `Quick test_inspection;
+          Alcotest.test_case "body deps" `Quick test_body_deps;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "undefined reference" `Quick test_undefined_reference;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "settings are constants" `Quick
+            test_settings_are_constants;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "edges" `Quick test_dag_edges;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+    ]

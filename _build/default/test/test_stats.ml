@@ -1,0 +1,160 @@
+open Beast_core
+
+let test_funnel_exact () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  (* 8*9/2 = 36 unconstrained points. *)
+  Alcotest.(check int) "total" 36 f.Stats.total_points;
+  let expected_survivors = Support.survivor_count (Support.triangle_space ()) in
+  Alcotest.(check int) "survivors" expected_survivors f.Stats.survivors;
+  (* Removed counts must account for every pruned point. *)
+  let removed_total =
+    List.fold_left
+      (fun acc (r : Stats.row) ->
+        match r.Stats.removed with
+        | Some k -> acc + k
+        | None -> Alcotest.fail "exact funnel must attribute removals")
+      0 f.Stats.rows
+  in
+  Alcotest.(check int) "removals sum to pruned points"
+    (f.Stats.total_points - f.Stats.survivors)
+    removed_total
+
+let test_funnel_rates () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  let sr = Stats.survival_rate f and pf = Stats.pruned_fraction f in
+  Alcotest.(check bool) "rates in [0,1]" true (0. <= sr && sr <= 1.);
+  Alcotest.(check (float 1e-9)) "complementary" 1.0 (sr +. pf)
+
+let test_funnel_order_is_evaluation_order () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  (* big_x (depth 1) is evaluated before odd_sum (depth 2). *)
+  Alcotest.(check (list string))
+    "row order" [ "big_x"; "odd_sum" ]
+    (List.map (fun (r : Stats.row) -> r.Stats.constraint_name) f.Stats.rows)
+
+let test_of_stats () =
+  let sp = Support.triangle_space () in
+  let stats = Engine_staged.run_space sp in
+  let total =
+    match Sweep.cardinality sp with
+    | `Exact n -> n
+    | `At_least _ -> Alcotest.fail "small space must be exact"
+  in
+  let f = Stats.of_stats sp stats ~total_points:total in
+  Alcotest.(check int) "total" 36 f.Stats.total_points;
+  List.iter
+    (fun (r : Stats.row) ->
+      Alcotest.(check bool) "no attribution" true (r.Stats.removed = None))
+    f.Stats.rows
+
+let test_csv () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  let csv = Stats.to_csv f in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "header" "constraint,class,fired,removed"
+    (List.hd lines);
+  (* header + 2 constraints + TOTAL + trailing newline *)
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+let test_svg () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  let svg = Visualize.svg f in
+  let contains sub =
+    let n = String.length svg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub svg i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "is svg" true (contains "<svg");
+  Alcotest.(check bool) "has rings" true (contains "<path");
+  Alcotest.(check bool) "labels constraints" true (contains "odd_sum");
+  Alcotest.(check bool) "closes" true (contains "</svg>")
+
+let test_html_report () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  let html = Visualize.html_report f in
+  Alcotest.(check bool) "has table" true
+    (let sub = "<table" in
+     let n = String.length html and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub html i m = sub || go (i + 1)) in
+     go 0)
+
+let test_sweep_engines_api () =
+  let sp = Support.triangle_space () in
+  let expected = Support.survivor_count sp in
+  List.iter
+    (fun engine ->
+      let s = Sweep.run ~engine sp in
+      Alcotest.(check int) (Sweep.engine_name engine) expected s.Engine.survivors)
+    Sweep.all_engines
+
+let test_sweep_survivors () =
+  let sp = Support.triangle_space () in
+  let points = Sweep.survivors sp in
+  Alcotest.(check int) "count" (Support.survivor_count sp) (List.length points);
+  List.iter
+    (fun point ->
+      let x = Value.to_int (List.assoc "x" point) in
+      let y = Value.to_int (List.assoc "y" point) in
+      Alcotest.(check bool) "satisfies constraints" true
+        ((x + y) mod 2 = 0 && x <= 5 && x <= y))
+    points;
+  let limited = Sweep.survivors ~limit:3 sp in
+  Alcotest.(check int) "limit" 3 (List.length limited)
+
+let test_sweep_fold () =
+  let sp = Support.triangle_space () in
+  let sum, stats =
+    Sweep.fold sp ~init:0 ~f:(fun acc lookup ->
+        acc + Value.to_int (lookup "s"))
+  in
+  Alcotest.(check bool) "positive sum" true (sum > 0);
+  Alcotest.(check int) "stats survivors" (Support.survivor_count sp)
+    stats.Engine.survivors;
+  Alcotest.check_raises "parallel rejected"
+    (Invalid_argument "Sweep.fold: sequential engines only") (fun () ->
+      ignore (Sweep.fold ~engine:(Sweep.Parallel 2) sp ~init:0 ~f:(fun a _ -> a)))
+
+let test_cardinality_budget () =
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 1000);
+  Space.iterator sp "y" (Iter.range_i 0 1000);
+  (match Sweep.cardinality ~budget:500 sp with
+  | `At_least n -> Alcotest.(check int) "budget hit" 500 n
+  | `Exact _ -> Alcotest.fail "budget should trigger");
+  match Sweep.cardinality sp with
+  | `Exact n -> Alcotest.(check int) "exact" 1_000_000 n
+  | `At_least _ -> Alcotest.fail "within default budget"
+
+let test_cardinality_ignores_constraints () =
+  let sp = Support.triangle_space () in
+  match Sweep.cardinality sp with
+  | `Exact n -> Alcotest.(check int) "unconstrained" 36 n
+  | `At_least _ -> Alcotest.fail "small space"
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "funnel",
+        [
+          Alcotest.test_case "exact attribution" `Quick test_funnel_exact;
+          Alcotest.test_case "rates" `Quick test_funnel_rates;
+          Alcotest.test_case "evaluation order" `Quick
+            test_funnel_order_is_evaluation_order;
+          Alcotest.test_case "of_stats" `Quick test_of_stats;
+          Alcotest.test_case "csv" `Quick test_csv;
+        ] );
+      ( "visualize",
+        [
+          Alcotest.test_case "svg" `Quick test_svg;
+          Alcotest.test_case "html report" `Quick test_html_report;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "engine selection" `Quick test_sweep_engines_api;
+          Alcotest.test_case "survivors" `Quick test_sweep_survivors;
+          Alcotest.test_case "fold" `Quick test_sweep_fold;
+          Alcotest.test_case "cardinality budget" `Quick test_cardinality_budget;
+          Alcotest.test_case "cardinality unconstrained" `Quick
+            test_cardinality_ignores_constraints;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+open Beast_core
+
+let check_v msg expected actual =
+  Alcotest.(check bool) msg true (Value.equal expected actual)
+
+let test_int_arithmetic () =
+  check_v "add" (Value.Int 7) (Value.add (Value.Int 3) (Value.Int 4));
+  check_v "sub" (Value.Int (-1)) (Value.sub (Value.Int 3) (Value.Int 4));
+  check_v "mul" (Value.Int 12) (Value.mul (Value.Int 3) (Value.Int 4));
+  check_v "div truncates" (Value.Int 2) (Value.div (Value.Int 7) (Value.Int 3));
+  check_v "div negative truncates toward zero" (Value.Int (-2))
+    (Value.div (Value.Int (-7)) (Value.Int 3));
+  check_v "mod" (Value.Int 1) (Value.rem (Value.Int 7) (Value.Int 3));
+  check_v "neg" (Value.Int (-3)) (Value.neg (Value.Int 3))
+
+let test_bool_as_int () =
+  (* Python semantics: booleans participate in arithmetic as 0/1. *)
+  check_v "true + 1" (Value.Int 2) (Value.add (Value.Bool true) (Value.Int 1));
+  check_v "false * 5" (Value.Int 0) (Value.mul (Value.Bool false) (Value.Int 5));
+  Alcotest.(check int) "to_int true" 1 (Value.to_int (Value.Bool true));
+  Alcotest.(check int) "to_int false" 0 (Value.to_int (Value.Bool false))
+
+let test_float_promotion () =
+  check_v "int + float" (Value.Float 3.5)
+    (Value.add (Value.Int 3) (Value.Float 0.5));
+  check_v "float div" (Value.Float 3.5)
+    (Value.div (Value.Float 7.) (Value.Int 2))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "int div by zero" Division_by_zero (fun () ->
+      ignore (Value.div (Value.Int 1) (Value.Int 0)));
+  Alcotest.check_raises "mod by zero" Division_by_zero (fun () ->
+      ignore (Value.rem (Value.Int 1) (Value.Int 0)));
+  Alcotest.check_raises "ceil_div by zero" Division_by_zero (fun () ->
+      ignore (Value.ceil_div (Value.Int 1) (Value.Int 0)))
+
+let test_ceil_div () =
+  check_v "exact" (Value.Int 2) (Value.ceil_div (Value.Int 6) (Value.Int 3));
+  check_v "rounds up" (Value.Int 3) (Value.ceil_div (Value.Int 7) (Value.Int 3))
+
+let test_type_errors () =
+  let raises f =
+    match f () with
+    | exception Value.Type_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "str + int raises" true
+    (raises (fun () -> Value.add (Value.Str "a") (Value.Int 1)));
+  Alcotest.(check bool) "neg str raises" true
+    (raises (fun () -> Value.neg (Value.Str "a")));
+  Alcotest.(check bool) "compare str int raises" true
+    (raises (fun () -> Value.compare (Value.Str "a") (Value.Int 1)))
+
+let test_truthiness () =
+  Alcotest.(check bool) "0 falsy" false (Value.truthy (Value.Int 0));
+  Alcotest.(check bool) "1 truthy" true (Value.truthy (Value.Int 1));
+  Alcotest.(check bool) "-1 truthy" true (Value.truthy (Value.Int (-1)));
+  Alcotest.(check bool) "empty str falsy" false (Value.truthy (Value.Str ""));
+  Alcotest.(check bool) "str truthy" true (Value.truthy (Value.Str "x"));
+  Alcotest.(check bool) "0. falsy" false (Value.truthy (Value.Float 0.));
+  Alcotest.(check bool) "false falsy" false (Value.truthy (Value.Bool false))
+
+let test_comparisons () =
+  Alcotest.(check bool) "2 < 3" true (Value.truthy (Value.lt (Value.Int 2) (Value.Int 3)));
+  Alcotest.(check bool) "3 <= 3" true
+    (Value.truthy (Value.le (Value.Int 3) (Value.Int 3)));
+  Alcotest.(check bool) "int eq float" true
+    (Value.truthy (Value.eq (Value.Int 2) (Value.Float 2.)));
+  Alcotest.(check bool) "bool eq int" true
+    (Value.truthy (Value.eq (Value.Bool true) (Value.Int 1)));
+  Alcotest.(check bool) "str eq str" true
+    (Value.truthy (Value.eq (Value.Str "double") (Value.Str "double")));
+  Alcotest.(check bool) "str ne int (no raise)" true
+    (Value.truthy (Value.ne (Value.Str "double") (Value.Int 1)))
+
+let test_min_max_abs () =
+  check_v "min" (Value.Int 2) (Value.min2 (Value.Int 5) (Value.Int 2));
+  check_v "max" (Value.Int 5) (Value.max2 (Value.Int 5) (Value.Int 2));
+  check_v "abs" (Value.Int 5) (Value.abs_v (Value.Int (-5)))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative on ints" ~count:500
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      Value.equal
+        (Value.add (Value.Int a) (Value.Int b))
+        (Value.add (Value.Int b) (Value.Int a)))
+
+let prop_div_mod_consistent =
+  QCheck.Test.make ~name:"a = (a/b)*b + a mod b" ~count:500
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q = Value.to_int (Value.div (Value.Int a) (Value.Int b)) in
+      let r = Value.to_int (Value.rem (Value.Int a) (Value.Int b)) in
+      a = (q * b) + r)
+
+let prop_ceil_div_bound =
+  QCheck.Test.make ~name:"ceil_div within [div, div+1]" ~count:500
+    QCheck.(pair (int_bound 10000) (int_range 1 100))
+    (fun (a, b) ->
+      let q = Value.to_int (Value.div (Value.Int a) (Value.Int b)) in
+      let c = Value.to_int (Value.ceil_div (Value.Int a) (Value.Int b)) in
+      c = q || c = q + 1)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric on numerics" ~count:500
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      let c1 = Value.compare (Value.Int a) (Value.Int b) in
+      let c2 = Value.compare (Value.Int b) (Value.Int a) in
+      (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0) || (c1 = 0 && c2 = 0))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "integers" `Quick test_int_arithmetic;
+          Alcotest.test_case "booleans as 0/1" `Quick test_bool_as_int;
+          Alcotest.test_case "float promotion" `Quick test_float_promotion;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "min/max/abs" `Quick test_min_max_abs;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "truthiness" `Quick test_truthiness;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_commutative;
+            prop_div_mod_consistent;
+            prop_ceil_div_bound;
+            prop_compare_total_order;
+          ] );
+    ]
