@@ -7,6 +7,7 @@ open Beast_gpu
 open Beast_kernels
 open Beast_autotune
 open Beast_dsl
+open Beast_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -45,6 +46,74 @@ let engine_arg =
     value
     & opt (enum engines) Sweep.Staged
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let trace_arg =
+  let doc = "Write a trace of planning and enumeration to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let fmts = [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("summary", `Summary) ] in
+  let doc =
+    "Trace format: $(b,jsonl) (one event per line), $(b,chrome) \
+     (trace-event JSON, loadable in Perfetto or chrome://tracing), or \
+     $(b,summary) (human-readable aggregates)."
+  in
+  Arg.(
+    value
+    & opt (enum fmts) `Chrome
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let progress_arg =
+  let doc = "Report live progress (points, survivors, ETA) on stderr." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Install the event recorder and/or the progress reporter around [f];
+   when [f] finishes (or raises) the collected events are written to the
+   trace file in the requested format. *)
+let with_obs ~trace ~trace_format ~progress f =
+  let recorder =
+    match trace with
+    | None -> None
+    | Some file ->
+      (* Open the trace file before doing any work so a bad path fails
+         up front instead of discarding a completed run at the end. *)
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Format.eprintf "beast: cannot open trace file: %s@." msg;
+          exit 1
+      in
+      let r = Recorder.create () in
+      Obs.set_sink (Recorder.sink r);
+      Some (file, oc, r)
+  in
+  let reporter =
+    if progress then begin
+      let p = Progress.create () in
+      Progress.install p;
+      Some p
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Progress.finish reporter;
+      match recorder with
+      | None -> ()
+      | Some (file, oc, r) ->
+        Obs.clear_sink ();
+        let events = Recorder.events r in
+        (match trace_format with
+        | `Jsonl -> Sink_jsonl.write oc events
+        | `Chrome -> Sink_chrome.write ~start_ns:(Recorder.start_ns r) oc events
+        | `Summary ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Sink_summary.write ppf events;
+          Format.pp_print_flush ppf ());
+        close_out oc;
+        Format.eprintf "wrote %d trace events to %s@." (Array.length events)
+          file)
+    f
 
 let resolve_device name max_dim max_threads =
   match Device.find name with
@@ -138,22 +207,30 @@ let objective_for space_name device =
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let sweep_cmd =
-  let run space_name device max_dim max_threads engine =
+let sweep_term =
+  let run space_name device max_dim max_threads engine trace trace_format
+      progress =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    let t0 = Unix.gettimeofday () in
-    let stats = Sweep.run ~engine sp in
-    let dt = Unix.gettimeofday () -. t0 in
-    Format.printf "space %s on %s, engine %s: %.3fs@." space_name
-      device.Device.name (Sweep.engine_name engine) dt;
-    Format.printf "%a" Engine.pp_stats stats
+    with_obs ~trace ~trace_format ~progress (fun () ->
+        let t0 = Clock.now_ns () in
+        let stats = Sweep.run ~engine sp in
+        let dt = Clock.elapsed_s ~since:t0 in
+        Format.printf "space %s on %s, engine %s: %.3fs@." space_name
+          device.Device.name (Sweep.engine_name engine) dt;
+        Format.printf "%a" Engine.pp_stats stats)
   in
+  Term.(
+    const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+    $ engine_arg $ trace_arg $ trace_format_arg $ progress_arg)
+
+let sweep_cmd =
+  Cmd.v (Cmd.info "sweep" ~doc:"Enumerate and prune a search space") sweep_term
+
+let enumerate_cmd =
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Enumerate and prune a search space")
-    Term.(
-      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-      $ engine_arg)
+    (Cmd.info "enumerate" ~doc:"Enumerate and prune a search space (alias of sweep)")
+    sweep_term
 
 let dot_cmd =
   let run space_name device max_dim max_threads =
@@ -199,26 +276,28 @@ let tune_cmd =
   let top_arg =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the N best.")
   in
-  let run space_name device max_dim max_threads engine top =
+  let run space_name device max_dim max_threads engine top trace trace_format
+      progress =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, baseline = objective_for space_name device in
-    let r = Tuner.tune ~engine ~top_n:top ~objective sp in
-    Format.printf "%a" (Tuner.pp_result ?peak) r;
-    match baseline with
-    | Some b -> (
-      match Tuner.improvement r ~baseline:b with
-      | Some ratio ->
-        Format.printf "improvement over the cuBLAS model: %.2fx@." ratio
-      | None -> ())
-    | None -> ()
+    with_obs ~trace ~trace_format ~progress (fun () ->
+        let r = Tuner.tune ~engine ~top_n:top ~objective sp in
+        Format.printf "%a" (Tuner.pp_result ?peak) r;
+        match baseline with
+        | Some b -> (
+          match Tuner.improvement r ~baseline:b with
+          | Some ratio ->
+            Format.printf "improvement over the cuBLAS model: %.2fx@." ratio
+          | None -> ())
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Enumerate, prune, benchmark on the device model, and rank")
     Term.(
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-      $ engine_arg $ top_arg)
+      $ engine_arg $ top_arg $ trace_arg $ trace_format_arg $ progress_arg)
 
 let occupancy_cmd =
   let threads = Arg.(required & pos 0 (some int) None & info [] ~docv:"THREADS") in
@@ -257,24 +336,26 @@ let funnel_cmd =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
            ~doc:"Also write the radial visualization (paper ref. [7]).")
   in
-  let run space_name device max_dim max_threads svg =
+  let run space_name device max_dim max_threads svg trace trace_format progress
+      =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    let f = Stats.funnel sp in
-    Format.printf "%a" Stats.pp f;
-    match svg with
-    | Some file ->
-      let oc = open_out file in
-      output_string oc (Visualize.svg f);
-      close_out oc;
-      Format.printf "wrote %s@." file
-    | None -> ()
+    with_obs ~trace ~trace_format ~progress (fun () ->
+        let f = Stats.funnel sp in
+        Format.printf "%a" Stats.pp f;
+        match svg with
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Visualize.svg f);
+          close_out oc;
+          Format.printf "wrote %s@." file
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "funnel"
        ~doc:"Measure how much of the space each constraint removes")
     Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-          $ svg_arg)
+          $ svg_arg $ trace_arg $ trace_format_arg $ progress_arg)
 
 let search_cmd =
   let method_arg =
@@ -289,32 +370,34 @@ let search_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run space_name device max_dim max_threads method_ budget seed =
+  let run space_name device max_dim max_threads method_ budget seed trace
+      trace_format =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, _ = objective_for space_name device in
-    let plan = Plan.make_exn sp in
-    let rng = Random.State.make [| seed |] in
-    Search.reset_counters ();
-    let result =
-      match method_ with
-      | `Random -> Search.random_search ~rng ~budget ~objective plan
-      | `Hill ->
-        Search.hill_climb ~rng ~restarts:(max 1 (budget / 100))
-          ~steps:100 ~objective plan
-    in
-    match result with
-    | None -> Format.printf "no feasible point found@."
-    | Some c ->
-      Format.printf "best score %.2f" c.Search.score;
-      (match peak with
-      | Some p when p > 0.0 ->
-        Format.printf " (%.1f%% of peak)" (100.0 *. c.Search.score /. p)
-      | _ -> ());
-      Format.printf " after %d evaluations@." (Search.evaluations ());
-      List.iter
-        (fun (n, v) -> Format.printf "  %s = %s@." n (Value.to_string v))
-        c.Search.bindings
+    with_obs ~trace ~trace_format ~progress:false (fun () ->
+        let plan = Plan.make_exn sp in
+        let rng = Random.State.make [| seed |] in
+        Search.reset_counters ();
+        let result =
+          match method_ with
+          | `Random -> Search.random_search ~rng ~budget ~objective plan
+          | `Hill ->
+            Search.hill_climb ~rng ~restarts:(max 1 (budget / 100))
+              ~steps:100 ~objective plan
+        in
+        match result with
+        | None -> Format.printf "no feasible point found@."
+        | Some c ->
+          Format.printf "best score %.2f" c.Search.score;
+          (match peak with
+          | Some p when p > 0.0 ->
+            Format.printf " (%.1f%% of peak)" (100.0 *. c.Search.score /. p)
+          | _ -> ());
+          Format.printf " after %d evaluations@." (Search.evaluations ());
+          List.iter
+            (fun (n, v) -> Format.printf "  %s = %s@." n (Value.to_string v))
+            c.Search.bindings)
   in
   Cmd.v
     (Cmd.info "search"
@@ -322,7 +405,7 @@ let search_cmd =
          "Statistical search instead of exhaustive sweeping (the paper's           future-work direction)")
     Term.(
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-      $ method_arg $ budget_arg $ seed_arg)
+      $ method_arg $ budget_arg $ seed_arg $ trace_arg $ trace_format_arg)
 
 let export_cmd =
   let run space_name device max_dim max_threads =
@@ -348,7 +431,7 @@ let main =
        ~doc:
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
-    [ sweep_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd; funnel_cmd;
-      search_cmd; export_cmd ]
+    [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
+      funnel_cmd; search_cmd; export_cmd ]
 
 let () = exit (Cmd.eval main)

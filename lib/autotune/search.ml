@@ -1,4 +1,5 @@
 open Beast_core
+open Beast_obs
 
 type candidate = {
   score : float;
@@ -132,11 +133,16 @@ let random_search ?rng ?max_tries ~budget ~objective plan =
       match sample ~rng ?max_tries plan with
       | None -> go best remaining (failures + 1)
       | Some slots ->
-        go
-          (better best (Some (candidate_of plan ~objective slots)))
-          (remaining - 1) 0
+        let cand = candidate_of plan ~objective slots in
+        Obs.instant ~cat:"tune"
+          ~args:[ ("score", Obs.Float cand.score) ]
+          "search:eval";
+        go (better best (Some cand)) (remaining - 1) 0
   in
-  go None budget 0
+  Obs.with_span ~cat:"tune"
+    ~args:[ ("budget", Obs.Int budget) ]
+    "search:random"
+    (fun () -> go None budget 0)
 
 (* Re-walk the nest pinning each loop as close as possible to [target]:
    pick the value of the (dependent) range nearest the target. Used to
@@ -193,6 +199,12 @@ let hill_climb ?rng ?(restarts = 5) ?(steps = 200) ~objective (plan : Plan.t) =
   in
   let rec go best remaining =
     if remaining = 0 then best
-    else go (better best (climb_once ())) (remaining - 1)
+    else
+      let attempt =
+        Obs.with_span ~cat:"tune"
+          ~args:[ ("restart", Obs.Int (restarts - remaining)) ]
+          "search:climb" climb_once
+      in
+      go (better best attempt) (remaining - 1)
   in
   go None restarts

@@ -1,4 +1,5 @@
 open Beast_core
+open Beast_obs
 
 type candidate = {
   score : float;
@@ -44,13 +45,21 @@ let tune ?engine ?(top_n = 10) ~objective space =
     incr evaluated;
     if List.length !top < top_n || score > worst_of !top then begin
       let bindings = List.map (fun n -> (n, lookup n)) iter_order in
-      top := insert_top top_n { score; bindings } !top
+      top := insert_top top_n { score; bindings } !top;
+      Obs.instant ~cat:"tune" ~args:[ ("score", Obs.Float score) ] "candidate"
     end;
     Mutex.unlock mutex
   in
-  let t0 = Unix.gettimeofday () in
-  let stats = Sweep.run ?engine ~on_hit space in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* Monotonic clock: wall-clock adjustments (NTP slew, DST) must not
+     distort the reported tuning time. *)
+  let t0 = Clock.now_ns () in
+  let stats =
+    Obs.with_span ~cat:"tune"
+      ~args:[ ("space", Obs.Str (Space.name space)) ]
+      "tune"
+      (fun () -> Sweep.run ?engine ~on_hit space)
+  in
+  let elapsed_s = Clock.elapsed_s ~since:t0 in
   let top = !top in
   {
     best =
@@ -99,7 +108,11 @@ let pareto ?engine ?(max_front = 64) ~objectives space =
     end;
     Mutex.unlock mutex
   in
-  ignore (Sweep.run ?engine ~on_hit space);
+  ignore
+    (Obs.with_span ~cat:"tune"
+       ~args:[ ("space", Obs.Str (Space.name space)) ]
+       "pareto"
+       (fun () -> Sweep.run ?engine ~on_hit space));
   let sorted =
     List.sort
       (fun a b -> compare (fst b.bi_scores) (fst a.bi_scores))

@@ -16,7 +16,7 @@ let pp_error ppf = function
   | Cycle names ->
     Format.fprintf ppf "dependency cycle: %s" (String.concat " -> " names)
 
-let create ~nodes ~edges =
+let create_untraced ~nodes ~edges =
   let order = Array.of_list nodes in
   let n = Array.length order in
   let index = Hashtbl.create (2 * n) in
@@ -66,6 +66,26 @@ let create ~nodes ~edges =
     Array.iteri (fun i _ -> ignore (visit [] i)) order;
     Ok { order; index; preds; succs; levels }
   with Bad e -> Error e
+
+let create ~nodes ~edges =
+  let module Obs = Beast_obs.Obs in
+  Obs.with_span ~cat:"plan"
+    ~args:
+      [
+        ("nodes", Obs.Int (List.length nodes));
+        ("edges", Obs.Int (List.length edges));
+      ]
+    "dag:build"
+    (fun () ->
+      let r = create_untraced ~nodes ~edges in
+      (match r with
+      | Ok t ->
+        let max_level = Array.fold_left max (-1) t.levels in
+        Obs.instant ~cat:"plan"
+          ~args:[ ("levels", Obs.Int (max_level + 1)) ]
+          "dag:levels"
+      | Error _ -> ());
+      r)
 
 let idx t name =
   match Hashtbl.find_opt t.index name with

@@ -1,3 +1,5 @@
+open Beast_obs
+
 type stats = {
   survivors : int;
   loop_iterations : int;
@@ -28,6 +30,59 @@ let merge a b =
           (n, c, k + k'))
         a.pruned;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation plumbing shared by the engines                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Engines pick an instrumented code path once per run when
+   [Obs.instrumenting ()] holds; with tracing and progress both off the
+   hot loops are byte-identical to the uninstrumented build. Sampling
+   happens every [sample_mask + 1] loop entries. *)
+
+let sample_mask = 0x7FFF
+
+type sampler = {
+  mutable s_last_ns : int;
+  mutable s_last_points : int;
+}
+
+let make_sampler () = { s_last_ns = Clock.now_ns (); s_last_points = 0 }
+
+let sample s ~points ~survivors ~frac =
+  let now = Clock.now_ns () in
+  let dt = now - s.s_last_ns in
+  if dt > 0 && Obs.enabled () then
+    Obs.counter ~cat:"engine" "points_per_sec"
+      (float_of_int (points - s.s_last_points) /. Clock.ns_to_s dt);
+  s.s_last_ns <- now;
+  s.s_last_points <- points;
+  Obs.progress_tick ~points ~survivors ~frac
+
+(* Post-run aggregates: one Complete span per constraint (cumulative
+   evaluation time, firing count) and per loop level (cumulative time
+   inside the level, entry count), all anchored at the run's start
+   timestamp so they stack as tracks in a Chrome trace. *)
+let emit_run_aggregates ~t0 (plan : Plan.t) ~pruned ~check_time ~depth_entries
+    ~level_time =
+  if Obs.enabled () then begin
+    Array.iteri
+      (fun i (name, cls) ->
+        Obs.complete ~cat:"constraint" ~ts:t0 ~dur_ns:check_time.(i)
+          ~args:
+            [
+              ("fired", Obs.Int pruned.(i));
+              ("class", Obs.Str (Space.constraint_class_name cls));
+            ]
+          name)
+      plan.Plan.constraint_info;
+    List.iteri
+      (fun d var ->
+        Obs.complete ~cat:"level" ~ts:t0 ~dur_ns:level_time.(d)
+          ~args:[ ("depth", Obs.Int d); ("entries", Obs.Int depth_entries.(d)) ]
+          var)
+      plan.Plan.iter_order
+  end
 
 let pp_stats ppf s =
   Format.fprintf ppf "survivors: %d@\nloop iterations: %d@\n" s.survivors

@@ -35,3 +35,34 @@ val merge : stats -> stats -> stats
 (** Pointwise sum; the constraint arrays must describe the same plan. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Instrumentation plumbing}
+
+    Shared by the engine implementations; not intended for end users.
+    Engines consult [Beast_obs.Obs.instrumenting] once per run and, when
+    it holds, switch to a code path that counts per-depth loop entries,
+    accumulates per-constraint evaluation time, and samples progress /
+    points-per-second every [sample_mask + 1] loop entries. With tracing
+    and progress both disabled the hot loops are exactly the
+    uninstrumented ones. *)
+
+val sample_mask : int
+
+type sampler
+
+val make_sampler : unit -> sampler
+
+val sample : sampler -> points:int -> survivors:int -> frac:float -> unit
+(** Emit a points/sec counter (when tracing) and a progress tick. *)
+
+val emit_run_aggregates :
+  t0:int ->
+  Plan.t ->
+  pruned:int array ->
+  check_time:int array ->
+  depth_entries:int array ->
+  level_time:int array ->
+  unit
+(** Emit per-constraint and per-level Complete spans anchored at [t0]
+    (the run's start, from [Beast_obs.Clock.now_ns]). No-op unless
+    tracing is enabled. *)

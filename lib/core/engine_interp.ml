@@ -3,12 +3,15 @@
    string-keyed hash table, so each variable access costs an associative
    lookup — the scripting-tier cost model of Section XI-B. *)
 
+open Beast_obs
+
 let run ?on_hit ?(variant = `Hoisted) space =
   let hoist =
     match variant with
     | `Hoisted -> true
     | `Naive -> false
   in
+  let instrument = Obs.instrumenting () in
   let plan = Plan.make_exn ~hoist space in
   let env : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (n, v) -> Hashtbl.replace env n v) (Space.settings space);
@@ -30,10 +33,25 @@ let run ?on_hit ?(variant = `Hoisted) space =
     | Space.F { fn; _ } -> fn lookup
   in
   let n_constraints = Array.length plan.Plan.constraint_info in
+  let n_loops = List.length plan.Plan.iter_order in
   let pruned = Array.make n_constraints 0 in
   let survivors = ref 0 in
   let loop_iterations = ref 0 in
-  let rec exec_steps (steps : Plan.step list) =
+  let check_time = Array.make (max 1 n_constraints) 0 in
+  let depth_entries = Array.make (max 1 n_loops) 0 in
+  let level_time = Array.make (max 1 n_loops) 0 in
+  let outer_total = ref 0 in
+  let outer_done = ref 0 in
+  let sampler = Engine.make_sampler () in
+  let tick () =
+    if !loop_iterations land Engine.sample_mask = 0 then
+      Engine.sample sampler ~points:!loop_iterations ~survivors:!survivors
+        ~frac:
+          (if !outer_total > 0 then
+             float_of_int !outer_done /. float_of_int !outer_total
+           else -1.0)
+  in
+  let rec exec_steps ~depth (steps : Plan.step list) =
     match steps with
     | [] -> ()
     | Yield :: rest ->
@@ -41,29 +59,69 @@ let run ?on_hit ?(variant = `Hoisted) space =
       (match on_hit with
       | None -> ()
       | Some f -> f lookup);
-      exec_steps rest
+      exec_steps ~depth rest
     | Derive { d_name; _ } :: rest ->
       Hashtbl.replace env d_name (eval_body d_name);
-      exec_steps rest
+      exec_steps ~depth rest
     | Check { c_name; c_index; _ } :: rest ->
-      if Value.truthy (eval_body c_name) then
-        pruned.(c_index) <- pruned.(c_index) + 1
-      else exec_steps rest
+      let fired =
+        if instrument then begin
+          let t0 = Clock.now_ns () in
+          let v = Value.truthy (eval_body c_name) in
+          check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
+          v
+        end
+        else Value.truthy (eval_body c_name)
+      in
+      if fired then pruned.(c_index) <- pruned.(c_index) + 1
+      else exec_steps ~depth rest
     | Loop { l_var; l_body; _ } :: rest ->
       let it = Hashtbl.find iter_by_name l_var in
       (* Materializing the whole iterator before looping mirrors Python's
          range() building its value list (Section XI-B). *)
       let vs = Iter.materialize lookup it in
-      Array.iter
-        (fun v ->
-          Hashtbl.replace env l_var v;
-          incr loop_iterations;
-          exec_steps l_body)
-        vs;
+      if instrument then begin
+        let t0 = Clock.now_ns () in
+        if depth = 0 then outer_total := Array.length vs;
+        Array.iteri
+          (fun j v ->
+            Hashtbl.replace env l_var v;
+            incr loop_iterations;
+            depth_entries.(depth) <- depth_entries.(depth) + 1;
+            if depth = 0 then outer_done := j + 1;
+            tick ();
+            exec_steps ~depth:(depth + 1) l_body)
+          vs;
+        level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0)
+      end
+      else
+        Array.iter
+          (fun v ->
+            Hashtbl.replace env l_var v;
+            incr loop_iterations;
+            exec_steps ~depth:(depth + 1) l_body)
+          vs;
       Hashtbl.remove env l_var;
-      exec_steps rest
+      exec_steps ~depth rest
   in
-  exec_steps plan.Plan.steps;
+  let t0 = Clock.now_ns () in
+  Obs.with_span ~cat:"engine"
+    ~args:
+      [
+        ("space", Obs.Str plan.Plan.space_name);
+        ( "variant",
+          Obs.Str
+            (match variant with
+            | `Hoisted -> "hoisted"
+            | `Naive -> "naive") );
+      ]
+    "sweep:interp"
+    (fun () -> exec_steps ~depth:0 plan.Plan.steps);
+  if instrument then begin
+    Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
+      ~level_time;
+    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
+  end;
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;

@@ -1,3 +1,5 @@
+open Beast_obs
+
 (* Depth-0 checks run in every slice; when merging we keep a single
    domain's counts for the constraints that appear before the first loop
    so totals match a sequential sweep. *)
@@ -13,15 +15,44 @@ let run ?on_hit ~domains (plan : Plan.t) =
   if domains < 1 then invalid_arg "Engine_parallel.run: domains < 1";
   if domains = 1 then Engine_staged.run ?on_hit plan
   else begin
-    let slices =
-      List.init domains (fun index -> Plan.slice_outer plan ~index ~of_:domains)
+    (* Survivor callbacks fire concurrently from every domain; serialize
+       them behind a mutex so user callbacks (Stats accumulation, CSV
+       emission, ...) need not be thread-safe. The lookup passed to the
+       callback reads the calling domain's own slot array, so it stays
+       valid under the lock. *)
+    let on_hit =
+      Option.map
+        (fun f ->
+          let m = Mutex.create () in
+          fun lookup ->
+            Mutex.lock m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock m)
+              (fun () -> f lookup))
+        on_hit
     in
-    let spawned =
-      List.map
-        (fun slice -> Domain.spawn (fun () -> Engine_staged.run ?on_hit slice))
-        slices
+    let sweep () =
+      let slices =
+        List.init domains (fun index ->
+            Plan.slice_outer plan ~index ~of_:domains)
+      in
+      let spawned =
+        List.map
+          (fun slice ->
+            Domain.spawn (fun () -> Engine_staged.run ?on_hit slice))
+          slices
+      in
+      List.map Domain.join spawned
     in
-    let results = List.map Domain.join spawned in
+    let results =
+      Obs.with_span ~cat:"engine"
+        ~args:
+          [
+            ("space", Obs.Str plan.Plan.space_name);
+            ("domains", Obs.Int domains);
+          ]
+        "sweep:parallel" sweep
+    in
     match results with
     | [] -> assert false
     | first :: rest ->

@@ -10,8 +10,10 @@
     sequential run. *)
 
 val run : ?on_hit:Engine.on_hit -> domains:int -> Plan.t -> Engine.stats
-(** [on_hit] is invoked concurrently from every domain and must be
-    thread-safe. @raise Invalid_argument if [domains < 1]. *)
+(** [on_hit] may be invoked from any domain but invocations are
+    serialized behind an internal mutex, so the callback need not be
+    thread-safe (it must not call back into the sweep, or it will
+    deadlock). @raise Invalid_argument if [domains < 1]. *)
 
 val run_space :
   ?on_hit:Engine.on_hit -> domains:int -> Space.t -> Engine.stats

@@ -1,9 +1,19 @@
 (* Staging: every expression is compiled once into a [unit -> int] closure
    reading the shared slot array; the step list is compiled into a single
    [unit -> unit] continuation chain. After compilation the sweep runs
-   without looking at the plan again. *)
+   without looking at the plan again.
+
+   When tracing or progress reporting is active (Obs.instrumenting) the
+   steps are compiled by a second, instrumented compiler that also
+   counts per-depth loop entries, accumulates per-constraint evaluation
+   time and samples throughput; the choice is made once per run, at
+   compile time, so the uninstrumented closures are exactly the ones the
+   seed build produced. *)
+
+open Beast_obs
 
 let run ?on_hit (plan : Plan.t) =
+  let instrument = Obs.instrumenting () in
   let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
   let n_constraints = Array.length plan.Plan.constraint_info in
   let pruned = Array.make n_constraints 0 in
@@ -153,8 +163,117 @@ let run ?on_hit (plan : Plan.t) =
           done;
           k ())
   in
-  let sweep = compile_steps plan.Plan.steps in
-  sweep ();
+  (* Instrumented compiler: same continuation chain, with per-depth
+     entry counts, per-level cumulative time, per-constraint evaluation
+     time and periodic sampling folded into the closures. *)
+  let n_loops = List.length plan.Plan.iter_order in
+  let check_time = Array.make (max 1 n_constraints) 0 in
+  let depth_entries = Array.make (max 1 n_loops) 0 in
+  let level_time = Array.make (max 1 n_loops) 0 in
+  let outer_total = ref 0 in
+  let outer_done = ref 0 in
+  let sampler = Engine.make_sampler () in
+  let frac () =
+    if !outer_total > 0 then
+      float_of_int !outer_done /. float_of_int !outer_total
+    else -1.0
+  in
+  let tick () =
+    if !loop_iterations land Engine.sample_mask = 0 then
+      Engine.sample sampler ~points:!loop_iterations ~survivors:!survivors
+        ~frac:(frac ())
+  in
+  let rec compile_steps_instr ~depth (steps : Plan.step list) : unit -> unit =
+    match steps with
+    | [] -> fun () -> ()
+    | Yield :: rest ->
+      let k = compile_steps_instr ~depth rest in
+      fun () ->
+        hit ();
+        k ()
+    | Derive { d_slot; d_compute; _ } :: rest ->
+      let f = compile_compute d_compute in
+      let k = compile_steps_instr ~depth rest in
+      fun () ->
+        slots.(d_slot) <- f ();
+        k ()
+    | Check { c_index; c_compute; _ } :: rest ->
+      let f = compile_compute c_compute in
+      let k = compile_steps_instr ~depth rest in
+      fun () ->
+        let t0 = Clock.now_ns () in
+        let v = f () in
+        check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
+        if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+    | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
+      let body = compile_steps_instr ~depth:(depth + 1) l_body in
+      let k = compile_steps_instr ~depth rest in
+      let enter v =
+        slots.(l_slot) <- v;
+        incr loop_iterations;
+        depth_entries.(depth) <- depth_entries.(depth) + 1;
+        if depth = 0 then incr outer_done;
+        tick ();
+        body ()
+      in
+      match l_iter with
+      | CRange (a, b, c) ->
+        let fa = compile_cexpr a and fb = compile_cexpr b and fc = compile_cexpr c in
+        fun () ->
+          let t0 = Clock.now_ns () in
+          let start = fa () and stop = fb () and step = fc () in
+          if step = 0 then
+            raise (Expr.Eval_error (Printf.sprintf "%s: zero range step" l_var));
+          if depth = 0 then
+            outer_total :=
+              (if step > 0 then max 0 ((stop - start + step - 1) / step)
+               else max 0 ((start - stop - step - 1) / -step));
+          let i = ref start in
+          if step > 0 then
+            while !i < stop do
+              enter !i;
+              i := !i + step
+            done
+          else
+            while !i > stop do
+              enter !i;
+              i := !i + step
+            done;
+          level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0);
+          k ()
+      | CValues vs ->
+        fun () ->
+          let t0 = Clock.now_ns () in
+          if depth = 0 then outer_total := Array.length vs;
+          for j = 0 to Array.length vs - 1 do
+            enter vs.(j)
+          done;
+          level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0);
+          k ()
+      | CDyn materialize ->
+        fun () ->
+          let t0 = Clock.now_ns () in
+          let vs = materialize slots in
+          if depth = 0 then outer_total := Array.length vs;
+          for j = 0 to Array.length vs - 1 do
+            enter vs.(j)
+          done;
+          level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0);
+          k ())
+  in
+  let sweep =
+    if instrument then compile_steps_instr ~depth:0 plan.Plan.steps
+    else compile_steps plan.Plan.steps
+  in
+  let t0 = Clock.now_ns () in
+  Obs.with_span ~cat:"engine"
+    ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
+    "sweep:staged" sweep;
+  if instrument then begin
+    Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
+      ~level_time;
+    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
+  end;
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;

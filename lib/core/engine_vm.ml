@@ -5,7 +5,14 @@
    slot lookup); above that, four dedicated registers per loop
    (step, trip count, index, scratch test) and a scratch region reused by
    expression evaluation. Jump operands are label ids during compilation
-   and absolute addresses after [resolve]. *)
+   and absolute addresses after [resolve].
+
+   Instrumentation (Beast_obs) is a compile-time decision: with
+   [~instrument:true] the compiler interleaves dedicated bookkeeping
+   instructions (Iobs/Itic/Itoc/Iltic/Iltoc); an uninstrumented program
+   contains none of them, so tracing costs nothing when off. *)
+
+open Beast_obs
 
 type instr =
   | Iconst of int * int
@@ -29,6 +36,11 @@ type instr =
   | Imat of int * int  (* arrays.(aid) <- iterfuns.(iid) regs *)
   | Ilen of int * int  (* dst <- length arrays.(aid) *)
   | Ild of int * int * int  (* dst <- arrays.(aid).(regs.(idx)) *)
+  | Iobs of int  (* count a loop entry at depth d; sample throughput *)
+  | Itic  (* start the constraint-evaluation stopwatch *)
+  | Itoc of int  (* charge the stopwatch to constraint c *)
+  | Iltic of int  (* start the level stopwatch for depth d *)
+  | Iltoc of int  (* charge the level stopwatch to depth d *)
   | Ihalt
 
 type program = {
@@ -39,6 +51,7 @@ type program = {
   iterfuns : (int array -> int array) array;
   static_arrays : (int * int array) list;  (* array id -> contents *)
   n_arrays : int;
+  instrumented : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -94,7 +107,7 @@ let resolve a =
       | Iprune (c, l) -> Iprune (c, addr l)
       | other -> other)
 
-let compile (plan : Plan.t) =
+let compile ?(instrument = false) (plan : Plan.t) =
   let a = new_asm () in
   let n_slots = max 1 plan.Plan.n_slots in
   touch a (n_slots - 1);
@@ -211,7 +224,9 @@ let compile (plan : Plan.t) =
     | Check { c_index; c_compute; _ } :: rest ->
       let r = scratch_base in
       touch a r;
+      if instrument then emit a Itic;
       compile_compute c_compute r;
+      if instrument then emit a (Itoc c_index);
       let l_pass = new_label a in
       emit a (Ijz (r, l_pass));
       emit a (Iprune (c_index, cont));
@@ -224,6 +239,7 @@ let compile (plan : Plan.t) =
       let l_test = new_label a
       and l_cont = new_label a
       and l_exit = new_label a in
+      if instrument then emit a (Iltic depth);
       (match l_iter with
       | CRange (start, stop, step) ->
         (* var <- start; step/trip in loop registers; index counts 0..n. *)
@@ -236,6 +252,7 @@ let compile (plan : Plan.t) =
         emit a (Ibin (Lt, r_t, r_i, r_n));
         emit a (Ijz (r_t, l_exit));
         emit a Iiters;
+        if instrument then emit a (Iobs depth);
         compile_steps l_body ~depth:(depth + 1) ~cont:l_cont;
         mark a l_cont;
         emit a (Ibin (Add, l_slot, l_slot, r_step));
@@ -258,11 +275,13 @@ let compile (plan : Plan.t) =
         emit a (Ijz (r_t, l_exit));
         emit a (Ild (l_slot, aid, r_i));
         emit a Iiters;
+        if instrument then emit a (Iobs depth);
         compile_steps l_body ~depth:(depth + 1) ~cont:l_cont;
         mark a l_cont;
         emit a (Iinc r_i);
         emit a (Ijmp l_test));
       mark a l_exit;
+      if instrument then emit a (Iltoc depth);
       compile_steps rest ~depth ~cont
   in
   let l_end = new_label a in
@@ -277,6 +296,7 @@ let compile (plan : Plan.t) =
     iterfuns = Array.of_list (List.rev !iterfuns);
     static_arrays = !static_arrays;
     n_arrays = max 1 !n_arrays;
+    instrumented = instrument;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -292,6 +312,16 @@ let run ?on_hit (p : program) =
   let pruned = Array.make n_constraints 0 in
   let survivors = ref 0 in
   let loop_iterations = ref 0 in
+  (* Instrumentation state; only touched by instructions that exist in
+     instrumented programs. The VM cannot cheaply track its position in
+     the outermost loop, so progress ticks report frac = -1 (unknown). *)
+  let n_loops = max 1 (List.length plan.Plan.iter_order) in
+  let check_time = Array.make (max 1 n_constraints) 0 in
+  let depth_entries = Array.make n_loops 0 in
+  let level_time = Array.make n_loops 0 in
+  let lstart = Array.make n_loops 0 in
+  let tic = ref 0 in
+  let sampler = Engine.make_sampler () in
   let hit =
     match on_hit with
     | None -> fun () -> incr survivors
@@ -304,8 +334,9 @@ let run ?on_hit (p : program) =
   let code = p.code in
   let pc = ref 0 in
   let running = ref true in
-  while !running do
-    match code.(!pc) with
+  let dispatch () =
+    while !running do
+      match code.(!pc) with
     | Iconst (d, k) ->
       regs.(d) <- k;
       incr pc
@@ -369,8 +400,36 @@ let run ?on_hit (p : program) =
     | Ild (d, aid, i) ->
       regs.(d) <- arrays.(aid).(regs.(i));
       incr pc
+    | Iobs d ->
+      depth_entries.(d) <- depth_entries.(d) + 1;
+      if !loop_iterations land Engine.sample_mask = 0 then
+        Engine.sample sampler ~points:!loop_iterations ~survivors:!survivors
+          ~frac:(-1.0);
+      incr pc
+    | Itic ->
+      tic := Clock.now_ns ();
+      incr pc
+    | Itoc c ->
+      check_time.(c) <- check_time.(c) + (Clock.now_ns () - !tic);
+      incr pc
+    | Iltic d ->
+      lstart.(d) <- Clock.now_ns ();
+      incr pc
+    | Iltoc d ->
+      level_time.(d) <- level_time.(d) + (Clock.now_ns () - lstart.(d));
+      incr pc
     | Ihalt -> running := false
-  done;
+    done
+  in
+  let t0 = Clock.now_ns () in
+  Obs.with_span ~cat:"engine"
+    ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
+    "sweep:vm" dispatch;
+  if p.instrumented then begin
+    Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
+      ~level_time;
+    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
+  end;
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;
@@ -378,7 +437,9 @@ let run ?on_hit (p : program) =
       Array.mapi (fun i (n, c) -> (n, c, pruned.(i))) plan.Plan.constraint_info;
   }
 
-let run_plan ?on_hit plan = run ?on_hit (compile plan)
+let run_plan ?on_hit plan =
+  run ?on_hit (compile ~instrument:(Obs.instrumenting ()) plan)
+
 let run_space ?on_hit space = run_plan ?on_hit (Plan.make_exn space)
 
 (* ------------------------------------------------------------------ *)
@@ -411,6 +472,11 @@ let instr_to_string = function
   | Imat (a, i) -> Printf.sprintf "mat     arr%d <- iter#%d" a i
   | Ilen (d, a) -> Printf.sprintf "len     r%d <- |arr%d|" d a
   | Ild (d, a, i) -> Printf.sprintf "load    r%d <- arr%d[r%d]" d a i
+  | Iobs d -> Printf.sprintf "obs     depth %d" d
+  | Itic -> "tic"
+  | Itoc c -> Printf.sprintf "toc     #%d" c
+  | Iltic d -> Printf.sprintf "ltic    depth %d" d
+  | Iltoc d -> Printf.sprintf "ltoc    depth %d" d
   | Ihalt -> "halt"
 
 let disassemble p =

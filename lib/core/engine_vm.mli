@@ -12,7 +12,13 @@
 type program
 (** A compiled program; reusable across runs. *)
 
-val compile : Plan.t -> program
+(** [instrument] (default false) interleaves Beast_obs bookkeeping
+    instructions — per-depth entry counts, per-constraint and per-level
+    stopwatches, throughput sampling. An uninstrumented program contains
+    no such instructions, so tracing that is off costs nothing.
+    [run_plan] and [run_space] pick the flag from
+    [Beast_obs.Obs.instrumenting] automatically. *)
+val compile : ?instrument:bool -> Plan.t -> program
 val disassemble : program -> string
 val instruction_count : program -> int
 

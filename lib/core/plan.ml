@@ -145,7 +145,7 @@ let rec lower_expr ~name slot_map e =
         lower_expr ~name slot_map f )
   | Call (b, args) -> CCall (b, List.map (lower_expr ~name slot_map) args)
 
-let make ?(hoist = true) ?order space =
+let make_untraced ~hoist ~order space =
   match Space.dag space with
   | Error e -> Result.Error (Space_error e)
   | Ok dag -> (
@@ -351,6 +351,29 @@ let make ?(hoist = true) ?order space =
              tbl);
         }
     with Error err -> Result.Error err)
+
+(* Planning is traced as one span per [make] with a summary instant on
+   success, so a Chrome trace shows how long plan construction took
+   relative to the sweep it feeds. *)
+let make ?(hoist = true) ?order space =
+  let module Obs = Beast_obs.Obs in
+  Obs.with_span ~cat:"plan"
+    ~args:[ ("space", Obs.Str (Space.name space)) ]
+    "plan:make"
+    (fun () ->
+      let r = make_untraced ~hoist ~order space in
+      (match r with
+      | Ok p ->
+        Obs.instant ~cat:"plan"
+          ~args:
+            [
+              ("loops", Obs.Int (List.length p.iter_order));
+              ("constraints", Obs.Int (Array.length p.constraint_info));
+              ("slots", Obs.Int p.n_slots);
+            ]
+          "plan:built"
+      | Error _ -> ());
+      r)
 
 let make_exn ?hoist ?order space =
   match make ?hoist ?order space with

@@ -37,40 +37,51 @@ let evaluation_order (plan : Plan.t) =
   List.rev (walk [] plan.Plan.steps)
 
 let funnel ?(engine = fun plan -> Engine_staged.run plan) space =
-  let plan = Plan.make_exn space in
-  let order = evaluation_order plan in
-  let survivors_with names =
-    (engine (Plan.make_exn (space_with_constraints space names))).Engine.survivors
-  in
-  let full_stats = engine plan in
-  let fired_of name =
-    let _, _, k =
-      Array.to_list full_stats.Engine.pruned
-      |> List.find (fun (n, _, _) -> n = name)
-    in
-    k
-  in
-  let total = survivors_with [] in
-  let rec build prev_survivors prefix = function
-    | [] -> []
-    | (name, cls) :: rest ->
-      let prefix = name :: prefix in
-      let s = survivors_with prefix in
+  let module Obs = Beast_obs.Obs in
+  Obs.with_span ~cat:"stats"
+    ~args:[ ("space", Obs.Str (Space.name space)) ]
+    "funnel"
+    (fun () ->
+      let plan = Plan.make_exn space in
+      let order = evaluation_order plan in
+      let survivors_with names =
+        (engine (Plan.make_exn (space_with_constraints space names)))
+          .Engine.survivors
+      in
+      let full_stats = engine plan in
+      let fired_of name =
+        let _, _, k =
+          Array.to_list full_stats.Engine.pruned
+          |> List.find (fun (n, _, _) -> n = name)
+        in
+        k
+      in
+      let total = survivors_with [] in
+      let rec build prev_survivors prefix = function
+        | [] -> []
+        | (name, cls) :: rest ->
+          let prefix = name :: prefix in
+          let s = survivors_with prefix in
+          let removed = prev_survivors - s in
+          Obs.instant ~cat:"funnel"
+            ~args:
+              [ ("fired", Obs.Int (fired_of name)); ("removed", Obs.Int removed) ]
+            name;
+          {
+            constraint_name = name;
+            constraint_class = cls;
+            fired = fired_of name;
+            removed = Some removed;
+          }
+          :: build s prefix rest
+      in
+      let rows = build total [] order in
       {
-        constraint_name = name;
-        constraint_class = cls;
-        fired = fired_of name;
-        removed = Some (prev_survivors - s);
-      }
-      :: build s prefix rest
-  in
-  let rows = build total [] order in
-  {
-    space = Space.name space;
-    total_points = total;
-    survivors = full_stats.Engine.survivors;
-    rows;
-  }
+        space = Space.name space;
+        total_points = total;
+        survivors = full_stats.Engine.survivors;
+        rows;
+      })
 
 let of_stats space (stats : Engine.stats) ~total_points =
   {
@@ -101,9 +112,12 @@ let to_csv f =
            | Some k -> string_of_int k
            | None -> "")))
     f.rows;
+  (* fired counts events (one firing can remove a whole subtree), removed
+     counts points; they are different quantities, so the TOTAL row sums
+     each column independently. *)
+  let total_fired = List.fold_left (fun acc r -> acc + r.fired) 0 f.rows in
   Buffer.add_string buf
-    (Printf.sprintf "TOTAL,,%d,%d\n" (f.total_points - f.survivors)
-       (f.total_points - f.survivors));
+    (Printf.sprintf "TOTAL,,%d,%d\n" total_fired (f.total_points - f.survivors));
   Buffer.contents buf
 
 let pp ppf f =

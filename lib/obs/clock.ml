@@ -1,0 +1,7 @@
+external now_ns : unit -> int = "beast_obs_clock_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3
+
+let elapsed_s ~since = ns_to_s (now_ns () - since)

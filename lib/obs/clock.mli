@@ -1,0 +1,20 @@
+(** Monotonic clock.
+
+    Readings come from [clock_gettime(CLOCK_MONOTONIC)] through an
+    allocation-free C stub and are expressed as nanoseconds since an
+    arbitrary epoch (boot on Linux) in a plain OCaml [int] — 63 bits of
+    nanoseconds is ~146 years, and avoiding [int64] keeps instrumented
+    hot loops free of boxing. Differences between readings are immune to
+    wall-clock adjustments, unlike [Unix.gettimeofday]. *)
+
+external now_ns : unit -> int = "beast_obs_clock_ns" [@@noalloc]
+(** Current monotonic time in nanoseconds. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds (monotonic, arbitrary epoch). *)
+
+val ns_to_s : int -> float
+val ns_to_us : int -> float
+
+val elapsed_s : since:int -> float
+(** Seconds elapsed since a previous [now_ns] reading. *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for Beast_obs.Clock.
+
+   CLOCK_MONOTONIC survives wall-clock adjustments (NTP slews, manual
+   date changes), which Unix.gettimeofday does not. The reading is
+   returned as a tagged OCaml int: 63 bits of nanoseconds-since-boot
+   covers ~146 years, and Val_long keeps the stub allocation-free so the
+   external can be [@@noalloc] — one C call, no GC interaction, cheap
+   enough to sit inside instrumented enumeration loops. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value beast_obs_clock_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,145 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type kind =
+  | Begin
+  | End
+  | Complete of int  (* duration, ns *)
+  | Instant
+  | Counter of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : int;
+  ev_dom : int;
+  ev_kind : kind;
+  ev_args : (string * arg) list;
+}
+
+type sink = {
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+let null = { emit = ignore; flush = ignore }
+
+(* The hot-path contract: instrumented code guards every emission (and
+   every clock read feeding one) behind [enabled ()], so with no sink
+   installed the cost is a single load-and-branch. The refs are shared
+   across domains; plain loads/stores of immediate values cannot tear,
+   and installation is expected to happen before domains are spawned. *)
+let current = ref null
+let on = ref false
+
+let set_sink s =
+  current := s;
+  on := true
+
+let clear_sink () =
+  let s = !current in
+  on := false;
+  current := null;
+  s.flush ()
+
+let enabled () = !on
+
+let domain_id () = (Domain.self () :> int)
+
+let emit ev = if !on then !current.emit ev
+
+let make ?(cat = "") ?(args = []) kind name =
+  {
+    ev_name = name;
+    ev_cat = cat;
+    ev_ts_ns = Clock.now_ns ();
+    ev_dom = domain_id ();
+    ev_kind = kind;
+    ev_args = args;
+  }
+
+let span_begin ?cat ?args name = if !on then !current.emit (make ?cat ?args Begin name)
+let span_end ?cat ?args name = if !on then !current.emit (make ?cat ?args End name)
+
+let with_span ?cat ?args name f =
+  if not !on then f ()
+  else begin
+    span_begin ?cat ?args name;
+    Fun.protect ~finally:(fun () -> span_end ?cat name) f
+  end
+
+let instant ?cat ?args name = if !on then !current.emit (make ?cat ?args Instant name)
+
+let counter ?cat name v =
+  if !on then !current.emit (make ?cat (Counter v) name)
+
+let complete ?cat ?args ?ts ~dur_ns name =
+  if !on then begin
+    let ev = make ?cat ?args (Complete dur_ns) name in
+    let ev =
+      match ts with
+      | None -> ev
+      | Some ts -> { ev with ev_ts_ns = ts }
+    in
+    !current.emit ev
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Progress hook                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Orthogonal to tracing so `--progress` works without a trace sink.
+   Engines sample every few tens of thousands of loop iterations and
+   call [progress_tick]; [frac] is the fraction of the outermost loop
+   completed when the engine can tell, negative otherwise. *)
+
+type progress_fn = dom:int -> points:int -> survivors:int -> frac:float -> unit
+
+let progress : progress_fn option ref = ref None
+let progress_on = ref false
+
+let set_progress f =
+  progress := Some f;
+  progress_on := true
+
+let clear_progress () =
+  progress_on := false;
+  progress := None
+
+let progress_enabled () = !progress_on
+
+let progress_tick ~points ~survivors ~frac =
+  match !progress with
+  | None -> ()
+  | Some f -> f ~dom:(domain_id ()) ~points ~survivors ~frac
+
+let instrumenting () = !on || !progress_on
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (debug convenience)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let arg_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let kind_name = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Complete _ -> "complete"
+  | Instant -> "instant"
+  | Counter _ -> "counter"
+
+let pp_event ppf ev =
+  Format.fprintf ppf "[%d] %s %s/%s @@%dns" ev.ev_dom (kind_name ev.ev_kind)
+    ev.ev_cat ev.ev_name ev.ev_ts_ns;
+  (match ev.ev_kind with
+  | Complete dur -> Format.fprintf ppf " dur=%dns" dur
+  | Counter v -> Format.fprintf ppf " value=%g" v
+  | Begin | End | Instant -> ());
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (arg_to_string v))
+    ev.ev_args

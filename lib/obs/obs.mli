@@ -1,0 +1,108 @@
+(** The observability event model.
+
+    A low-overhead tracing layer for the planning and enumeration
+    pipeline: monotonic-clock spans, instant events and sampled counters
+    flowing into a pluggable {!sink}. With no sink installed every
+    emission helper reduces to a single load-and-branch on {!enabled},
+    so instrumented hot paths stay within the engines' performance
+    budget (measured in [bench/main.ml]).
+
+    Events are tagged with the emitting domain's id; thread-safety of
+    concurrent emission is the sink's responsibility ({!Recorder} keeps
+    per-domain buffers and merges them when read). Install sinks before
+    spawning domains. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type kind =
+  | Begin  (** span opens; matched by an {!End} with the same name *)
+  | End
+  | Complete of int
+      (** self-contained span with an explicit duration in ns —
+          used for post-hoc aggregates (per-constraint cumulative
+          time, per-level timings) *)
+  | Instant
+  | Counter of float  (** sampled value, e.g. points/second *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** category: "plan", "engine", "constraint", "level", ... *)
+  ev_ts_ns : int;  (** monotonic timestamp ({!Clock.now_ns}) *)
+  ev_dom : int;  (** emitting domain id *)
+  ev_kind : kind;
+  ev_args : (string * arg) list;
+}
+
+type sink = {
+  emit : event -> unit;  (** may be called concurrently from domains *)
+  flush : unit -> unit;
+}
+
+val null : sink
+(** Drops everything. *)
+
+val set_sink : sink -> unit
+(** Install a sink and enable tracing. *)
+
+val clear_sink : unit -> unit
+(** Disable tracing, restore {!null}, and flush the old sink. *)
+
+val enabled : unit -> bool
+
+val emit : event -> unit
+(** Forward a ready-made event; one branch when tracing is off. *)
+
+val domain_id : unit -> int
+
+(** {2 Emission helpers}
+
+    All are no-ops (one branch, no allocation, no clock read) when
+    tracing is disabled. *)
+
+val span_begin : ?cat:string -> ?args:(string * arg) list -> string -> unit
+val span_end : ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+val with_span :
+  ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Wrap a computation in a balanced span; the end event is emitted even
+    if the computation raises. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+val counter : ?cat:string -> string -> float -> unit
+
+val complete :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  ?ts:int ->
+  dur_ns:int ->
+  string ->
+  unit
+(** Emit a {!Complete} span; [ts] defaults to now (pass the run's start
+    time to stack aggregate spans on one track). *)
+
+(** {2 Progress hook}
+
+    Orthogonal to tracing so progress reporting works without a trace
+    sink. Engines call {!progress_tick} every few tens of thousands of
+    loop iterations; [frac] is the completed fraction of the outermost
+    loop when the engine can tell it, negative otherwise. *)
+
+type progress_fn = dom:int -> points:int -> survivors:int -> frac:float -> unit
+
+val set_progress : progress_fn -> unit
+val clear_progress : unit -> unit
+val progress_enabled : unit -> bool
+val progress_tick : points:int -> survivors:int -> frac:float -> unit
+
+val instrumenting : unit -> bool
+(** [enabled () || progress_enabled ()]: engines consult this once per
+    run to pick the instrumented code path. *)
+
+(** {2 Debug} *)
+
+val arg_to_string : arg -> string
+val kind_name : kind -> string
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,115 @@
+(* Throttled progress line for long enumerations. Engines tick through
+   Obs.progress_tick from whichever domain is sweeping; the reporter
+   keeps the latest per-domain figures, sums them, and redraws a
+   carriage-return line at most every [interval_s] seconds. *)
+
+type dom_state = {
+  mutable d_points : int;
+  mutable d_survivors : int;
+  mutable d_frac : float;  (* < 0 when unknown *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  doms : (int, dom_state) Hashtbl.t;
+  out : out_channel;
+  interval_ns : int;
+  total : int option;  (* raw-cardinality estimate, for a fallback ETA *)
+  start_ns : int;
+  mutable last_render_ns : int;
+  mutable last_width : int;
+  mutable rendered : bool;
+}
+
+let create ?(interval_s = 0.2) ?total ?(out = stderr) () =
+  {
+    mutex = Mutex.create ();
+    doms = Hashtbl.create 8;
+    out;
+    interval_ns = int_of_float (interval_s *. 1e9);
+    total;
+    start_ns = Clock.now_ns ();
+    last_render_ns = 0;
+    last_width = 0;
+    rendered = false;
+  }
+
+let si n =
+  let f = float_of_int n in
+  if n < 10_000 then string_of_int n
+  else if f < 1e6 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.2fM" (f /. 1e6)
+  else Printf.sprintf "%.2fG" (f /. 1e9)
+
+let totals t =
+  Hashtbl.fold
+    (fun _ d (pts, srv, fracs, nfrac) ->
+      ( pts + d.d_points,
+        srv + d.d_survivors,
+        (if d.d_frac >= 0.0 then fracs +. d.d_frac else fracs),
+        if d.d_frac >= 0.0 then nfrac + 1 else nfrac ))
+    t.doms (0, 0, 0.0, 0)
+
+let line t ~now =
+  let points, survivors, frac_sum, n_frac = totals t in
+  let elapsed = Clock.ns_to_s (now - t.start_ns) in
+  let rate = if elapsed > 0.0 then float_of_int points /. elapsed else 0.0 in
+  let frac =
+    if n_frac > 0 then Some (frac_sum /. float_of_int n_frac)
+    else
+      match t.total with
+      | Some total when total > 0 ->
+        Some (float_of_int points /. float_of_int total)
+      | _ -> None
+  in
+  let eta =
+    match frac with
+    | Some f when f > 1e-6 && f <= 1.0 ->
+      Printf.sprintf "  eta %.1fs" (elapsed *. ((1.0 /. f) -. 1.0))
+    | _ -> ""
+  in
+  let pct =
+    match frac with
+    | Some f -> Printf.sprintf "  %5.1f%%" (100.0 *. Float.min 1.0 f)
+    | None -> ""
+  in
+  Printf.sprintf "[beast] %s points  %s survivors  %s pts/s  %.1fs%s%s"
+    (si points) (si survivors) (si (int_of_float rate)) elapsed pct eta
+
+let render t ~now =
+  let s = line t ~now in
+  let pad = max 0 (t.last_width - String.length s) in
+  output_string t.out ("\r" ^ s ^ String.make pad ' ');
+  flush t.out;
+  t.last_width <- String.length s;
+  t.rendered <- true;
+  t.last_render_ns <- now
+
+let tick t ~dom ~points ~survivors ~frac =
+  Mutex.lock t.mutex;
+  let d =
+    match Hashtbl.find_opt t.doms dom with
+    | Some d -> d
+    | None ->
+      let d = { d_points = 0; d_survivors = 0; d_frac = -1.0 } in
+      Hashtbl.replace t.doms dom d;
+      d
+  in
+  d.d_points <- points;
+  d.d_survivors <- survivors;
+  d.d_frac <- frac;
+  let now = Clock.now_ns () in
+  if now - t.last_render_ns >= t.interval_ns then render t ~now;
+  Mutex.unlock t.mutex
+
+let install t = Obs.set_progress (tick t)
+
+let finish t =
+  Obs.clear_progress ();
+  Mutex.lock t.mutex;
+  if t.rendered then begin
+    render t ~now:(Clock.now_ns ());
+    output_string t.out "\n";
+    flush t.out
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,26 @@
+(** Throttled progress reporter for long enumerations.
+
+    Install with {!install}; engines then feed it through
+    [Obs.progress_tick] from every sweeping domain. The reporter keeps
+    the latest per-domain counts, sums them, and redraws a single
+    carriage-return status line (points enumerated, survivors, rate,
+    completed fraction and ETA) at most once per [interval_s]. The
+    completed fraction comes from the engines' outermost-loop position
+    when available, else from [total] (a raw-cardinality estimate). *)
+
+type t
+
+val create :
+  ?interval_s:float -> ?total:int -> ?out:out_channel -> unit -> t
+(** [interval_s] defaults to 0.2; [out] to [stderr]. *)
+
+val install : t -> unit
+(** Register as the global [Obs] progress hook. *)
+
+val tick :
+  t -> dom:int -> points:int -> survivors:int -> frac:float -> unit
+(** Direct entry point (what {!install} registers). Thread-safe. *)
+
+val finish : t -> unit
+(** Unregister the hook, draw a final line and terminate it with a
+    newline (only if anything was ever drawn). *)

@@ -1,0 +1,26 @@
+(** In-memory trace recorder.
+
+    The standard sink behind [--trace]: events are appended to
+    per-domain buffers (domain-local, no lock on the emission path
+    beyond the first event of each domain) and merged into one
+    time-sorted stream when read — the "merge per-domain buffers at
+    join" step of the parallel engine happens here, keyed on each
+    event's domain tag. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Obs.sink
+
+val start_ns : t -> int
+(** Monotonic time at recorder creation; the natural time origin for
+    trace output. *)
+
+val events : t -> Obs.event array
+(** All recorded events, merged across domains, sorted by timestamp.
+    Safe to call after every spawned domain has been joined. *)
+
+val event_count : t -> int
+
+val domains : t -> int list
+(** Domain ids that emitted at least one event, ascending. *)

@@ -1,0 +1,82 @@
+(* Chrome trace-event JSON (the "JSON Array Format" plus metadata),
+   loadable in chrome://tracing and Perfetto. Mapping:
+
+     Begin/End      -> ph "B"/"E"
+     Complete dur   -> ph "X" with "dur" (aggregate spans: constraints,
+                       loop levels)
+     Instant        -> ph "i", thread-scoped
+     Counter v      -> ph "C" with args {"value": v}
+
+   pid is fixed at 1; tid is the emitting domain id, so domains show up
+   as separate track rows. Timestamps are microseconds (floats) relative
+   to the recorder's start so traces begin near zero. *)
+
+let thread_name_event buf ~tid ~name =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":"
+       tid);
+  Trace_json.escape buf name;
+  Buffer.add_string buf "}}"
+
+let write_event buf ~start_ns (ev : Obs.event) =
+  let ph =
+    match ev.Obs.ev_kind with
+    | Obs.Begin -> "B"
+    | Obs.End -> "E"
+    | Obs.Complete _ -> "X"
+    | Obs.Instant -> "i"
+    | Obs.Counter _ -> "C"
+  in
+  Buffer.add_string buf "{\"name\":";
+  Trace_json.escape buf ev.Obs.ev_name;
+  if ev.Obs.ev_cat <> "" then begin
+    Buffer.add_string buf ",\"cat\":";
+    Trace_json.escape buf ev.Obs.ev_cat
+  end;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\"" ph);
+  Buffer.add_string buf ",\"ts\":";
+  Trace_json.float buf (Clock.ns_to_us (ev.Obs.ev_ts_ns - start_ns));
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.Obs.ev_dom);
+  (match ev.Obs.ev_kind with
+  | Obs.Complete dur ->
+    Buffer.add_string buf ",\"dur\":";
+    Trace_json.float buf (Clock.ns_to_us dur)
+  | Obs.Instant -> Buffer.add_string buf ",\"s\":\"t\""
+  | Obs.Begin | Obs.End | Obs.Counter _ -> ());
+  (match ev.Obs.ev_kind with
+  | Obs.Counter v ->
+    Buffer.add_string buf ",\"args\":{\"value\":";
+    Trace_json.float buf v;
+    Buffer.add_string buf "}"
+  | _ ->
+    if ev.Obs.ev_args <> [] then begin
+      Buffer.add_string buf ",\"args\":";
+      Trace_json.args_object buf ev.Obs.ev_args
+    end);
+  Buffer.add_string buf "}"
+
+let render ?(start_ns = 0) events =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  (* Name the domain tracks. *)
+  let doms = Hashtbl.create 8 in
+  Array.iter (fun ev -> Hashtbl.replace doms ev.Obs.ev_dom ()) events;
+  Hashtbl.fold (fun d () acc -> d :: acc) doms []
+  |> List.sort Int.compare
+  |> List.iter (fun d ->
+         sep ();
+         thread_name_event buf ~tid:d ~name:(Printf.sprintf "domain %d" d));
+  Array.iter
+    (fun ev ->
+      sep ();
+      write_event buf ~start_ns ev)
+    events;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let write ?start_ns oc events = output_string oc (render ?start_ns events)

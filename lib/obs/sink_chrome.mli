@@ -1,0 +1,10 @@
+(** Chrome trace-event JSON writer.
+
+    Produces the object form [{"traceEvents": [...]}] accepted by
+    [chrome://tracing] and Perfetto. Span begin/end map to ph "B"/"E",
+    aggregate {!Obs.Complete} spans to ph "X", counters to ph "C";
+    domains appear as named track rows (pid 1, tid = domain id).
+    Timestamps are microseconds relative to [start_ns]. *)
+
+val render : ?start_ns:int -> Obs.event array -> string
+val write : ?start_ns:int -> out_channel -> Obs.event array -> unit

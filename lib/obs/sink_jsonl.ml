@@ -1,0 +1,50 @@
+let write_event buf (ev : Obs.event) =
+  Buffer.add_string buf "{\"name\":";
+  Trace_json.escape buf ev.Obs.ev_name;
+  Buffer.add_string buf ",\"cat\":";
+  Trace_json.escape buf ev.Obs.ev_cat;
+  Buffer.add_string buf ",\"kind\":";
+  Trace_json.escape buf (Obs.kind_name ev.Obs.ev_kind);
+  Buffer.add_string buf (Printf.sprintf ",\"ts_ns\":%d" ev.Obs.ev_ts_ns);
+  Buffer.add_string buf (Printf.sprintf ",\"dom\":%d" ev.Obs.ev_dom);
+  (match ev.Obs.ev_kind with
+  | Obs.Complete dur -> Buffer.add_string buf (Printf.sprintf ",\"dur_ns\":%d" dur)
+  | Obs.Counter v ->
+    Buffer.add_string buf ",\"value\":";
+    Trace_json.float buf v
+  | Obs.Begin | Obs.End | Obs.Instant -> ());
+  if ev.Obs.ev_args <> [] then begin
+    Buffer.add_string buf ",\"args\":";
+    Trace_json.args_object buf ev.Obs.ev_args
+  end;
+  Buffer.add_string buf "}\n"
+
+let write oc events =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun ev ->
+      Buffer.clear buf;
+      write_event buf ev;
+      Buffer.output_buffer oc buf)
+    events
+
+(* Streaming variant: events hit the channel as they are emitted (useful
+   when a run may not reach an orderly shutdown). Emission is serialized
+   with a mutex, so this sink is slower than {!Recorder} under the
+   parallel engine. *)
+let sink oc =
+  let mutex = Mutex.create () in
+  let buf = Buffer.create 512 in
+  let emit ev =
+    Mutex.lock mutex;
+    Buffer.clear buf;
+    write_event buf ev;
+    Buffer.output_buffer oc buf;
+    Mutex.unlock mutex
+  in
+  let flush () =
+    Mutex.lock mutex;
+    flush oc;
+    Mutex.unlock mutex
+  in
+  { Obs.emit; flush }

@@ -1,0 +1,13 @@
+(** JSONL event log: one JSON object per line, one line per event.
+
+    The schema is the {!Obs.event} record spelled out —
+    [{"name":..,"cat":..,"kind":..,"ts_ns":..,"dom":..,("dur_ns"|"value")?,"args"?}] —
+    grep/jq-friendly and stable for downstream tooling. *)
+
+val write_event : Buffer.t -> Obs.event -> unit
+val write : out_channel -> Obs.event array -> unit
+
+val sink : out_channel -> Obs.sink
+(** Streaming sink: each event is serialized and written under a mutex
+    as it is emitted. Prefer {!Recorder} + {!write} unless you need the
+    log to survive a crash mid-run. *)

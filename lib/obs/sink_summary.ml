@@ -1,0 +1,158 @@
+(* Human-readable roll-up of a recorded trace: top constraints by
+   cumulative evaluation time and by firings (and by points removed when
+   funnel attribution events are present), per-level loop timings, span
+   totals and counter statistics. Aggregation is by event name, summed
+   across domains. *)
+
+type acc = {
+  mutable a_time_ns : int;
+  mutable a_count : int;
+  mutable a_fired : int;
+  mutable a_removed : int;
+  mutable a_entries : int;
+  mutable a_depth : int;
+}
+
+let get tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        a_time_ns = 0;
+        a_count = 0;
+        a_fired = 0;
+        a_removed = 0;
+        a_entries = 0;
+        a_depth = -1;
+      }
+    in
+    Hashtbl.replace tbl name a;
+    a
+
+let int_arg args name =
+  match List.assoc_opt name args with
+  | Some (Obs.Int i) -> Some i
+  | _ -> None
+
+let rows tbl = Hashtbl.fold (fun name a acc -> (name, a) :: acc) tbl []
+
+let top ~by ~n rows =
+  List.filteri (fun i _ -> i < n)
+    (List.sort (fun (_, a) (_, b) -> compare (by b) (by a)) rows)
+
+let ms ns = float_of_int ns *. 1e-6
+
+let write ?(top_n = 10) ppf (events : Obs.event array) =
+  let constraints = Hashtbl.create 16 in
+  let levels = Hashtbl.create 16 in
+  let spans = Hashtbl.create 16 in
+  (* Per-domain stacks of (name, ts) match Begin/End pairs. *)
+  let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let counters = Hashtbl.create 16 in
+  Array.iter
+    (fun ev ->
+      let name = ev.Obs.ev_name and args = ev.Obs.ev_args in
+      match ev.Obs.ev_kind with
+      | Obs.Complete dur when ev.Obs.ev_cat = "constraint" ->
+        let a = get constraints name in
+        a.a_time_ns <- a.a_time_ns + dur;
+        a.a_count <- a.a_count + 1;
+        Option.iter (fun k -> a.a_fired <- a.a_fired + k) (int_arg args "fired")
+      | Obs.Complete dur when ev.Obs.ev_cat = "level" ->
+        let a = get levels name in
+        a.a_time_ns <- a.a_time_ns + dur;
+        Option.iter
+          (fun k -> a.a_entries <- a.a_entries + k)
+          (int_arg args "entries");
+        Option.iter (fun d -> a.a_depth <- d) (int_arg args "depth")
+      | Obs.Instant when ev.Obs.ev_cat = "funnel" ->
+        let a = get constraints name in
+        Option.iter (fun k -> a.a_removed <- a.a_removed + k)
+          (int_arg args "removed");
+        Option.iter (fun k -> a.a_fired <- max a.a_fired k)
+          (int_arg args "fired")
+      | Obs.Begin ->
+        let stack =
+          match Hashtbl.find_opt stacks ev.Obs.ev_dom with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.replace stacks ev.Obs.ev_dom s;
+            s
+        in
+        stack := (name, ev.Obs.ev_ts_ns) :: !stack
+      | Obs.End -> (
+        match Hashtbl.find_opt stacks ev.Obs.ev_dom with
+        | Some ({ contents = (n, t0) :: rest } as stack) when n = name ->
+          stack := rest;
+          let a = get spans name in
+          a.a_time_ns <- a.a_time_ns + (ev.Obs.ev_ts_ns - t0);
+          a.a_count <- a.a_count + 1
+        | _ -> ())
+      | Obs.Counter v ->
+        let sum, n, mx =
+          match Hashtbl.find_opt counters name with
+          | Some (s, n, m) -> (s, n, m)
+          | None -> (0.0, 0, neg_infinity)
+        in
+        Hashtbl.replace counters name (sum +. v, n + 1, Float.max mx v)
+      | Obs.Complete _ | Obs.Instant -> ())
+    events;
+  let open Format in
+  fprintf ppf "=== trace summary (%d events) ===@\n" (Array.length events);
+  let span_rows = rows spans in
+  if span_rows <> [] then begin
+    fprintf ppf "@\nspans (wall time, all domains):@\n";
+    List.iter
+      (fun (name, a) ->
+        fprintf ppf "  %-32s %10.3f ms  x%d@\n" name (ms a.a_time_ns) a.a_count)
+      (List.sort (fun (_, a) (_, b) -> compare b.a_time_ns a.a_time_ns)
+         span_rows)
+  end;
+  let c_rows = rows constraints in
+  if c_rows <> [] then begin
+    fprintf ppf "@\ntop constraints by cumulative evaluation time:@\n";
+    List.iter
+      (fun (name, a) ->
+        fprintf ppf "  %-32s %10.3f ms  fired %d@\n" name (ms a.a_time_ns)
+          a.a_fired)
+      (top ~by:(fun a -> a.a_time_ns) ~n:top_n c_rows);
+    fprintf ppf "@\ntop constraints by firings:@\n";
+    List.iter
+      (fun (name, a) -> fprintf ppf "  %-32s fired %d@\n" name a.a_fired)
+      (top ~by:(fun a -> a.a_fired) ~n:top_n c_rows);
+    if List.exists (fun (_, a) -> a.a_removed > 0) c_rows then begin
+      fprintf ppf "@\ntop constraints by points removed (funnel attribution):@\n";
+      List.iter
+        (fun (name, a) -> fprintf ppf "  %-32s removed %d@\n" name a.a_removed)
+        (top ~by:(fun a -> a.a_removed) ~n:top_n c_rows)
+    end
+  end;
+  let l_rows = rows levels in
+  if l_rows <> [] then begin
+    fprintf ppf "@\nloop levels (cumulative time inside level and below):@\n";
+    List.iter
+      (fun (name, a) ->
+        fprintf ppf "  L%-2d %-28s %10.3f ms  %d entries@\n" a.a_depth name
+          (ms a.a_time_ns) a.a_entries)
+      (List.sort (fun (_, a) (_, b) -> compare a.a_depth b.a_depth) l_rows)
+  end;
+  let counter_rows = rows counters |> List.map (fun (n, _) -> n) in
+  if counter_rows <> [] then begin
+    fprintf ppf "@\ncounters:@\n";
+    List.iter
+      (fun name ->
+        let sum, n, mx = Hashtbl.find counters name in
+        fprintf ppf "  %-32s mean %.3g  max %.3g  (%d samples)@\n" name
+          (sum /. float_of_int (max 1 n))
+          mx n)
+      (List.sort String.compare counter_rows)
+  end;
+  pp_print_flush ppf ()
+
+let to_string ?top_n events =
+  let buf = Buffer.create 2048 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ?top_n ppf events;
+  Buffer.contents buf

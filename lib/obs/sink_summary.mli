@@ -1,0 +1,10 @@
+(** Human-readable trace summary.
+
+    Aggregates a recorded event stream by name across domains and
+    prints: span wall-time totals, top constraints by cumulative
+    evaluation time / by firings / by points removed (when funnel
+    attribution events are present), per-level loop timings and counter
+    statistics. *)
+
+val write : ?top_n:int -> Format.formatter -> Obs.event array -> unit
+val to_string : ?top_n:int -> Obs.event array -> string

@@ -1,0 +1,44 @@
+(* Hand-rolled JSON emission shared by the JSONL and Chrome sinks (the
+   repo deliberately has no JSON dependency). Only what we need:
+   strings, ints, floats, and flat objects of event args. *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float buf f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    (* NaN/inf are not JSON; clamp to null. *)
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let arg buf (a : Obs.arg) =
+  match a with
+  | Obs.Int i -> Buffer.add_string buf (string_of_int i)
+  | Obs.Float f -> float buf f
+  | Obs.Str s -> escape buf s
+
+let args_object buf (args : (string * Obs.arg) list) =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape buf k;
+      Buffer.add_char buf ':';
+      arg buf v)
+    args;
+  Buffer.add_char buf '}'

@@ -1,0 +1,497 @@
+(* Tests for the Beast_obs tracing layer: span balance, agreement
+   between recorded aggregates and engine statistics across all four
+   engines, trace-output well-formedness and the progress reporter. *)
+
+open Beast_core
+open Beast_obs
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (no external dependency) for validating the     *)
+(* Chrome and JSONL writers. Handles the full value grammar emitted by *)
+(* Trace_json: objects, arrays, strings with escapes, numbers, true,   *)
+(* false, null.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\255' in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if peek () = c then advance ()
+      else fail (Printf.sprintf "expected %c, got %c" c (peek ()))
+    in
+    let literal word value =
+      String.iter expect word;
+      value
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              (match peek () with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+              | _ -> fail "bad \\u escape")
+            done;
+            Buffer.add_char buf '?'
+          | _ -> fail "bad escape");
+          go ()
+        | '\255' -> fail "unterminated string"
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false
+      do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | '}' ->
+              advance ();
+              List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              elements (v :: acc)
+            | ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (elements [])
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | '-' | '0' .. '9' -> parse_number ()
+      | c -> fail (Printf.sprintf "unexpected %c" c)
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let record f =
+  let r = Recorder.create () in
+  Obs.set_sink (Recorder.sink r);
+  let x = Fun.protect ~finally:Obs.clear_sink f in
+  (x, r)
+
+let int_arg name ev =
+  match List.assoc_opt name ev.Obs.ev_args with
+  | Some (Obs.Int n) -> n
+  | _ -> Alcotest.failf "event %s: missing int arg %s" ev.Obs.ev_name name
+
+let engines : (string * (Space.t -> Engine.stats)) list =
+  [
+    ("interp", fun sp -> Engine_interp.run sp);
+    ("interp-naive", fun sp -> Engine_interp.run ~variant:`Naive sp);
+    ("vm", fun sp -> Engine_vm.run_space sp);
+    ("staged", fun sp -> Engine_staged.run_space sp);
+    ("parallel", fun sp -> Engine_parallel.run_space ~domains:3 sp);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "positive" true (a > 0);
+  Alcotest.(check bool) "monotonic" true (b >= a);
+  Alcotest.(check bool) "elapsed non-negative" true (Clock.elapsed_s ~since:a >= 0.0);
+  Alcotest.(check (float 1e-9)) "unit conversion" 1.5 (Clock.ns_to_s 1_500_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-path behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_is_silent () =
+  Alcotest.(check bool) "off by default" false (Obs.enabled ());
+  Alcotest.(check bool) "not instrumenting" false (Obs.instrumenting ());
+  (* Emission helpers must be no-ops, not crashes. *)
+  Obs.instant "nobody-listens";
+  Obs.counter "nothing" 1.0;
+  Obs.with_span "quiet" (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Span balance                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_spans_balanced events =
+  (* Per domain, Begin/End events must nest like parentheses. The global
+     stream is time-sorted; per-domain order is preserved because each
+     domain's timestamps are non-decreasing. *)
+  let stacks = Hashtbl.create 4 in
+  Array.iter
+    (fun ev ->
+      let stack =
+        match Hashtbl.find_opt stacks ev.Obs.ev_dom with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.replace stacks ev.Obs.ev_dom s;
+          s
+      in
+      match ev.Obs.ev_kind with
+      | Obs.Begin -> stack := ev.Obs.ev_name :: !stack
+      | Obs.End -> (
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "span end matches begin" top ev.Obs.ev_name;
+          stack := rest
+        | [] -> Alcotest.failf "unmatched end of %s" ev.Obs.ev_name)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun dom stack ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "domain %d stack empty" dom)
+        [] !stack)
+    stacks
+
+let test_span_balance () =
+  let sp = Support.triangle_space () in
+  List.iter
+    (fun (name, run) ->
+      let _, r = record (fun () -> run sp) in
+      let events = Recorder.events r in
+      Alcotest.(check bool)
+        (name ^ " recorded something")
+        true
+        (Array.length events > 0);
+      check_spans_balanced events)
+    engines
+
+let test_nested_spans () =
+  let _, r =
+    record (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner" (fun () -> Obs.instant "leaf")))
+  in
+  let events = Recorder.events r in
+  check_spans_balanced events;
+  Alcotest.(check (list string))
+    "order" [ "outer"; "inner"; "leaf"; "inner"; "outer" ]
+    (Array.to_list (Array.map (fun ev -> ev.Obs.ev_name) events));
+  (* A raising computation still closes its span. *)
+  let _, r =
+    record (fun () ->
+        try Obs.with_span "throws" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  check_spans_balanced (Recorder.events r)
+
+(* ------------------------------------------------------------------ *)
+(* Recorded aggregates agree with engine statistics                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_aggregates_match_stats () =
+  let sp = Support.triangle_space () in
+  List.iter
+    (fun (name, run) ->
+      let stats, r = record (fun () -> run sp) in
+      let events = Recorder.events r in
+      (* Per-constraint Complete spans: summed firings = stats.pruned
+         (triangle_space has no depth-0 constraints, so the parallel
+         engine's per-domain aggregates sum cleanly). *)
+      let fired = Hashtbl.create 4 in
+      let level_entries = ref 0 in
+      Array.iter
+        (fun ev ->
+          match ev.Obs.ev_kind with
+          | Obs.Complete _ when ev.Obs.ev_cat = "constraint" ->
+            let prev =
+              Option.value ~default:0 (Hashtbl.find_opt fired ev.Obs.ev_name)
+            in
+            Hashtbl.replace fired ev.Obs.ev_name (prev + int_arg "fired" ev)
+          | Obs.Complete _ when ev.Obs.ev_cat = "level" ->
+            level_entries := !level_entries + int_arg "entries" ev
+          | _ -> ())
+        events;
+      Array.iter
+        (fun (cname, _, k) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s firings" name cname)
+            k
+            (Option.value ~default:(-1) (Hashtbl.find_opt fired cname)))
+        stats.Engine.pruned;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: level entries sum to loop iterations" name)
+        stats.Engine.loop_iterations !level_entries)
+    engines
+
+let test_cross_engine_agreement_while_traced () =
+  (* Instrumented code paths must compute the same statistics as the
+     uninstrumented ones the rest of the suite exercises. *)
+  let sp = Support.mixed_space () in
+  let reference = Engine_staged.run_space sp in
+  List.iter
+    (fun (name, run) ->
+      let stats, _ = record (fun () -> run sp) in
+      Alcotest.(check int)
+        (name ^ " survivors") reference.Engine.survivors stats.Engine.survivors)
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Trace output formats                                                *)
+(* ------------------------------------------------------------------ *)
+
+let recorded_sweep () =
+  let sp = Support.triangle_space () in
+  let _, r = record (fun () -> Engine_parallel.run_space ~domains:2 sp) in
+  r
+
+let test_chrome_well_formed () =
+  let r = recorded_sweep () in
+  let events = Recorder.events r in
+  let doc =
+    match Json.parse (Sink_chrome.render ~start_ns:(Recorder.start_ns r) events) with
+    | doc -> doc
+    | exception Json.Bad msg -> Alcotest.failf "invalid JSON: %s" msg
+  in
+  let trace_events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  (* Every real event appears, plus one thread_name metadata row per
+     domain. *)
+  Alcotest.(check int) "event count"
+    (Array.length events + List.length (Recorder.domains r))
+    (List.length trace_events);
+  List.iter
+    (fun ev ->
+      (match Json.member "ph" ev with
+      | Some (Json.Str ("B" | "E" | "X" | "i" | "C" | "M")) -> ()
+      | _ -> Alcotest.fail "bad or missing ph");
+      (match Json.member "name" ev with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "missing name");
+      (match Json.member "pid" ev with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "missing pid");
+      match Json.member "ts" ev with
+      | Some (Json.Num ts) ->
+        Alcotest.(check bool) "ts non-negative" true (ts >= 0.0)
+      | None -> () (* metadata events carry no timestamp *)
+      | Some _ -> Alcotest.fail "non-numeric ts")
+    trace_events;
+  (* Per-constraint aggregates survive the round trip. *)
+  let names =
+    List.filter_map
+      (fun ev ->
+        match Json.member "name" ev with
+        | Some (Json.Str s) -> Some s
+        | _ -> None)
+      trace_events
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true
+        (List.mem expected names))
+    [ "odd_sum"; "big_x"; "sweep:parallel"; "plan:make" ]
+
+let test_jsonl_well_formed () =
+  let r = recorded_sweep () in
+  let buf = Buffer.create 4096 in
+  Array.iter (Sink_jsonl.write_event buf) (Recorder.events r);
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one line per event" (Recorder.event_count r)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ as obj ->
+        (match Json.member "name" obj, Json.member "kind" obj with
+        | Some (Json.Str _), Some (Json.Str _) -> ()
+        | _ -> Alcotest.fail "line missing name/kind")
+      | _ -> Alcotest.fail "line is not an object"
+      | exception Json.Bad msg -> Alcotest.failf "invalid JSONL line: %s" msg)
+    lines
+
+let test_summary_mentions_constraints () =
+  let r = recorded_sweep () in
+  let text = Sink_summary.to_string (Recorder.events r) in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " mentioned") true (contains sub))
+    [ "odd_sum"; "big_x"; "sweep:parallel"; "loop levels"; "constraints" ]
+
+(* ------------------------------------------------------------------ *)
+(* Progress reporting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_progress_hook () =
+  let last = ref (0, 0, 0.0) in
+  Obs.set_progress (fun ~dom:_ ~points ~survivors ~frac ->
+      last := (points, survivors, frac));
+  Alcotest.(check bool) "instrumenting via progress" true (Obs.instrumenting ());
+  let stats =
+    Fun.protect ~finally:Obs.clear_progress (fun () ->
+        Engine_staged.run_space (Support.triangle_space ()))
+  in
+  let points, survivors, frac = !last in
+  Alcotest.(check int) "final points" stats.Engine.loop_iterations points;
+  Alcotest.(check int) "final survivors" stats.Engine.survivors survivors;
+  Alcotest.(check (float 1e-9)) "final frac" 1.0 frac;
+  Alcotest.(check bool) "hook cleared" false (Obs.progress_enabled ())
+
+let test_progress_reporter_output () =
+  let file = Filename.temp_file "beast_obs" ".progress" in
+  let oc = open_out file in
+  let p = Progress.create ~interval_s:0.0 ~out:oc () in
+  Progress.install p;
+  ignore
+    (Fun.protect
+       ~finally:(fun () -> Progress.finish p)
+       (fun () -> Engine_staged.run_space (Support.triangle_space ())));
+  close_out oc;
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove file;
+  Alcotest.(check bool) "wrote a status line" true (len > 0);
+  Alcotest.(check bool) "mentions points" true
+    (let sub = "points" in
+     let n = String.length content and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub content i m = sub || go (i + 1)) in
+     go 0);
+  Alcotest.(check bool) "terminated by newline" true
+    (content.[String.length content - 1] = '\n')
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotonic ns" `Quick test_clock ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
+          Alcotest.test_case "balance across engines" `Quick test_span_balance;
+          Alcotest.test_case "nesting" `Quick test_nested_spans;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "match engine stats" `Quick
+            test_aggregates_match_stats;
+          Alcotest.test_case "traced engines agree" `Quick
+            test_cross_engine_agreement_while_traced;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "chrome JSON" `Quick test_chrome_well_formed;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_well_formed;
+          Alcotest.test_case "summary" `Quick test_summary_mentions_constraints;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "hook totals" `Quick test_progress_hook;
+          Alcotest.test_case "reporter output" `Quick
+            test_progress_reporter_output;
+        ] );
+    ]

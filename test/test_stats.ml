@@ -56,6 +56,52 @@ let test_csv () =
   (* header + 2 constraints + TOTAL + trailing newline *)
   Alcotest.(check int) "line count" 5 (List.length lines)
 
+(* The TOTAL row sums each column independently: fired counts firing
+   events (one firing can remove a whole subtree), removed counts
+   points. On the triangle space they differ, which guards against the
+   old bug of printing points-removed in both columns. *)
+let test_csv_total_row () =
+  let f = Stats.funnel (Support.triangle_space ()) in
+  let csv = Stats.to_csv f in
+  let total_line =
+    List.find
+      (fun l -> String.length l >= 5 && String.sub l 0 5 = "TOTAL")
+      (String.split_on_char '\n' csv)
+  in
+  match String.split_on_char ',' total_line with
+  | [ _; _; fired; removed ] ->
+    let expected_fired =
+      List.fold_left (fun acc (r : Stats.row) -> acc + r.Stats.fired) 0 f.Stats.rows
+    in
+    Alcotest.(check int) "fired sums the rows" expected_fired
+      (int_of_string fired);
+    Alcotest.(check int) "removed is points pruned"
+      (f.Stats.total_points - f.Stats.survivors)
+      (int_of_string removed);
+    Alcotest.(check bool) "columns differ on this space" true
+      (expected_fired <> f.Stats.total_points - f.Stats.survivors)
+  | _ -> Alcotest.fail "malformed TOTAL row"
+
+let test_merge () =
+  let sp = Support.triangle_space () in
+  let s = Engine_staged.run_space sp in
+  let m = Engine.merge s s in
+  Alcotest.(check int) "survivors" (2 * s.Engine.survivors) m.Engine.survivors;
+  Alcotest.(check int) "loop iterations"
+    (2 * s.Engine.loop_iterations)
+    m.Engine.loop_iterations;
+  Array.iteri
+    (fun i (n, c, k) ->
+      let n', c', k' = s.Engine.pruned.(i) in
+      Alcotest.(check string) "constraint name" n' n;
+      Alcotest.(check bool) "constraint class" true (c = c');
+      Alcotest.(check int) "fired doubles" (2 * k') k)
+    m.Engine.pruned;
+  let truncated = { s with Engine.pruned = Array.sub s.Engine.pruned 0 1 } in
+  Alcotest.check_raises "plan mismatch"
+    (Invalid_argument "Engine.merge: stats from different plans") (fun () ->
+      ignore (Engine.merge s truncated))
+
 let test_svg () =
   let f = Stats.funnel (Support.triangle_space ()) in
   let svg = Visualize.svg f in
@@ -142,6 +188,8 @@ let () =
             test_funnel_order_is_evaluation_order;
           Alcotest.test_case "of_stats" `Quick test_of_stats;
           Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "csv TOTAL row" `Quick test_csv_total_row;
+          Alcotest.test_case "merge" `Quick test_merge;
         ] );
       ( "visualize",
         [
