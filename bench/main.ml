@@ -17,7 +17,11 @@ open Beast_lang
 open Beast_autotune
 open Beast_obs
 
-let fast = Sys.getenv_opt "BEAST_BENCH_FAST" <> None
+(* BEAST_BENCH_QUICK=1: the CI smoke configuration — reduced scales AND
+   only the cheap ablations, so the job finishes in well under a minute
+   while still emitting the machine-readable BENCH_*.json artifacts. *)
+let quick = Sys.getenv_opt "BEAST_BENCH_QUICK" <> None
+let fast = quick || Sys.getenv_opt "BEAST_BENCH_FAST" <> None
 let scale n = if fast then n / 10 else n
 
 let line () = print_endline (String.make 72 '-')
@@ -495,6 +499,91 @@ let ablation_parallel () =
         s.Engine.survivors)
     [ 1; 2; 4 ]
 
+(* Static round-robin split vs chunked work stealing on a skewed space.
+   The skew is the natural one: a hoisted divisibility constraint on the
+   outermost iterator (dim_m mod 4 = 0 — exactly the shape of a
+   blocking-factor constraint) prunes three quarters of the outer
+   subtrees instantly, and every surviving position lands in the same
+   round-robin residue class, so the static split gives one domain all
+   the work. Work stealing hands out many contiguous chunks from a
+   shared cursor, so no domain holds more than one chunk of the skew.
+   Wall-clock gains need real cores (this container may expose one);
+   the per-slice iteration shares are machine-independent evidence. *)
+let ablation_stealing () =
+  header
+    "Ablation: static split vs chunked work stealing on a skewed GEMM\n\
+     space (dim_m divisibility constraint; survivors cluster in one\n\
+     round-robin residue class). BENCH_parallel.json records the result.";
+  let max_dim = if fast then 20 else 32 in
+  let max_threads = if fast then 96 else 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let sp = Gemm.space ~settings () in
+  let open Expr.Infix in
+  Space.constrain sp ~cls:Space.Hard "skew_blocking"
+    (Expr.var "dim_m" %: Expr.int 4 <>: Expr.int 0);
+  let plan = Plan.make_exn sp in
+  let domains = 4 in
+  let seq = Engine_staged.run plan in
+  (* Machine-independent skew: each static slice's share of the loop
+     iterations vs the largest single chunk of the stealing split. *)
+  let total = float_of_int seq.Engine.loop_iterations in
+  let share iters = 100.0 *. float_of_int iters /. total in
+  let slice_shares =
+    List.init domains (fun index ->
+        share
+          (Engine_staged.run (Plan.slice_outer plan ~index ~of_:domains))
+            .Engine.loop_iterations)
+  in
+  let n_chunks = domains * Engine_parallel.default_chunks_per_domain in
+  let max_chunk_share =
+    List.fold_left Float.max 0.0
+      (List.init n_chunks (fun index ->
+           share
+             (Engine_staged.run (Plan.chunk_outer plan ~index ~of_:n_chunks))
+               .Engine.loop_iterations))
+  in
+  ignore (Engine_parallel.run ~domains plan) (* warm up domain spawning *);
+  let s_static, t_static =
+    time_once (fun () -> Engine_parallel.run_static ~domains plan)
+  in
+  let s_steal, t_steal = time_once (fun () -> Engine_parallel.run ~domains plan) in
+  let agree = s_static = seq && s_steal = seq in
+  Printf.printf "survivors %d, loop iterations %d, %d domains\n"
+    seq.Engine.survivors seq.Engine.loop_iterations domains;
+  Printf.printf "static slice shares of the work: %s\n"
+    (String.concat " "
+       (List.map (fun s -> Printf.sprintf "%.1f%%" s) slice_shares));
+  Printf.printf "largest stolen chunk (%d chunks): %.1f%% of the work\n"
+    n_chunks max_chunk_share;
+  Printf.printf "static split:  %8.3f s\n" t_static;
+  Printf.printf "work stealing: %8.3f s  (%.2fx)\n" t_steal
+    (t_static /. t_steal);
+  Printf.printf "stats match the sequential sweep: %b\n" agree;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"ablation-stealing\",\n\
+    \  \"space\": \"gemm+skew_blocking\",\n\
+    \  \"max_dim\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"chunks\": %d,\n\
+    \  \"survivors\": %d,\n\
+    \  \"loop_iterations\": %d,\n\
+    \  \"static_slice_shares_pct\": [%s],\n\
+    \  \"max_chunk_share_pct\": %.2f,\n\
+    \  \"static_s\": %.6f,\n\
+    \  \"stealing_s\": %.6f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"stats_match_sequential\": %b\n\
+     }\n"
+    max_dim domains n_chunks seq.Engine.survivors seq.Engine.loop_iterations
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "%.2f" s) slice_shares))
+    max_chunk_share t_static t_steal (t_static /. t_steal) agree;
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json"
+
 let ablation_obs_overhead () =
   header
     "Ablation: observability overhead on the staged GEMM sweep.\n\
@@ -525,7 +614,7 @@ let ablation_obs_overhead () =
 
 let () =
   Printf.printf "BEAST reproduction benchmarks%s\n"
-    (if fast then " (FAST mode)" else "");
+    (if quick then " (QUICK smoke mode)" else if fast then " (FAST mode)" else "");
   (* BEAST_BENCH_TRACE=FILE records the whole harness run and writes a
      Chrome trace at the end (obs-overhead ablation excepted: it manages
      its own sink, so its instrumented timings stay self-contained). *)
@@ -537,21 +626,26 @@ let () =
         (file, r))
       (Sys.getenv_opt "BEAST_BENCH_TRACE")
   in
-  fig17 ();
-  fig18 ();
-  fig19 ();
-  sweep_speedup ();
-  table1 ();
-  funnel ();
+  if not quick then begin
+    fig17 ();
+    fig18 ();
+    fig19 ();
+    sweep_speedup ();
+    table1 ();
+    funnel ()
+  end;
   fig16 ();
   ablation_hoisting ();
-  ablation_loop_order ();
-  ablation_divisor_iterator ();
+  if not quick then begin
+    ablation_loop_order ();
+    ablation_divisor_iterator ()
+  end;
   ablation_parallel ();
+  ablation_stealing ();
   (match trace with
   | None -> ()
   | Some _ -> Obs.clear_sink ());
-  ablation_obs_overhead ();
+  if not quick then ablation_obs_overhead ();
   (match trace with
   | None -> ()
   | Some (file, r) ->

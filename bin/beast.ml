@@ -67,6 +67,39 @@ let progress_arg =
   let doc = "Report live progress (points, survivors, ETA) on stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let shard_arg =
+  let parse s =
+    match String.index_opt s '/' with
+    | Some k -> (
+      match
+        ( int_of_string_opt (String.sub s 0 k),
+          int_of_string_opt (String.sub s (k + 1) (String.length s - k - 1)) )
+      with
+      | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+      | Some _, Some _ -> Error (`Msg "shard: need 0 <= I < N")
+      | _ -> Error (`Msg "shard: expected I/N with integer I and N"))
+    | None -> Error (`Msg "shard: expected I/N, e.g. --shard 0/3")
+  in
+  let print ppf (i, n) = Format.fprintf ppf "%d/%d" i n in
+  let doc =
+    "Enumerate only shard $(docv) (0-based index I of an N-way contiguous \
+     block split of the outermost loop). The N shards partition the space: \
+     run each on its own machine or CI job with --stats-out and recombine \
+     the files with $(b,beast merge)."
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "shard" ] ~docv:"I/N" ~doc)
+
+let stats_out_arg =
+  let doc =
+    "Write the sweep statistics (survivor and loop-iteration totals, \
+     per-constraint pruned counts) to $(docv) as deterministic JSON, \
+     mergeable across shards with $(b,beast merge)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+
 (* Install the event recorder and/or the progress reporter around [f];
    when [f] finishes (or raises) the collected events are written to the
    trace file in the requested format. *)
@@ -208,21 +241,54 @@ let objective_for space_name device =
 (* ------------------------------------------------------------------ *)
 
 let sweep_term =
-  let run space_name device max_dim max_threads engine trace trace_format
-      progress =
+  let run space_name device max_dim max_threads engine shard stats_out trace
+      trace_format progress =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
+    (match (shard, engine) with
+    | Some _, (Sweep.Interp_naive | Sweep.Interp) ->
+      Format.eprintf
+        "--shard needs a plan-based engine (vm, staged or parallel)@.";
+      exit 2
+    | _ -> ());
     with_obs ~trace ~trace_format ~progress (fun () ->
         let t0 = Clock.now_ns () in
-        let stats = Sweep.run ~engine sp in
+        (* The unchunked plan carries the constraint metadata --stats-out
+           serializes; sharding restricts a copy of it. *)
+        let plan = Plan.make_exn sp in
+        let run_plan, shard_info =
+          match shard with
+          | None -> (plan, Stats_io.unsharded)
+          | Some (index, of_) ->
+            ( Plan.chunk_outer plan ~index ~of_,
+              { Stats_io.shard_index = index; shard_of = of_ } )
+        in
+        let stats =
+          match engine with
+          | Sweep.Interp_naive | Sweep.Interp -> Sweep.run ~engine sp
+          | Sweep.Vm -> Engine_vm.run_plan run_plan
+          | Sweep.Staged -> Engine_staged.run run_plan
+          | Sweep.Parallel domains -> Engine_parallel.run ~domains run_plan
+        in
         let dt = Clock.elapsed_s ~since:t0 in
-        Format.printf "space %s on %s, engine %s: %.3fs@." space_name
-          device.Device.name (Sweep.engine_name engine) dt;
-        Format.printf "%a" Engine.pp_stats stats)
+        Format.printf "space %s on %s, engine %s%s: %.3fs@." space_name
+          device.Device.name (Sweep.engine_name engine)
+          (match shard with
+          | None -> ""
+          | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n)
+          dt;
+        Format.printf "%a" Engine.pp_stats stats;
+        match stats_out with
+        | None -> ()
+        | Some file ->
+          Stats_io.write_file file
+            (Stats_io.of_stats ~plan ~shard:shard_info stats);
+          Format.eprintf "wrote sweep statistics to %s@." file)
   in
   Term.(
     const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-    $ engine_arg $ trace_arg $ trace_format_arg $ progress_arg)
+    $ engine_arg $ shard_arg $ stats_out_arg $ trace_arg $ trace_format_arg
+    $ progress_arg)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Enumerate and prune a search space") sweep_term
@@ -407,6 +473,46 @@ let search_cmd =
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
       $ method_arg $ budget_arg $ seed_arg $ trace_arg $ trace_format_arg)
 
+let merge_cmd =
+  let files_arg =
+    let doc = "Shard statistics files written by sweep --stats-out." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc)
+  in
+  let run files stats_out =
+    let shards =
+      List.map
+        (fun f ->
+          match Stats_io.of_file f with
+          | Ok r -> r
+          | Error msg ->
+            Format.eprintf "%s: %s@." f msg;
+            exit 1)
+        files
+    in
+    match Stats_io.merge shards with
+    | Error msg ->
+      Format.eprintf "merge: %s@." msg;
+      exit 1
+    | Ok merged ->
+      Format.printf "space %s: merged %d shard%s@." merged.Stats_io.space
+        (List.length files)
+        (if List.length files = 1 then "" else "s");
+      Format.printf "%a" Engine.pp_stats (Stats_io.to_stats merged);
+      (match stats_out with
+      | None -> ()
+      | Some file ->
+        Stats_io.write_file file merged;
+        Format.eprintf "wrote merged statistics to %s@." file)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Recombine the statistics of a sharded sweep (sweep --shard I/N \
+          --stats-out) into the numbers an unsharded sweep would report; \
+          with --stats-out, the merged file is byte-identical to the \
+          unsharded one")
+    Term.(const run $ files_arg $ stats_out_arg)
+
 let export_cmd =
   let run space_name device max_dim max_threads =
     let device = resolve_device device max_dim max_threads in
@@ -432,6 +538,6 @@ let main =
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
-      funnel_cmd; search_cmd; export_cmd ]
+      funnel_cmd; search_cmd; merge_cmd; export_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,45 +1,136 @@
 open Beast_obs
 
-(* Depth-0 checks run in every slice; when merging we keep a single
-   domain's counts for the constraints that appear before the first loop
-   so totals match a sequential sweep. *)
-let depth0_constraints (plan : Plan.t) =
-  let rec go acc = function
-    | [] | Plan.Loop _ :: _ -> acc
-    | Plan.Check { c_index; _ } :: rest -> go (c_index :: acc) rest
-    | (Plan.Derive _ | Plan.Yield) :: rest -> go acc rest
-  in
-  go [] plan.Plan.steps
+(* Serialize survivor callbacks behind a mutex so user callbacks (Stats
+   accumulation, CSV emission, ...) need not be thread-safe. The lookup
+   passed to the callback reads the calling domain's own slot array, so
+   it stays valid under the lock. *)
+let serialized_on_hit on_hit =
+  Option.map
+    (fun f ->
+      let m = Mutex.create () in
+      fun lookup ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f lookup))
+    on_hit
 
-let run ?on_hit ~domains (plan : Plan.t) =
+(* Depth-0 checks run once per executed chunk/slice; their counts are
+   identical across non-empty chunks (they depend only on settings and
+   depth-0 derived variables), so a merge keeps a single execution's
+   value. Taking the per-index maximum is order-independent and also
+   correct for the loop-free plan, where only chunk 0 carries the
+   steps. *)
+let dedup_depth0 ~depth0 ~(single : Engine.stats) (merged : Engine.stats) =
+  let pruned =
+    Array.mapi
+      (fun i (n, c, k) ->
+        if depth0.(i) then
+          let _, _, k0 = single.Engine.pruned.(i) in
+          (n, c, k0)
+        else (n, c, k))
+      merged.Engine.pruned
+  in
+  { merged with Engine.pruned }
+
+let pruned_max (a : Engine.stats) (b : Engine.stats) =
+  {
+    a with
+    Engine.pruned =
+      Array.mapi
+        (fun i (n, c, k) ->
+          let _, _, k' = b.Engine.pruned.(i) in
+          (n, c, max k k'))
+        a.Engine.pruned;
+  }
+
+let default_chunks_per_domain = 8
+
+let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
+    (plan : Plan.t) =
   if domains < 1 then invalid_arg "Engine_parallel.run: domains < 1";
+  if chunks_per_domain < 1 then
+    invalid_arg "Engine_parallel.run: chunks_per_domain < 1";
   if domains = 1 then Engine_staged.run ?on_hit plan
   else begin
-    (* Survivor callbacks fire concurrently from every domain; serialize
-       them behind a mutex so user callbacks (Stats accumulation, CSV
-       emission, ...) need not be thread-safe. The lookup passed to the
-       callback reads the calling domain's own slot array, so it stays
-       valid under the lock. *)
-    let on_hit =
-      Option.map
-        (fun f ->
-          let m = Mutex.create () in
-          fun lookup ->
-            Mutex.lock m;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock m)
-              (fun () -> f lookup))
-        on_hit
+    let on_hit = serialized_on_hit on_hit in
+    let n_chunks = domains * chunks_per_domain in
+    let chunks =
+      Array.init n_chunks (fun index -> Plan.chunk_outer plan ~index ~of_:n_chunks)
+    in
+    (* Work stealing: a shared cursor hands out chunk indices; a domain
+       that exhausts a pruned-empty chunk immediately grabs the next
+       one, so skew in the constraint funnel cannot idle a domain for
+       longer than one chunk. Each worker folds its chunk results
+       locally (sum + per-constraint max for the depth-0 dedup). *)
+    let cursor = Atomic.make 0 in
+    let worker dom () =
+      let acc = ref None in
+      let rec steal () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n_chunks then begin
+          let s =
+            Obs.with_span ~cat:"engine"
+              ~args:
+                [
+                  ("chunk", Obs.Int i);
+                  ("of", Obs.Int n_chunks);
+                  ("domain", Obs.Int dom);
+                ]
+              "sweep:chunk"
+              (fun () -> Engine_staged.run ?on_hit chunks.(i))
+          in
+          (acc :=
+             match !acc with
+             | None -> Some (s, s)
+             | Some (sum, mx) -> Some (Engine.merge sum s, pruned_max mx s));
+          steal ()
+        end
+      in
+      steal ();
+      !acc
     in
     let sweep () =
+      let spawned =
+        List.init domains (fun dom -> Domain.spawn (worker dom))
+      in
+      List.filter_map Domain.join spawned
+    in
+    let results =
+      Obs.with_span ~cat:"engine"
+        ~args:
+          [
+            ("space", Obs.Str plan.Plan.space_name);
+            ("domains", Obs.Int domains);
+            ("chunks", Obs.Int n_chunks);
+          ]
+        "sweep:parallel" sweep
+    in
+    match results with
+    | [] -> assert false (* n_chunks >= domains >= 2: someone ran a chunk *)
+    | (first_sum, first_max) :: rest ->
+      let sum, mx =
+        List.fold_left
+          (fun (sum, mx) (s, m) -> (Engine.merge sum s, pruned_max mx m))
+          (first_sum, first_max) rest
+      in
+      dedup_depth0 ~depth0:(Plan.depth0_constraints plan) ~single:mx sum
+  end
+
+(* The pre-chunking scheduler: one static round-robin slice per domain
+   ({!Plan.slice_outer}). Kept as the baseline for the ablation bench —
+   with skewed pruning most domains finish early and wait on the
+   slowest slice. *)
+let run_static ?on_hit ~domains (plan : Plan.t) =
+  if domains < 1 then invalid_arg "Engine_parallel.run_static: domains < 1";
+  if domains = 1 then Engine_staged.run ?on_hit plan
+  else begin
+    let on_hit = serialized_on_hit on_hit in
+    let sweep () =
       let slices =
-        List.init domains (fun index ->
-            Plan.slice_outer plan ~index ~of_:domains)
+        List.init domains (fun index -> Plan.slice_outer plan ~index ~of_:domains)
       in
       let spawned =
         List.map
-          (fun slice ->
-            Domain.spawn (fun () -> Engine_staged.run ?on_hit slice))
+          (fun slice -> Domain.spawn (fun () -> Engine_staged.run ?on_hit slice))
           slices
       in
       List.map Domain.join spawned
@@ -51,24 +142,13 @@ let run ?on_hit ~domains (plan : Plan.t) =
             ("space", Obs.Str plan.Plan.space_name);
             ("domains", Obs.Int domains);
           ]
-        "sweep:parallel" sweep
+        "sweep:parallel-static" sweep
     in
     match results with
     | [] -> assert false
     | first :: rest ->
       let merged = List.fold_left Engine.merge first rest in
-      let dup = depth0_constraints plan in
-      let pruned =
-        Array.mapi
-          (fun i (n, c, k) ->
-            if List.mem i dup then
-              let _, _, k0 = first.Engine.pruned.(i) in
-              (n, c, k0)
-            else (n, c, k))
-          merged.Engine.pruned
-      in
-      { merged with Engine.pruned }
+      dedup_depth0 ~depth0:(Plan.depth0_constraints plan) ~single:first merged
   end
 
-let run_space ?on_hit ~domains space =
-  run ?on_hit ~domains (Plan.make_exn space)
+let run_space ?on_hit ~domains space = run ?on_hit ~domains (Plan.make_exn space)

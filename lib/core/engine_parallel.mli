@@ -1,19 +1,44 @@
 (** Multithreaded sweep: the staged engine fanned out over OCaml 5
     domains. The outermost loop — level 0 of the DAG, exactly where the
     paper says parallelization belongs (Section X-B) — is decomposed
-    round-robin with {!Plan.slice_outer}; each domain runs an independent
-    staged sweep and the statistics are merged.
+    into contiguous blocks with {!Plan.chunk_outer}; many more chunks
+    than domains are produced and a shared atomic cursor hands them out,
+    so a domain whose chunk was pruned empty immediately steals the next
+    one instead of idling while a skewed sibling finishes. Each chunk
+    run is traced as its own [sweep:chunk] span, making the load balance
+    visible in a Chrome/Perfetto trace.
 
     Steps placed before the first loop (depth-0 derived variables and
-    constraints) execute once per domain; their prune counters are
-    de-duplicated during the merge so the reported statistics match a
-    sequential run. *)
+    constraints) execute once per chunk; their prune counters are
+    de-duplicated during the merge ({!Plan.depth0_constraints}) so the
+    reported statistics match a sequential run exactly — totals,
+    per-constraint fired counts and loop iterations are all identical to
+    {!Engine_staged.run}. *)
 
-val run : ?on_hit:Engine.on_hit -> domains:int -> Plan.t -> Engine.stats
-(** [on_hit] may be invoked from any domain but invocations are
-    serialized behind an internal mutex, so the callback need not be
-    thread-safe (it must not call back into the sweep, or it will
-    deadlock). @raise Invalid_argument if [domains < 1]. *)
+val default_chunks_per_domain : int
+(** 8: enough chunks that one skewed block cannot dominate a domain,
+    few enough that per-chunk compilation stays invisible. *)
+
+val run :
+  ?on_hit:Engine.on_hit ->
+  ?chunks_per_domain:int ->
+  domains:int ->
+  Plan.t ->
+  Engine.stats
+(** Chunked work-stealing sweep over [domains] domains using
+    [domains * chunks_per_domain] chunks (default [chunks_per_domain]
+    is 8; raise it for spaces with extreme outer-level skew). [on_hit]
+    may be invoked from any domain but invocations are serialized behind
+    an internal mutex, so the callback need not be thread-safe (it must
+    not call back into the sweep, or it will deadlock).
+    @raise Invalid_argument if [domains < 1] or [chunks_per_domain < 1]. *)
+
+val run_static :
+  ?on_hit:Engine.on_hit -> domains:int -> Plan.t -> Engine.stats
+(** The pre-chunking scheduler: exactly one static round-robin slice per
+    domain ({!Plan.slice_outer}), no stealing. Kept as the baseline the
+    [ablation-stealing] bench compares against; prefer {!run}. *)
 
 val run_space :
   ?on_hit:Engine.on_hit -> domains:int -> Space.t -> Engine.stats
+(** {!run} on [Plan.make_exn space]. *)

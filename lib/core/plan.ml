@@ -385,6 +385,84 @@ let subsample ~index ~of_ arr =
   let count = if index >= n then 0 else ((n - index - 1) / of_) + 1 in
   Array.init count (fun j -> arr.(index + (j * of_)))
 
+(* A cexpr with no slot reads is a compile-time constant (settings were
+   folded during lowering); evaluate it once so chunk bounds stay
+   literal in the common case and golden plan dumps remain readable. *)
+let static_cexpr e =
+  match cexpr_slots e with
+  | [] -> ( try Some (eval_cexpr [||] e) with _ -> None)
+  | _ :: _ -> None
+
+(* Block [index] of [of_] over a trip sequence of length [len]:
+   positions [index*len/of_, (index+1)*len/of_). Adjacent blocks tile
+   the sequence exactly and differ in size by at most one. *)
+let block_bounds ~index ~of_ len =
+  (index * len / of_, (index + 1) * len / of_)
+
+let chunk_outer t ~index ~of_ =
+  if of_ < 1 || index < 0 || index >= of_ then
+    invalid_arg "Plan.chunk_outer: need 0 <= index < of_";
+  if of_ = 1 then t
+  else
+    let chunk_values vs =
+      let lo, hi = block_bounds ~index ~of_ (Array.length vs) in
+      Array.sub vs lo (hi - lo)
+    in
+    let chunk_citer = function
+      | CValues vs -> CValues (chunk_values vs)
+      | CDyn f -> CDyn (fun slots -> chunk_values (f slots))
+      | CRange (a, b, c) -> (
+        match (static_cexpr a, static_cexpr b, static_cexpr c) with
+        | Some a', Some b', Some c' when c' <> 0 ->
+          let trip =
+            if c' > 0 then max 0 ((b' - a' + c' - 1) / c')
+            else max 0 ((a' - b' - c' - 1) / -c')
+          in
+          let lo, hi = block_bounds ~index ~of_ trip in
+          CRange (CLit (a' + (c' * lo)), CLit (a' + (c' * hi)), CLit c')
+        | _ ->
+          (* Bounds read depth-0 derived slots: compute the block
+             symbolically. The expressions are pure and the outer loop
+             header is evaluated once per sweep, so the duplication of
+             [a]/[b]/[c] below costs nothing measurable. *)
+          let lit k = CLit k in
+          let ceil_div x y = CCall (Expr.Ceil_div, [ x; y ]) in
+          let clamp0 x = CCall (Expr.Max, [ lit 0; x ]) in
+          let trip =
+            CIf
+              ( CBin (Expr.Eq, c, lit 0),
+                lit 0,
+                CIf
+                  ( CBin (Expr.Gt, c, lit 0),
+                    clamp0 (ceil_div (CBin (Expr.Sub, b, a)) c),
+                    clamp0
+                      (ceil_div (CBin (Expr.Sub, a, b)) (CUn (Expr.Neg, c))) ) )
+          in
+          let pos k = CBin (Expr.Div, CBin (Expr.Mul, lit k, trip), lit of_) in
+          let at p = CBin (Expr.Add, a, CBin (Expr.Mul, c, p)) in
+          CRange (at (pos index), at (pos (index + 1)), c))
+    in
+    let rec chunk_steps = function
+      | [] -> if index = 0 then [] else raise Exit
+      | Loop l :: rest -> Loop { l with l_iter = chunk_citer l.l_iter } :: rest
+      | step :: rest -> step :: chunk_steps rest
+    in
+    match chunk_steps t.steps with
+    | steps -> { t with steps }
+    | exception Exit -> { t with steps = [] }
+
+let depth0_constraints t =
+  let mask = Array.make (Array.length t.constraint_info) false in
+  let rec go = function
+    | [] | Loop _ :: _ -> ()
+    | Check { c_index; _ } :: rest ->
+      mask.(c_index) <- true;
+      go rest
+    | (Derive _ | Yield) :: rest -> go rest
+  in
+  go t.steps;
+  mask
+
 let slice_outer t ~index ~of_ =
   if of_ < 1 || index < 0 || index >= of_ then
     invalid_arg "Plan.slice_outer: need 0 <= index < of_";

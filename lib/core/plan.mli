@@ -104,6 +104,31 @@ val slice_outer : t -> index:int -> of_:int -> t
     per slice. A plan with no loops is returned unchanged for [index] 0
     and emptied otherwise. *)
 
+val chunk_outer : t -> index:int -> of_:int -> t
+(** [chunk_outer t ~index ~of_] restricts the outermost loop to the
+    [index]-th of [of_] {e contiguous} blocks of its trip sequence
+    (block decomposition: positions [[i*n/of_, (i+1)*n/of_)] of a trip
+    count [n]). The blocks tile the original sequence exactly, so the
+    union of the [of_] chunks visits the original space and per-chunk
+    statistics sum to the sequential ones (depth-0 steps excepted, see
+    below). Unlike {!slice_outer}'s round-robin stride, a chunk of a
+    [CValues]/[CDyn] iterator is a contiguous sub-array — the
+    decomposition both the work-stealing scheduler
+    ({!Engine_parallel.run}) and cross-process sharding
+    ([beast sweep --shard I/N]) are built on. With [of_] larger than the
+    outer trip count the trailing chunks are empty; they still execute
+    the depth-0 steps.
+
+    Steps before the first loop are kept in every chunk, so statistics
+    for depth-0 constraints are replicated per chunk and must be
+    de-duplicated when merging ({!depth0_constraints}). A plan with no
+    loops is returned unchanged for [index] 0 and emptied otherwise. *)
+
+val depth0_constraints : t -> bool array
+(** Indexed by [c_index]: [true] for the constraints placed before the
+    first loop. These execute once per {!chunk_outer}/{!slice_outer}
+    chunk, so merges keep a single chunk's counts for them. *)
+
 val slot_of : t -> string -> int
 (** @raise Not_found for names that are not iterators/derived variables *)
 

@@ -1,0 +1,397 @@
+(* Shard results as JSON: what [beast sweep --stats-out] writes and
+   [beast merge] reads back. The encoding is fully deterministic (fixed
+   key order, no timestamps), so merging the N shard files of any split
+   reproduces the unsharded file byte-for-byte. *)
+
+type constraint_row = {
+  cr_name : string;
+  cr_class : Space.constraint_class;
+  cr_depth0 : bool;
+  cr_fired : int;
+}
+
+type shard = {
+  shard_index : int;
+  shard_of : int;
+}
+
+let unsharded = { shard_index = 0; shard_of = 1 }
+
+type t = {
+  space : string;
+  shard : shard;
+  survivors : int;
+  loop_iterations : int;
+  constraints : constraint_row list;
+}
+
+let of_stats ~(plan : Plan.t) ?(shard = unsharded) (stats : Engine.stats) =
+  let depth0 = Plan.depth0_constraints plan in
+  {
+    space = plan.Plan.space_name;
+    shard;
+    survivors = stats.Engine.survivors;
+    loop_iterations = stats.Engine.loop_iterations;
+    constraints =
+      Array.to_list
+        (Array.mapi
+           (fun i (n, c, k) ->
+             { cr_name = n; cr_class = c; cr_depth0 = depth0.(i); cr_fired = k })
+           stats.Engine.pruned);
+  }
+
+let to_stats t =
+  {
+    Engine.survivors = t.survivors;
+    loop_iterations = t.loop_iterations;
+    pruned =
+      Array.of_list
+        (List.map (fun r -> (r.cr_name, r.cr_class, r.cr_fired)) t.constraints);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"space\": \"%s\",\n" (escape_string t.space);
+  add "  \"shard\": { \"index\": %d, \"of\": %d },\n" t.shard.shard_index
+    t.shard.shard_of;
+  add "  \"survivors\": %d,\n" t.survivors;
+  add "  \"loop_iterations\": %d,\n" t.loop_iterations;
+  add "  \"constraints\": [";
+  List.iteri
+    (fun i r ->
+      add "%s\n    { \"name\": \"%s\", \"class\": \"%s\", \"depth0\": %b, \"fired\": %d }"
+        (if i = 0 then "" else ",")
+        (escape_string r.cr_name)
+        (Space.constraint_class_name r.cr_class)
+        r.cr_depth0 r.cr_fired)
+    t.constraints;
+  if t.constraints <> [] then add "\n  ";
+  add "]\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a minimal JSON reader, enough for the files we emit       *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, got %c" c c'
+    | None -> fail "expected %c, got end of input" c
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> fail "unterminated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "invalid \\u escape %s" hex
+            in
+            if code > 0x7f then fail "non-ASCII \\u escape unsupported";
+            Buffer.add_char buf (Char.chr code)
+          | c -> fail "invalid escape \\%c" c);
+          go ())
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some '0' .. '9' ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then fail "expected a number";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elems [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_int ())
+    | Some c -> fail "unexpected character %c" c
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj members -> (
+    match List.assoc_opt name members with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Parse_error (Printf.sprintf "expected an object with %S" name))
+
+let as_int name = function
+  | Num k -> k
+  | _ -> raise (Parse_error (Printf.sprintf "%s: expected an integer" name))
+
+let as_str name = function
+  | Str s -> s
+  | _ -> raise (Parse_error (Printf.sprintf "%s: expected a string" name))
+
+let as_bool name = function
+  | Bool b -> b
+  | _ -> raise (Parse_error (Printf.sprintf "%s: expected a boolean" name))
+
+let constraint_class_of_name = function
+  | "hard" -> Space.Hard
+  | "soft" -> Space.Soft
+  | "correctness" -> Space.Correctness
+  | other ->
+    raise (Parse_error (Printf.sprintf "unknown constraint class %S" other))
+
+let of_json text =
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | json -> (
+    try
+      let shard_json = field "shard" json in
+      let constraints =
+        match field "constraints" json with
+        | Arr rows ->
+          List.map
+            (fun row ->
+              {
+                cr_name = as_str "name" (field "name" row);
+                cr_class =
+                  constraint_class_of_name (as_str "class" (field "class" row));
+                cr_depth0 = as_bool "depth0" (field "depth0" row);
+                cr_fired = as_int "fired" (field "fired" row);
+              })
+            rows
+        | _ -> raise (Parse_error "constraints: expected an array")
+      in
+      Ok
+        {
+          space = as_str "space" (field "space" json);
+          shard =
+            {
+              shard_index = as_int "index" (field "index" shard_json);
+              shard_of = as_int "of" (field "of" shard_json);
+            };
+          survivors = as_int "survivors" (field "survivors" json);
+          loop_iterations =
+            as_int "loop_iterations" (field "loop_iterations" json);
+          constraints;
+        }
+    with Parse_error msg -> Error msg)
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> of_json text
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t))
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let constraints_compatible a b =
+  List.length a.constraints = List.length b.constraints
+  && List.for_all2
+       (fun x y ->
+         x.cr_name = y.cr_name && x.cr_class = y.cr_class
+         && x.cr_depth0 = y.cr_depth0)
+       a.constraints b.constraints
+
+let merge = function
+  | [] -> Error "no shard files given"
+  | first :: rest as shards -> (
+    match
+      List.find_opt (fun s -> s.space <> first.space) rest
+    with
+    | Some s ->
+      Error
+        (Printf.sprintf "shards mix spaces %S and %S" first.space s.space)
+    | None ->
+      if List.exists (fun s -> s.shard.shard_of <> first.shard.shard_of) rest
+      then Error "shards come from splits of different arity"
+      else if List.exists (fun s -> not (constraints_compatible first s)) rest
+      then Error "shards disagree on the constraint list"
+      else begin
+        let of_ = first.shard.shard_of in
+        let indices =
+          List.sort compare (List.map (fun s -> s.shard.shard_index) shards)
+        in
+        if indices <> List.init of_ Fun.id then
+          Error
+            (Printf.sprintf
+               "need each of shards 0..%d exactly once, got {%s}" (of_ - 1)
+               (String.concat ", " (List.map string_of_int indices)))
+        else
+          let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+          let constraints =
+            List.mapi
+              (fun i r ->
+                let fired_of s = (List.nth s.constraints i).cr_fired in
+                let fired =
+                  if r.cr_depth0 then
+                    (* depth-0 checks ran once per shard with identical
+                       results (loop-free plans excepted, where only
+                       shard 0 carries them): keep a single shard's
+                       count via max, which is order-independent. *)
+                    List.fold_left (fun acc s -> max acc (fired_of s)) 0 shards
+                  else sum fired_of
+                in
+                { r with cr_fired = fired })
+              first.constraints
+          in
+          Ok
+            {
+              space = first.space;
+              shard = unsharded;
+              survivors = sum (fun s -> s.survivors);
+              loop_iterations = sum (fun s -> s.loop_iterations);
+              constraints;
+            }
+      end)

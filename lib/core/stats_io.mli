@@ -1,0 +1,61 @@
+(** Serialization and merging of sweep results for cross-process
+    sharding.
+
+    [beast sweep --shard I/N --stats-out FILE] runs the [I]-th
+    {!Plan.chunk_outer} block of a space and writes the resulting
+    {!Engine.stats} — survivor and loop-iteration totals plus the
+    per-constraint pruned counts, tagged with each constraint's class
+    and whether it sits at depth 0 — as deterministic JSON.
+    [beast merge] reads the N files back and recombines them with the
+    same depth-0 de-duplication the in-process scheduler uses, so the
+    merged file is byte-for-byte the one an unsharded sweep writes. *)
+
+type constraint_row = {
+  cr_name : string;
+  cr_class : Space.constraint_class;
+  cr_depth0 : bool;
+      (** placed before the first loop: executed once per shard, so
+          merging keeps a single shard's count instead of summing *)
+  cr_fired : int;
+}
+
+type shard = {
+  shard_index : int;
+  shard_of : int;
+}
+
+val unsharded : shard
+(** [{shard_index = 0; shard_of = 1}] — a whole-space run. *)
+
+type t = {
+  space : string;
+  shard : shard;
+  survivors : int;
+  loop_iterations : int;
+  constraints : constraint_row list;
+}
+
+val of_stats : plan:Plan.t -> ?shard:shard -> Engine.stats -> t
+(** Tag engine statistics with the plan's constraint metadata. [plan]
+    must be the {e unchunked} plan (a chunked plan with no loops may
+    have dropped its depth-0 steps). [shard] defaults to {!unsharded}. *)
+
+val to_stats : t -> Engine.stats
+(** Back to engine statistics, e.g. for {!Engine.pp_stats}. *)
+
+val to_json : t -> string
+(** Deterministic encoding: fixed key order, two-space indent, one
+    constraint per line, trailing newline. Equal values encode to equal
+    bytes. *)
+
+val of_json : string -> (t, string) result
+val of_file : string -> (t, string) result
+val write_file : string -> t -> unit
+
+val merge : t list -> (t, string) result
+(** Recombine a complete shard set: every input must describe the same
+    space, constraint list and split arity [N], and the indices must
+    cover [0..N-1] exactly once. Totals and non-depth-0 fired counts
+    sum; depth-0 fired counts keep a single shard's value. The result is
+    an {!unsharded} record, so [to_json (merge shards)] equals the
+    unsharded sweep's file byte-for-byte. *)

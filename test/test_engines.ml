@@ -68,6 +68,55 @@ let test_parallel_stats_match_sequential () =
   Alcotest.(check int) "pruned total" (Engine.total_pruned seq)
     (Engine.total_pruned par)
 
+let test_work_stealing_matches_staged_on_gemm () =
+  (* The acceptance bar for the chunked scheduler: identical totals and
+     per-constraint pruned counts to the sequential staged sweep on the
+     real GEMM space, not just on toy nests. *)
+  let device =
+    Beast_gpu.Device.scale ~max_dim:16 ~max_threads:64
+      Beast_gpu.Device.tesla_k40c
+  in
+  let settings = { Beast_kernels.Gemm.default_settings with device } in
+  let plan = Plan.make_exn (Beast_kernels.Gemm.space ~settings ()) in
+  let seq = Engine_staged.run plan in
+  List.iter
+    (fun domains ->
+      Alcotest.check Support.stats_testable
+        (Printf.sprintf "stealing domains=%d" domains)
+        seq
+        (Engine_parallel.run ~domains plan))
+    [ 2; 3; 4 ];
+  Alcotest.check Support.stats_testable "static split" seq
+    (Engine_parallel.run_static ~domains:4 plan)
+
+let test_parallel_more_domains_than_trip_count () =
+  (* 16 domains over an outer loop with 8 values: most static slices and
+     most chunks are empty; stats must still match the sequential run,
+     depth-0 counters included. *)
+  let sp = Support.triangle_space () in
+  let open Expr.Infix in
+  Space.constrain sp ~cls:Space.Soft "d0_never" (Expr.int 9 <: Expr.int 8);
+  let plan = Plan.make_exn sp in
+  let seq = Engine_staged.run plan in
+  Alcotest.check Support.stats_testable "stealing" seq
+    (Engine_parallel.run ~domains:16 plan);
+  Alcotest.check Support.stats_testable "static" seq
+    (Engine_parallel.run_static ~domains:16 plan)
+
+let test_parallel_firing_depth0_deduped () =
+  (* A depth-0 constraint that fires runs once per chunk/slice; the
+     merged count must stay 1, as sequentially. *)
+  let sp = Support.triangle_space () in
+  let open Expr.Infix in
+  Space.constrain sp ~cls:Space.Hard "d0_always" (Expr.int 8 <: Expr.int 9);
+  let plan = Plan.make_exn sp in
+  let seq = Engine_staged.run plan in
+  Alcotest.(check int) "sequential survivors" 0 seq.Engine.survivors;
+  Alcotest.check Support.stats_testable "stealing" seq
+    (Engine_parallel.run ~domains:4 plan);
+  Alcotest.check Support.stats_testable "static" seq
+    (Engine_parallel.run_static ~domains:4 plan)
+
 let test_on_hit_receives_bindings () =
   let acc = ref [] in
   let on_hit lookup =
@@ -290,6 +339,24 @@ let prop_slices_partition =
       in
       full = List.fold_left ( + ) 0 parts)
 
+let prop_chunks_partition =
+  QCheck.Test.make ~name:"outer chunks partition the space" ~count:100
+    arb_space (fun descr ->
+      let plan = Plan.make_exn (space_of descr) in
+      let full = (Engine_staged.run plan).Engine.survivors in
+      let parts =
+        List.init 5 (fun index ->
+            (Engine_staged.run (Plan.chunk_outer plan ~index ~of_:5))
+              .Engine.survivors)
+      in
+      full = List.fold_left ( + ) 0 parts)
+
+let prop_work_stealing_matches_staged =
+  QCheck.Test.make ~name:"work-stealing sweep reproduces staged stats"
+    ~count:30 arb_space (fun descr ->
+      let plan = Plan.make_exn (space_of descr) in
+      Engine_staged.run plan = Engine_parallel.run ~domains:3 plan)
+
 let () =
   Alcotest.run "engines"
     [
@@ -312,6 +379,12 @@ let () =
             test_vm_staged_stats_identical;
           Alcotest.test_case "parallel = sequential" `Quick
             test_parallel_stats_match_sequential;
+          Alcotest.test_case "work stealing = staged on GEMM" `Quick
+            test_work_stealing_matches_staged_on_gemm;
+          Alcotest.test_case "more domains than trip count" `Quick
+            test_parallel_more_domains_than_trip_count;
+          Alcotest.test_case "firing depth-0 constraint deduped" `Quick
+            test_parallel_firing_depth0_deduped;
         ] );
       ( "callbacks",
         [
@@ -332,6 +405,8 @@ let () =
             prop_engines_agree;
             prop_vm_staged_stats;
             prop_slices_partition;
+            prop_chunks_partition;
+            prop_work_stealing_matches_staged;
             prop_hoisting_preserves_semantics;
             prop_constraint_subsets_monotone;
           ] );

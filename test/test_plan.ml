@@ -185,6 +185,112 @@ let test_slice_outer_values_and_dyn () =
   Space.iterator sp "y" (Iter.upto (Expr.var "x"));
   check sp
 
+let outer_values plan =
+  (* Outer-loop values actually visited, in visit order. *)
+  let seen = ref [] in
+  let on_hit lookup =
+    let v = Value.to_int (lookup (List.hd plan.Plan.iter_order)) in
+    match !seen with
+    | x :: _ when x = v -> ()
+    | _ -> seen := v :: !seen
+  in
+  ignore (Engine_staged.run ~on_hit plan);
+  List.rev !seen
+
+let test_chunk_outer_partition () =
+  (* Chunks must partition survivors and loop iterations for any of_,
+     including of_ larger than the outer trip count (empty chunks). *)
+  let p = plan_of (Support.triangle_space ()) in
+  let full = Engine_staged.run p in
+  List.iter
+    (fun of_ ->
+      let parts =
+        List.init of_ (fun index ->
+            Engine_staged.run (Plan.chunk_outer p ~index ~of_))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "survivors, of_=%d" of_)
+        full.Engine.survivors
+        (List.fold_left (fun acc s -> acc + s.Engine.survivors) 0 parts);
+      Alcotest.(check int)
+        (Printf.sprintf "iterations, of_=%d" of_)
+        full.Engine.loop_iterations
+        (List.fold_left (fun acc s -> acc + s.Engine.loop_iterations) 0 parts))
+    [ 2; 3; 5; 16 ]
+
+let test_chunk_outer_contiguous () =
+  (* Block decomposition, not stride: chunk 0 of 2 over x in 0..9 is
+     exactly the first half, in order. *)
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.range_i 0 10);
+  let p = Plan.make_exn sp in
+  Alcotest.(check (list int)) "chunk 0 of 2" [ 0; 1; 2; 3; 4 ]
+    (outer_values (Plan.chunk_outer p ~index:0 ~of_:2));
+  Alcotest.(check (list int)) "chunk 1 of 2" [ 5; 6; 7; 8; 9 ]
+    (outer_values (Plan.chunk_outer p ~index:1 ~of_:2));
+  (* Uneven split: 10 values over 3 chunks -> 3, 4, 3. *)
+  Alcotest.(check (list int)) "chunk 1 of 3" [ 3; 4; 5 ]
+    (outer_values (Plan.chunk_outer p ~index:1 ~of_:3))
+
+let test_chunk_outer_values_and_dyn () =
+  (* Value tables and dynamic closures chunk into contiguous blocks. *)
+  let sp = Space.create () in
+  Space.iterator sp "x" (Iter.ints [ 3; 1; 4; 1; 5; 9; 2; 6 ]);
+  let p = Plan.make_exn sp in
+  Alcotest.(check (list int)) "values block" [ 4; 1 ]
+    (outer_values (Plan.chunk_outer p ~index:1 ~of_:4));
+  let sp = Space.create () in
+  Space.iterator sp "x"
+    (Iter.filter (fun v -> Value.to_int v mod 2 = 1) (Iter.range_i 0 20));
+  Space.iterator sp "y" (Iter.upto (Expr.var "x"));
+  let p = Plan.make_exn sp in
+  let full = (Engine_staged.run p).Engine.survivors in
+  let parts =
+    List.init 3 (fun index ->
+        (Engine_staged.run (Plan.chunk_outer p ~index ~of_:3)).Engine.survivors)
+  in
+  Alcotest.(check int) "dyn partition" full (List.fold_left ( + ) 0 parts)
+
+let test_chunk_outer_negative_step () =
+  let sp = Space.create () in
+  Space.iterator sp "x"
+    (Iter.range ~step:(Expr.int (-2)) (Expr.int 9) (Expr.int 0));
+  let p = Plan.make_exn sp in
+  Alcotest.(check (list int)) "full" [ 9; 7; 5; 3; 1 ] (outer_values p);
+  Alcotest.(check (list int)) "chunk 0 of 2" [ 9; 7 ]
+    (outer_values (Plan.chunk_outer p ~index:0 ~of_:2));
+  Alcotest.(check (list int)) "chunk 1 of 2" [ 5; 3; 1 ]
+    (outer_values (Plan.chunk_outer p ~index:1 ~of_:2))
+
+let test_chunk_outer_dependent_bounds () =
+  (* Outer bounds reading a depth-0 derived slot exercise the symbolic
+     trip-count path. *)
+  let sp = Space.create () in
+  Space.setting_i sp "n" 11;
+  Space.derived sp "m" Expr.Infix.(Expr.var "n" +: Expr.int 2);
+  Space.iterator sp "x" (Iter.range (Expr.int 0) (Expr.var "m"));
+  let p = Plan.make_exn sp in
+  Alcotest.(check (list int)) "chunk 0 of 4" [ 0; 1; 2 ]
+    (outer_values (Plan.chunk_outer p ~index:0 ~of_:4));
+  Alcotest.(check (list int)) "chunk 3 of 4" [ 9; 10; 11; 12 ]
+    (outer_values (Plan.chunk_outer p ~index:3 ~of_:4))
+
+let test_depth0_constraints_mask () =
+  let sp = Support.triangle_space () in
+  Space.constrain sp "d0" Expr.(Infix.( <: ) (Expr.int 9) (Expr.int 8)) ~cls:Space.Soft;
+  let p = Plan.make_exn sp in
+  let mask = Plan.depth0_constraints p in
+  let by_name name =
+    let rec find i = function
+      | [] -> Alcotest.fail ("no constraint " ^ name)
+      | (n, _) :: _ when n = name -> mask.(i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 (Array.to_list p.Plan.constraint_info)
+  in
+  Alcotest.(check bool) "setting-only constraint is depth 0" true (by_name "d0");
+  Alcotest.(check bool) "iterator constraint is deeper" false (by_name "odd_sum")
+
 let test_pp_smoke () =
   let p = plan_of (Support.triangle_space ()) in
   let s = Format.asprintf "%a" Plan.pp p in
@@ -223,5 +329,20 @@ let () =
             test_slice_outer_partition;
           Alcotest.test_case "slice_outer values/dyn" `Quick
             test_slice_outer_values_and_dyn;
+        ] );
+      ( "chunking",
+        [
+          Alcotest.test_case "chunk_outer partitions" `Quick
+            test_chunk_outer_partition;
+          Alcotest.test_case "chunk_outer contiguous blocks" `Quick
+            test_chunk_outer_contiguous;
+          Alcotest.test_case "chunk_outer values/dyn" `Quick
+            test_chunk_outer_values_and_dyn;
+          Alcotest.test_case "chunk_outer negative step" `Quick
+            test_chunk_outer_negative_step;
+          Alcotest.test_case "chunk_outer dependent bounds" `Quick
+            test_chunk_outer_dependent_bounds;
+          Alcotest.test_case "depth0 constraint mask" `Quick
+            test_depth0_constraints_mask;
         ] );
     ]

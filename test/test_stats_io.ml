@@ -1,0 +1,161 @@
+open Beast_core
+
+let result_testable =
+  Alcotest.testable
+    (fun ppf t -> Format.pp_print_string ppf (Stats_io.to_json t))
+    ( = )
+
+let full_result sp =
+  let plan = Plan.make_exn sp in
+  (plan, Stats_io.of_stats ~plan (Engine_staged.run plan))
+
+let shard_results plan ~of_ =
+  List.init of_ (fun index ->
+      let stats = Engine_staged.run (Plan.chunk_outer plan ~index ~of_) in
+      Stats_io.of_stats ~plan
+        ~shard:{ Stats_io.shard_index = index; shard_of = of_ }
+        stats)
+
+let test_json_roundtrip () =
+  let _, r = full_result (Support.mixed_space ()) in
+  match Stats_io.of_json (Stats_io.to_json r) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' -> Alcotest.check result_testable "roundtrip" r r'
+
+let test_json_roundtrip_escapes () =
+  let r =
+    {
+      Stats_io.space = "we\"ird\\name\n\ttab";
+      shard = { Stats_io.shard_index = 2; shard_of = 5 };
+      survivors = 0;
+      loop_iterations = 0;
+      constraints =
+        [
+          {
+            Stats_io.cr_name = "a \"quoted\" one";
+            cr_class = Space.Correctness;
+            cr_depth0 = true;
+            cr_fired = 7;
+          };
+        ];
+    }
+  in
+  match Stats_io.of_json (Stats_io.to_json r) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' -> Alcotest.check result_testable "escaped roundtrip" r r'
+
+let test_merge_reproduces_unsharded_bytes () =
+  (* The tentpole guarantee: merging any N-way split writes the same
+     bytes as the unsharded sweep. *)
+  List.iter
+    (fun sp ->
+      let plan, full = full_result sp in
+      List.iter
+        (fun of_ ->
+          match Stats_io.merge (shard_results plan ~of_) with
+          | Error msg -> Alcotest.fail msg
+          | Ok merged ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s, %d-way" (Space.name sp) of_)
+              (Stats_io.to_json full) (Stats_io.to_json merged))
+        [ 1; 2; 3; 7 ])
+    [ Support.triangle_space (); Support.mixed_space () ]
+
+let test_merge_order_independent () =
+  let plan, full = full_result (Support.triangle_space ()) in
+  let shards = shard_results plan ~of_:3 in
+  List.iter
+    (fun shards ->
+      match Stats_io.merge shards with
+      | Error msg -> Alcotest.fail msg
+      | Ok merged -> Alcotest.check result_testable "permuted" full merged)
+    [ List.rev shards; (match shards with [ a; b; c ] -> [ b; c; a ] | l -> l) ]
+
+let test_merge_depth0_dedup () =
+  (* A firing depth-0 constraint is counted once per shard but reported
+     once after the merge. *)
+  let sp = Support.triangle_space () in
+  let open Expr.Infix in
+  Space.constrain sp ~cls:Space.Hard "d0_always" (Expr.int 8 <: Expr.int 9);
+  let plan, full = full_result sp in
+  let fired r name =
+    (List.find (fun c -> c.Stats_io.cr_name = name) r.Stats_io.constraints)
+      .Stats_io.cr_fired
+  in
+  Alcotest.(check int) "sequential count" 1 (fired full "d0_always");
+  match Stats_io.merge (shard_results plan ~of_:4) with
+  | Error msg -> Alcotest.fail msg
+  | Ok merged ->
+    Alcotest.(check int) "merged count" 1 (fired merged "d0_always");
+    Alcotest.check result_testable "whole record" full merged
+
+let test_merge_rejects_bad_sets () =
+  let plan, _ = full_result (Support.triangle_space ()) in
+  let shards = shard_results plan ~of_:3 in
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (is_error (Stats_io.merge []));
+  Alcotest.(check bool) "missing shard" true
+    (is_error (Stats_io.merge (List.tl shards)));
+  Alcotest.(check bool) "duplicate shard" true
+    (is_error (Stats_io.merge (List.hd shards :: shards)));
+  let other_plan, _ = full_result (Support.mixed_space ()) in
+  let foreign = shard_results other_plan ~of_:3 in
+  Alcotest.(check bool) "mixed spaces" true
+    (is_error (Stats_io.merge (List.hd foreign :: List.tl shards)));
+  let resharded =
+    List.map
+      (fun s -> { s with Stats_io.shard = { s.Stats_io.shard with Stats_io.shard_of = 4 } })
+      shards
+  in
+  Alcotest.(check bool) "mixed arity" true
+    (is_error (Stats_io.merge (List.hd resharded :: List.tl shards)))
+
+let test_of_json_rejects_garbage () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("reject " ^ text) true
+        (is_error (Stats_io.of_json text)))
+    [
+      "";
+      "{";
+      "[1, 2]";
+      "{\"space\": \"x\"}";
+      "{\"space\": 3, \"shard\": {\"index\": 0, \"of\": 1}, \"survivors\": 0, \
+       \"loop_iterations\": 0, \"constraints\": []}";
+    ]
+
+let test_file_roundtrip () =
+  let _, r = full_result (Support.triangle_space ()) in
+  let path = Filename.temp_file "beast_stats" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Stats_io.write_file path r;
+      match Stats_io.of_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok r' -> Alcotest.check result_testable "file roundtrip" r r')
+
+let () =
+  Alcotest.run "stats_io"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaped strings" `Quick
+            test_json_roundtrip_escapes;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_of_json_rejects_garbage;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        ] );
+      ( "merging",
+        [
+          Alcotest.test_case "byte-identical to unsharded" `Quick
+            test_merge_reproduces_unsharded_bytes;
+          Alcotest.test_case "order independent" `Quick
+            test_merge_order_independent;
+          Alcotest.test_case "depth-0 dedup" `Quick test_merge_depth0_dedup;
+          Alcotest.test_case "bad shard sets rejected" `Quick
+            test_merge_rejects_bad_sets;
+        ] );
+    ]
