@@ -611,8 +611,165 @@ let ablation_obs_overhead () =
      one flag check per run.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Regression gate: compare BENCH_parallel.json against a committed     *)
+(* baseline.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two classes of field. The deterministic ones (survivor and iteration
+   counts, split arity, work-share percentages) are machine-independent:
+   any drift is a real behaviour change and fails the gate. The timing
+   fields vary across machines and CI neighbours, so they are reported
+   but only gated behind --gate-timing (with --threshold slack). *)
+let load_bench_json path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> Jsonx.parse text
+
+let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
+  let load what path =
+    match load_bench_json path with
+    | Ok json -> json
+    | Error msg ->
+      Printf.eprintf "bench gate: cannot read %s file %s: %s\n" what path msg;
+      exit 1
+  in
+  let base = load "baseline" baseline_file in
+  let cur = load "current" current_file in
+  header
+    (Printf.sprintf "Regression gate: %s vs baseline %s" current_file
+       baseline_file);
+  let failures = ref 0 in
+  let check name ok detail =
+    Printf.printf "  %-28s %s  %s\n" name (if ok then "ok  " else "FAIL") detail;
+    if not ok then incr failures
+  in
+  let exact_int name =
+    let b = Jsonx.to_int name (Jsonx.member name base)
+    and c = Jsonx.to_int name (Jsonx.member name cur) in
+    check name (b = c) (Printf.sprintf "baseline %d, current %d" b c)
+  in
+  let exact_str name =
+    let b = Jsonx.to_str name (Jsonx.member name base)
+    and c = Jsonx.to_str name (Jsonx.member name cur) in
+    check name (b = c) (Printf.sprintf "baseline %s, current %s" b c)
+  in
+  (* Shares are deterministic up to the %.2f rounding in the file. *)
+  let near_float name =
+    let b = Jsonx.to_float name (Jsonx.member name base)
+    and c = Jsonx.to_float name (Jsonx.member name cur) in
+    check name
+      (Float.abs (b -. c) <= 0.05)
+      (Printf.sprintf "baseline %.2f, current %.2f" b c)
+  in
+  (try
+     exact_str "bench";
+     exact_str "space";
+     exact_int "max_dim";
+     exact_int "domains";
+     exact_int "chunks";
+     exact_int "survivors";
+     exact_int "loop_iterations";
+     let b_shares =
+       List.map
+         (Jsonx.to_float "share")
+         (Jsonx.to_list "static_slice_shares_pct"
+            (Jsonx.member "static_slice_shares_pct" base))
+     and c_shares =
+       List.map
+         (Jsonx.to_float "share")
+         (Jsonx.to_list "static_slice_shares_pct"
+            (Jsonx.member "static_slice_shares_pct" cur))
+     in
+     check "static_slice_shares_pct"
+       (List.length b_shares = List.length c_shares
+       && List.for_all2 (fun b c -> Float.abs (b -. c) <= 0.05) b_shares
+            c_shares)
+       (Printf.sprintf "baseline [%s], current [%s]"
+          (String.concat " " (List.map (Printf.sprintf "%.2f") b_shares))
+          (String.concat " " (List.map (Printf.sprintf "%.2f") c_shares)));
+     near_float "max_chunk_share_pct";
+     check "stats_match_sequential"
+       (Jsonx.to_bool "stats_match_sequential"
+          (Jsonx.member "stats_match_sequential" cur))
+       "current run must agree with the sequential sweep";
+     let b_steal = Jsonx.to_float "stealing_s" (Jsonx.member "stealing_s" base)
+     and c_steal = Jsonx.to_float "stealing_s" (Jsonx.member "stealing_s" cur)
+     and b_speedup = Jsonx.to_float "speedup" (Jsonx.member "speedup" base)
+     and c_speedup = Jsonx.to_float "speedup" (Jsonx.member "speedup" cur) in
+     if gate_timing then begin
+       check "stealing_s"
+         (c_steal <= b_steal *. (1.0 +. (threshold_pct /. 100.0)))
+         (Printf.sprintf "baseline %.3fs, current %.3fs (threshold +%.0f%%)"
+            b_steal c_steal threshold_pct);
+       check "speedup"
+         (c_speedup >= b_speedup *. (1.0 -. (threshold_pct /. 100.0)))
+         (Printf.sprintf "baseline %.2fx, current %.2fx (threshold -%.0f%%)"
+            b_speedup c_speedup threshold_pct)
+     end
+     else
+       Printf.printf
+         "  %-28s info  baseline %.3fs/%.2fx, current %.3fs/%.2fx (not gated; \
+          pass --gate-timing)\n"
+         "stealing_s/speedup" b_steal b_speedup c_steal c_speedup
+   with Jsonx.Error msg ->
+     Printf.eprintf "bench gate: malformed bench json: %s\n" msg;
+     exit 1);
+  if !failures > 0 then begin
+    Printf.printf "bench gate: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else print_endline "bench gate: all checks passed"
 
 let () =
+  let baseline = ref None in
+  let threshold = ref 25.0 in
+  let compare_only = ref false in
+  let gate_timing = ref false in
+  let current_file = ref "BENCH_parallel.json" in
+  let usage () =
+    prerr_endline
+      "usage: main.exe [--baseline FILE] [--current FILE] [--threshold PCT] \
+       [--gate-timing] [--compare-only]";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: f :: rest ->
+      baseline := Some f;
+      parse rest
+    | "--current" :: f :: rest ->
+      current_file := f;
+      parse rest
+    | "--threshold" :: p :: rest -> (
+      match float_of_string_opt p with
+      | Some v ->
+        threshold := v;
+        parse rest
+      | None -> usage ())
+    | "--compare-only" :: rest ->
+      compare_only := true;
+      parse rest
+    | "--gate-timing" :: rest ->
+      gate_timing := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !compare_only then begin
+    match !baseline with
+    | None ->
+      prerr_endline "bench gate: --compare-only needs --baseline FILE";
+      exit 2
+    | Some baseline_file ->
+      compare_baseline ~baseline_file ~current_file:!current_file
+        ~threshold_pct:!threshold ~gate_timing:!gate_timing;
+      exit 0
+  end;
   Printf.printf "BEAST reproduction benchmarks%s\n"
     (if quick then " (QUICK smoke mode)" else if fast then " (FAST mode)" else "");
   (* BEAST_BENCH_TRACE=FILE records the whole harness run and writes a
@@ -654,4 +811,9 @@ let () =
     close_out oc;
     Printf.printf "wrote %d trace events to %s\n" (Recorder.event_count r) file);
   line ();
-  print_endline "done; see EXPERIMENTS.md for paper-vs-measured discussion."
+  print_endline "done; see EXPERIMENTS.md for paper-vs-measured discussion.";
+  match !baseline with
+  | None -> ()
+  | Some baseline_file ->
+    compare_baseline ~baseline_file ~current_file:!current_file
+      ~threshold_pct:!threshold ~gate_timing:!gate_timing

@@ -96,29 +96,61 @@ let stats_out_arg =
   let doc =
     "Write the sweep statistics (survivor and loop-iteration totals, \
      per-constraint pruned counts) to $(docv) as deterministic JSON, \
-     mergeable across shards with $(b,beast merge)."
+     mergeable across shards with $(b,beast merge). With --metrics the \
+     file also carries the run's histogram state, recombinable into \
+     exact fleet-level percentiles."
   in
   Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
 
-(* Install the event recorder and/or the progress reporter around [f];
-   when [f] finishes (or raises) the collected events are written to the
-   trace file in the requested format. *)
-let with_obs ~trace ~trace_format ~progress f =
+let metrics_arg =
+  let doc =
+    "Record runtime metrics (per-constraint evaluation-latency \
+     histograms, per-depth loop-entry counts, scheduler chunk \
+     durations, planning phases). View with $(b,beast report) on the \
+     --stats-out file."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the recorded metrics to $(docv) in Prometheus text \
+     exposition format (implies --metrics)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Install the event recorder, the progress reporter and/or the metrics
+   registry around [f]; when [f] finishes (or raises) the collected
+   events are written to the trace file in the requested format and the
+   metrics to the Prometheus file. *)
+let with_obs ~trace ~trace_format ~progress ?(metrics = false) ?metrics_out f =
+  (* Open output files before doing any work so a bad path fails up
+     front instead of discarding a completed run at the end. *)
+  let open_or_die what file =
+    try open_out file
+    with Sys_error msg ->
+      Format.eprintf "beast: cannot open %s file: %s@." what msg;
+      exit 1
+  in
   let recorder =
     match trace with
     | None -> None
     | Some file ->
-      (* Open the trace file before doing any work so a bad path fails
-         up front instead of discarding a completed run at the end. *)
-      let oc =
-        try open_out file
-        with Sys_error msg ->
-          Format.eprintf "beast: cannot open trace file: %s@." msg;
-          exit 1
-      in
+      let oc = open_or_die "trace" file in
       let r = Recorder.create () in
       Obs.set_sink (Recorder.sink r);
       Some (file, oc, r)
+  in
+  let metrics_sink =
+    Option.map (fun file -> (file, open_or_die "metrics" file)) metrics_out
+  in
+  let registry =
+    if metrics || metrics_sink <> None then begin
+      let r = Metrics.create () in
+      Metrics.set_current r;
+      Some r
+    end
+    else None
   in
   let reporter =
     if progress then begin
@@ -131,6 +163,16 @@ let with_obs ~trace ~trace_format ~progress f =
   Fun.protect
     ~finally:(fun () ->
       Option.iter Progress.finish reporter;
+      (match registry with
+      | None -> ()
+      | Some r ->
+        Metrics.clear_current ();
+        (match metrics_sink with
+        | None -> ()
+        | Some (file, oc) ->
+          output_string oc (Metrics.Snapshot.to_prometheus (Metrics.snapshot r));
+          close_out oc;
+          Format.eprintf "wrote metrics to %s@." file));
       match recorder with
       | None -> ()
       | Some (file, oc, r) ->
@@ -242,7 +284,7 @@ let objective_for space_name device =
 
 let sweep_term =
   let run space_name device max_dim max_threads engine shard stats_out trace
-      trace_format progress =
+      trace_format progress metrics metrics_out =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     (match (shard, engine) with
@@ -251,7 +293,7 @@ let sweep_term =
         "--shard needs a plan-based engine (vm, staged or parallel)@.";
       exit 2
     | _ -> ());
-    with_obs ~trace ~trace_format ~progress (fun () ->
+    with_obs ~trace ~trace_format ~progress ~metrics ?metrics_out (fun () ->
         let t0 = Clock.now_ns () in
         (* The unchunked plan carries the constraint metadata --stats-out
            serializes; sharding restricts a copy of it. *)
@@ -282,13 +324,15 @@ let sweep_term =
         | None -> ()
         | Some file ->
           Stats_io.write_file file
-            (Stats_io.of_stats ~plan ~shard:shard_info stats);
+            (Stats_io.of_stats ~plan ~shard:shard_info
+               ?metrics:(Option.map Metrics.snapshot (Metrics.current ()))
+               stats);
           Format.eprintf "wrote sweep statistics to %s@." file)
   in
   Term.(
     const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
     $ engine_arg $ shard_arg $ stats_out_arg $ trace_arg $ trace_format_arg
-    $ progress_arg)
+    $ progress_arg $ metrics_arg $ metrics_out_arg)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Enumerate and prune a search space") sweep_term
@@ -473,12 +517,118 @@ let search_cmd =
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
       $ method_arg $ budget_arg $ seed_arg $ trace_arg $ trace_format_arg)
 
+(* Cross-shard trace correlation: stitch the per-shard JSONL traces of a
+   sharded sweep into one Chrome trace, with each shard rendered as a
+   process (named after its file) and each domain as a thread inside it.
+   Per-shard timestamps are rebased to the shard's own first event, so
+   shards that ran at different wall times (different CI jobs) still
+   line up for side-by-side comparison. *)
+let merge_traces files trace_out =
+  let processes =
+    List.map
+      (fun f ->
+        match Sink_jsonl.read_file f with
+        | Error msg ->
+          Format.eprintf "%s: %s@." f msg;
+          exit 1
+        | Ok events ->
+          let start_ns =
+            Array.fold_left
+              (fun acc ev -> min acc ev.Obs.ev_ts_ns)
+              max_int events
+          in
+          let start_ns = if start_ns = max_int then 0 else start_ns in
+          (Filename.remove_extension (Filename.basename f), start_ns, events))
+      files
+  in
+  let rendered = Sink_chrome.render_processes processes in
+  (match trace_out with
+  | None -> print_string rendered
+  | Some file ->
+    let oc = open_out file in
+    output_string oc rendered;
+    close_out oc;
+    Format.eprintf "wrote merged trace (%d shard%s) to %s@."
+      (List.length files)
+      (if List.length files = 1 then "" else "s")
+      file)
+
 let merge_cmd =
   let files_arg =
-    let doc = "Shard statistics files written by sweep --stats-out." in
+    let doc =
+      "Shard statistics files written by sweep --stats-out (or, with \
+       --traces, JSONL trace files written by sweep --trace FILE \
+       --trace-format jsonl)."
+    in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc)
   in
-  let run files stats_out =
+  let traces_arg =
+    let doc =
+      "Treat $(i,FILES) as per-shard JSONL traces and stitch them into \
+       one Chrome trace (shard as process, domain as thread) instead of \
+       merging statistics."
+    in
+    Arg.(value & flag & info [ "traces" ] ~doc)
+  in
+  let trace_out_arg =
+    let doc = "With --traces: write the merged Chrome trace to $(docv) \
+               (default: stdout)." in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run files stats_out traces trace_out =
+    if traces then merge_traces files trace_out
+    else begin
+      let shards =
+        List.map
+          (fun f ->
+            match Stats_io.of_file f with
+            | Ok r -> r
+            | Error msg ->
+              Format.eprintf "%s: %s@." f msg;
+              exit 1)
+          files
+      in
+      match Stats_io.merge shards with
+      | Error msg ->
+        Format.eprintf "merge: %s@." msg;
+        exit 1
+      | Ok merged ->
+        Format.printf "space %s: merged %d shard%s@." merged.Stats_io.space
+          (List.length files)
+          (if List.length files = 1 then "" else "s");
+        Format.printf "%a" Engine.pp_stats (Stats_io.to_stats merged);
+        (match stats_out with
+        | None -> ()
+        | Some file ->
+          Stats_io.write_file file merged;
+          Format.eprintf "wrote merged statistics to %s@." file)
+    end
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Recombine the statistics of a sharded sweep (sweep --shard I/N \
+          --stats-out) into the numbers an unsharded sweep would report; \
+          with --stats-out, the merged file is byte-identical to the \
+          unsharded one. With --traces, stitch per-shard JSONL traces \
+          into one Chrome trace instead")
+    Term.(const run $ files_arg $ stats_out_arg $ traces_arg $ trace_out_arg)
+
+let report_cmd =
+  let files_arg =
+    let doc =
+      "Statistics files written by sweep --metrics --stats-out; several \
+       shard files are merged before reporting."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Show the K hottest constraints.")
+  in
+  let run files top =
     let shards =
       List.map
         (fun f ->
@@ -489,29 +639,33 @@ let merge_cmd =
             exit 1)
         files
     in
-    match Stats_io.merge shards with
-    | Error msg ->
-      Format.eprintf "merge: %s@." msg;
-      exit 1
-    | Ok merged ->
-      Format.printf "space %s: merged %d shard%s@." merged.Stats_io.space
-        (List.length files)
-        (if List.length files = 1 then "" else "s");
-      Format.printf "%a" Engine.pp_stats (Stats_io.to_stats merged);
-      (match stats_out with
-      | None -> ()
-      | Some file ->
-        Stats_io.write_file file merged;
-        Format.eprintf "wrote merged statistics to %s@." file)
+    let merged =
+      match shards with
+      | [ one ] -> one
+      | several -> (
+        match Stats_io.merge several with
+        | Ok m -> m
+        | Error msg ->
+          Format.eprintf "merge: %s@." msg;
+          exit 1)
+    in
+    Format.printf "space %s: %d survivors of %d points@."
+      merged.Stats_io.space merged.Stats_io.survivors
+      merged.Stats_io.loop_iterations;
+    let snap =
+      Option.value ~default:Metrics.Snapshot.empty merged.Stats_io.metrics
+    in
+    Report.write ~top Format.std_formatter snap;
+    Format.pp_print_flush Format.std_formatter ()
   in
   Cmd.v
-    (Cmd.info "merge"
+    (Cmd.info "report"
        ~doc:
-         "Recombine the statistics of a sharded sweep (sweep --shard I/N \
-          --stats-out) into the numbers an unsharded sweep would report; \
-          with --stats-out, the merged file is byte-identical to the \
-          unsharded one")
-    Term.(const run $ files_arg $ stats_out_arg)
+         "Render the metrics of one or more sweep statistics files \
+          (percentile tables per constraint, loop-entry counts, \
+          scheduler chunk skew); multiple shard files are merged into \
+          exact fleet-level percentiles first")
+    Term.(const run $ files_arg $ top_arg)
 
 let export_cmd =
   let run space_name device max_dim max_threads =
@@ -538,6 +692,6 @@ let main =
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
-      funnel_cmd; search_cmd; merge_cmd; export_cmd ]
+      funnel_cmd; search_cmd; merge_cmd; report_cmd; export_cmd ]
 
 let () = exit (Cmd.eval main)

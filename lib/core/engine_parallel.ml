@@ -62,11 +62,21 @@ let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
        longer than one chunk. Each worker folds its chunk results
        locally (sum + per-constraint max for the depth-0 dedup). *)
     let cursor = Atomic.make 0 in
+    (* One handle resolved up front; recording is per-domain inside. *)
+    let chunk_hist =
+      Option.map
+        (fun r ->
+          Metrics.histogram r ~unit_:"ns" ~name:"chunk_duration_ns"
+            ~labels:[ ("space", plan.Plan.space_name) ]
+            ())
+        (Metrics.current ())
+    in
     let worker dom () =
       let acc = ref None in
       let rec steal () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n_chunks then begin
+          let t0 = Clock.now_ns () in
           let s =
             Obs.with_span ~cat:"engine"
               ~args:
@@ -78,6 +88,9 @@ let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
               "sweep:chunk"
               (fun () -> Engine_staged.run ?on_hit chunks.(i))
           in
+          Option.iter
+            (fun h -> Metrics.record h (Clock.now_ns () - t0))
+            chunk_hist;
           (acc :=
              match !acc with
              | None -> Some (s, s)

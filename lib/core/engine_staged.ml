@@ -8,12 +8,30 @@
    counts per-depth loop entries, accumulates per-constraint evaluation
    time and samples throughput; the choice is made once per run, at
    compile time, so the uninstrumented closures are exactly the ones the
-   seed build produced. *)
+   seed build produced.
+
+   An installed Metrics registry selects the same instrumented compiler
+   and additionally feeds each constraint evaluation into a per-domain
+   latency histogram; histogram handles are resolved here, once per run,
+   so the hot closure does an array read and a constant-time record. *)
 
 open Beast_obs
 
 let run ?on_hit (plan : Plan.t) =
-  let instrument = Obs.instrumenting () in
+  let metrics = Metrics.current () in
+  let instrument = Obs.instrumenting () || metrics <> None in
+  (* Per-constraint evaluation-latency histograms ([None] = metrics off). *)
+  let eval_hists =
+    Option.map
+      (fun r ->
+        Array.map
+          (fun (name, _) ->
+            Metrics.histogram r ~unit_:"ns" ~name:"constraint_eval_ns"
+              ~labels:[ ("constraint", name) ]
+              ())
+          plan.Plan.constraint_info)
+      metrics
+  in
   let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
   let n_constraints = Array.length plan.Plan.constraint_info in
   let pruned = Array.make n_constraints 0 in
@@ -197,14 +215,25 @@ let run ?on_hit (plan : Plan.t) =
       fun () ->
         slots.(d_slot) <- f ();
         k ()
-    | Check { c_index; c_compute; _ } :: rest ->
+    | Check { c_index; c_compute; _ } :: rest -> (
       let f = compile_compute c_compute in
       let k = compile_steps_instr ~depth rest in
-      fun () ->
-        let t0 = Clock.now_ns () in
-        let v = f () in
-        check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
-        if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+      match eval_hists with
+      | None ->
+        fun () ->
+          let t0 = Clock.now_ns () in
+          let v = f () in
+          check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
+          if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+      | Some hists ->
+        let h = hists.(c_index) in
+        fun () ->
+          let t0 = Clock.now_ns () in
+          let v = f () in
+          let dt = Clock.now_ns () - t0 in
+          check_time.(c_index) <- check_time.(c_index) + dt;
+          Metrics.record h dt;
+          if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ())
     | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
       let body = compile_steps_instr ~depth:(depth + 1) l_body in
       let k = compile_steps_instr ~depth rest in
@@ -274,6 +303,22 @@ let run ?on_hit (plan : Plan.t) =
       ~level_time;
     Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
   end;
+  (* Counters add across chunks and shards, so per-run adds compose. *)
+  Option.iter
+    (fun r ->
+      List.iteri
+        (fun d var ->
+          Metrics.add
+            (Metrics.counter r ~name:"loop_entries_total"
+               ~labels:[ ("depth", string_of_int d); ("var", var) ]
+               ())
+            depth_entries.(d))
+        plan.Plan.iter_order;
+      Metrics.add (Metrics.counter r ~name:"points_total" ~labels:[] ())
+        !loop_iterations;
+      Metrics.add (Metrics.counter r ~name:"survivors_total" ~labels:[] ())
+        !survivors)
+    metrics;
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;

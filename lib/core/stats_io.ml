@@ -1,7 +1,17 @@
 (* Shard results as JSON: what [beast sweep --stats-out] writes and
    [beast merge] reads back. The encoding is fully deterministic (fixed
    key order, no timestamps), so merging the N shard files of any split
-   reproduces the unsharded file byte-for-byte. *)
+   reproduces the unsharded file byte-for-byte.
+
+   When a run had a metrics registry installed, its snapshot rides along
+   under a "metrics" key (omitted entirely otherwise, keeping old files
+   and byte-compare harnesses unchanged). Histogram state is mergeable
+   without loss — bucket-wise addition is exactly the pooled-sample
+   histogram — so [beast merge] recombines shard metrics into fleet-level
+   percentiles. *)
+
+module Jsonx = Beast_obs.Jsonx
+module Metrics = Beast_obs.Metrics
 
 type constraint_row = {
   cr_name : string;
@@ -23,9 +33,11 @@ type t = {
   survivors : int;
   loop_iterations : int;
   constraints : constraint_row list;
+  metrics : Metrics.snapshot option;
 }
 
-let of_stats ~(plan : Plan.t) ?(shard = unsharded) (stats : Engine.stats) =
+let of_stats ~(plan : Plan.t) ?(shard = unsharded) ?metrics
+    (stats : Engine.stats) =
   let depth0 = Plan.depth0_constraints plan in
   {
     space = plan.Plan.space_name;
@@ -38,6 +50,7 @@ let of_stats ~(plan : Plan.t) ?(shard = unsharded) (stats : Engine.stats) =
            (fun i (n, c, k) ->
              { cr_name = n; cr_class = c; cr_depth0 = depth0.(i); cr_fired = k })
            stats.Engine.pruned);
+    metrics;
   }
 
 let to_stats t =
@@ -88,233 +101,68 @@ let to_json t =
         r.cr_depth0 r.cr_fired)
     t.constraints;
   if t.constraints <> [] then add "\n  ";
-  add "]\n}\n";
+  add "]";
+  (match t.metrics with
+  | None -> ()
+  | Some snap ->
+    add ",\n  \"metrics\": ";
+    Metrics.Snapshot.add_json buf ~indent:"  " snap);
+  add "\n}\n";
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
-(* Decoding: a minimal JSON reader, enough for the files we emit       *)
+(* Decoding                                                            *)
 (* ------------------------------------------------------------------ *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of int
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail fmt =
-    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos m))) fmt
-  in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | Some c' -> fail "expected %c, got %c" c c'
-    | None -> fail "expected %c, got end of input" c
-  in
-  let literal word v =
-    let m = String.length word in
-    if !pos + m <= n && String.sub s !pos m = word then begin
-      pos := !pos + m;
-      v
-    end
-    else fail "invalid literal"
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | None -> fail "unterminated escape"
-        | Some c ->
-          advance ();
-          (match c with
-          | '"' -> Buffer.add_char buf '"'
-          | '\\' -> Buffer.add_char buf '\\'
-          | '/' -> Buffer.add_char buf '/'
-          | 'n' -> Buffer.add_char buf '\n'
-          | 'r' -> Buffer.add_char buf '\r'
-          | 't' -> Buffer.add_char buf '\t'
-          | 'b' -> Buffer.add_char buf '\b'
-          | 'f' -> Buffer.add_char buf '\012'
-          | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail "invalid \\u escape %s" hex
-            in
-            if code > 0x7f then fail "non-ASCII \\u escape unsupported";
-            Buffer.add_char buf (Char.chr code)
-          | c -> fail "invalid escape \\%c" c);
-          go ())
-      | Some c ->
-        advance ();
-        Buffer.add_char buf c;
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_int () =
-    let start = !pos in
-    if peek () = Some '-' then advance ();
-    let rec digits () =
-      match peek () with
-      | Some '0' .. '9' ->
-        advance ();
-        digits ()
-      | _ -> ()
-    in
-    digits ();
-    if !pos = start then fail "expected a number";
-    int_of_string (String.sub s start (!pos - start))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((key, v) :: acc)
-          | _ -> fail "expected , or } in object"
-        in
-        Obj (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec elems acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elems (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> fail "expected , or ] in array"
-        in
-        Arr (elems [])
-      end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some ('-' | '0' .. '9') -> Num (parse_int ())
-    | Some c -> fail "unexpected character %c" c
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let field name = function
-  | Obj members -> (
-    match List.assoc_opt name members with
-    | Some v -> v
-    | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
-  | _ -> raise (Parse_error (Printf.sprintf "expected an object with %S" name))
-
-let as_int name = function
-  | Num k -> k
-  | _ -> raise (Parse_error (Printf.sprintf "%s: expected an integer" name))
-
-let as_str name = function
-  | Str s -> s
-  | _ -> raise (Parse_error (Printf.sprintf "%s: expected a string" name))
-
-let as_bool name = function
-  | Bool b -> b
-  | _ -> raise (Parse_error (Printf.sprintf "%s: expected a boolean" name))
 
 let constraint_class_of_name = function
   | "hard" -> Space.Hard
   | "soft" -> Space.Soft
   | "correctness" -> Space.Correctness
   | other ->
-    raise (Parse_error (Printf.sprintf "unknown constraint class %S" other))
+    raise (Jsonx.Error (Printf.sprintf "unknown constraint class %S" other))
 
 let of_json text =
-  match parse_json text with
-  | exception Parse_error msg -> Error msg
-  | json -> (
+  match Jsonx.parse text with
+  | Error msg -> Error msg
+  | Ok json -> (
     try
-      let shard_json = field "shard" json in
+      let shard_json = Jsonx.member "shard" json in
       let constraints =
-        match field "constraints" json with
-        | Arr rows ->
-          List.map
-            (fun row ->
-              {
-                cr_name = as_str "name" (field "name" row);
-                cr_class =
-                  constraint_class_of_name (as_str "class" (field "class" row));
-                cr_depth0 = as_bool "depth0" (field "depth0" row);
-                cr_fired = as_int "fired" (field "fired" row);
-              })
-            rows
-        | _ -> raise (Parse_error "constraints: expected an array")
+        List.map
+          (fun row ->
+            {
+              cr_name = Jsonx.to_str "name" (Jsonx.member "name" row);
+              cr_class =
+                constraint_class_of_name
+                  (Jsonx.to_str "class" (Jsonx.member "class" row));
+              cr_depth0 = Jsonx.to_bool "depth0" (Jsonx.member "depth0" row);
+              cr_fired = Jsonx.to_int "fired" (Jsonx.member "fired" row);
+            })
+          (Jsonx.to_list "constraints" (Jsonx.member "constraints" json))
+      in
+      let metrics =
+        match Jsonx.member_opt "metrics" json with
+        | None -> None
+        | Some m -> (
+          match Metrics.Snapshot.of_jsonx m with
+          | Ok snap -> Some snap
+          | Error msg -> raise (Jsonx.Error (Printf.sprintf "metrics: %s" msg)))
       in
       Ok
         {
-          space = as_str "space" (field "space" json);
+          space = Jsonx.to_str "space" (Jsonx.member "space" json);
           shard =
             {
-              shard_index = as_int "index" (field "index" shard_json);
-              shard_of = as_int "of" (field "of" shard_json);
+              shard_index = Jsonx.to_int "index" (Jsonx.member "index" shard_json);
+              shard_of = Jsonx.to_int "of" (Jsonx.member "of" shard_json);
             };
-          survivors = as_int "survivors" (field "survivors" json);
+          survivors = Jsonx.to_int "survivors" (Jsonx.member "survivors" json);
           loop_iterations =
-            as_int "loop_iterations" (field "loop_iterations" json);
+            Jsonx.to_int "loop_iterations" (Jsonx.member "loop_iterations" json);
           constraints;
+          metrics;
         }
-    with Parse_error msg -> Error msg)
+    with Jsonx.Error msg -> Error msg)
 
 let of_file path =
   match
@@ -344,6 +192,20 @@ let constraints_compatible a b =
          && x.cr_depth0 = y.cr_depth0)
        a.constraints b.constraints
 
+(* Metric snapshots pool bucket-wise (each shard's samples genuinely
+   happened, including the per-shard depth-0 evaluations), so the merged
+   percentiles describe the fleet. All shards must agree on whether
+   metrics were recorded. *)
+let merge_metrics shards =
+  match List.partition (fun s -> s.metrics <> None) shards with
+  | [], _ -> Ok None
+  | _, [] ->
+    Result.map
+      (fun m -> Some m)
+      (Metrics.Snapshot.merge
+         (List.filter_map (fun s -> s.metrics) shards))
+  | _, _ -> Error "some shards carry metrics and some do not"
+
 let merge = function
   | [] -> Error "no shard files given"
   | first :: rest as shards -> (
@@ -369,29 +231,33 @@ let merge = function
                "need each of shards 0..%d exactly once, got {%s}" (of_ - 1)
                (String.concat ", " (List.map string_of_int indices)))
         else
-          let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
-          let constraints =
-            List.mapi
-              (fun i r ->
-                let fired_of s = (List.nth s.constraints i).cr_fired in
-                let fired =
-                  if r.cr_depth0 then
-                    (* depth-0 checks ran once per shard with identical
-                       results (loop-free plans excepted, where only
-                       shard 0 carries them): keep a single shard's
-                       count via max, which is order-independent. *)
-                    List.fold_left (fun acc s -> max acc (fired_of s)) 0 shards
-                  else sum fired_of
-                in
-                { r with cr_fired = fired })
-              first.constraints
-          in
-          Ok
-            {
-              space = first.space;
-              shard = unsharded;
-              survivors = sum (fun s -> s.survivors);
-              loop_iterations = sum (fun s -> s.loop_iterations);
-              constraints;
-            }
+          match merge_metrics shards with
+          | Error msg -> Error msg
+          | Ok metrics ->
+            let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+            let constraints =
+              List.mapi
+                (fun i r ->
+                  let fired_of s = (List.nth s.constraints i).cr_fired in
+                  let fired =
+                    if r.cr_depth0 then
+                      (* depth-0 checks ran once per shard with identical
+                         results (loop-free plans excepted, where only
+                         shard 0 carries them): keep a single shard's
+                         count via max, which is order-independent. *)
+                      List.fold_left (fun acc s -> max acc (fired_of s)) 0 shards
+                    else sum fired_of
+                  in
+                  { r with cr_fired = fired })
+                first.constraints
+            in
+            Ok
+              {
+                space = first.space;
+                shard = unsharded;
+                survivors = sum (fun s -> s.survivors);
+                loop_iterations = sum (fun s -> s.loop_iterations);
+                constraints;
+                metrics;
+              }
       end)

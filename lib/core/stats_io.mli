@@ -33,9 +33,14 @@ type t = {
   survivors : int;
   loop_iterations : int;
   constraints : constraint_row list;
+  metrics : Beast_obs.Metrics.snapshot option;
+      (** recorded metrics (histograms/counters/gauges) when the run had
+          a registry installed; omitted from the JSON when [None] *)
 }
 
-val of_stats : plan:Plan.t -> ?shard:shard -> Engine.stats -> t
+val of_stats :
+  plan:Plan.t -> ?shard:shard -> ?metrics:Beast_obs.Metrics.snapshot ->
+  Engine.stats -> t
 (** Tag engine statistics with the plan's constraint metadata. [plan]
     must be the {e unchunked} plan (a chunked plan with no loops may
     have dropped its depth-0 steps). [shard] defaults to {!unsharded}. *)
@@ -58,4 +63,8 @@ val merge : t list -> (t, string) result
     cover [0..N-1] exactly once. Totals and non-depth-0 fired counts
     sum; depth-0 fired counts keep a single shard's value. The result is
     an {!unsharded} record, so [to_json (merge shards)] equals the
-    unsharded sweep's file byte-for-byte. *)
+    unsharded sweep's file byte-for-byte.
+
+    Metric snapshots merge by bucket-wise pooling (lossless for the
+    log-bucketed histograms), giving exact fleet-level percentiles; it
+    is an error if only some shards carry metrics. *)

@@ -1,0 +1,231 @@
+(* The repo's one minimal JSON reader (the repo deliberately carries no
+   JSON dependency; writers live in Trace_json and the individual
+   serializers). Integers and floats are kept distinct so exact
+   round-trips of counts stay exact; a number is a float iff its lexeme
+   contains '.', 'e' or 'E'. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> raise (Error (Printf.sprintf "at offset %d: %s" !pos m)))
+      fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, got %c" c c'
+    | None -> fail "expected %c, got end of input" c
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> fail "unterminated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "invalid \\u escape %s" hex
+            in
+            if code > 0x7f then fail "non-ASCII \\u escape unsupported";
+            Buffer.add_char buf (Char.chr code)
+          | c -> fail "invalid escape \\%c" c);
+          go ())
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some '0' .. '9' ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      is_float := true;
+      advance ();
+      digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with
+      | Some ('+' | '-') -> advance ()
+      | _ -> ());
+      digits ()
+    | _ -> ());
+    let lexeme = String.sub s start (!pos - start) in
+    if lexeme = "" || lexeme = "-" then fail "expected a number";
+    if !is_float then
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail "invalid number %s" lexeme
+    else
+      match int_of_string_opt lexeme with
+      | Some k -> Int k
+      | None -> fail "invalid integer %s" lexeme
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elems [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %c" c
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s = match parse_exn s with v -> Ok v | exception Error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (raising [Error] with the offending field's name)         *)
+(* ------------------------------------------------------------------ *)
+
+let member_opt name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let member name = function
+  | Obj members -> (
+    match List.assoc_opt name members with
+    | Some v -> v
+    | None -> error "missing field %S" name)
+  | _ -> error "expected an object with field %S" name
+
+let to_int name = function
+  | Int k -> k
+  | _ -> error "%s: expected an integer" name
+
+let to_float name = function
+  | Int k -> float_of_int k
+  | Float f -> f
+  | _ -> error "%s: expected a number" name
+
+let to_str name = function
+  | Str s -> s
+  | _ -> error "%s: expected a string" name
+
+let to_bool name = function
+  | Bool b -> b
+  | _ -> error "%s: expected a boolean" name
+
+let to_list name = function
+  | Arr l -> l
+  | _ -> error "%s: expected an array" name

@@ -1,0 +1,39 @@
+(** Minimal JSON reader shared by the tooling paths (stats files, JSONL
+    traces, metrics snapshots, bench baselines).
+
+    Parsing only — each serializer keeps its own deterministic writer.
+    Integers and floats are distinct constructors so count fields
+    round-trip exactly: a number parses to {!Float} iff its lexeme
+    contains ['.'], ['e'] or ['E']. Strings are ASCII with the usual
+    escapes ([\uXXXX] above 0x7f is rejected — nothing we emit needs
+    it). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+(** Raises {!Error} with an offset-tagged message. *)
+
+(** {2 Accessors}
+
+    All raise {!Error} naming the offending field; the [name] argument
+    is only used in the error message. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_int : string -> t -> int
+val to_float : string -> t -> float
+(** Accepts both {!Int} and {!Float}. *)
+
+val to_str : string -> t -> string
+val to_bool : string -> t -> bool
+val to_list : string -> t -> t list

@@ -1,7 +1,12 @@
 (* Throttled progress line for long enumerations. Engines tick through
    Obs.progress_tick from whichever domain is sweeping; the reporter
    keeps the latest per-domain figures, sums them, and redraws a
-   carriage-return line at most every [interval_s] seconds. *)
+   carriage-return line at most every [interval_s] seconds.
+
+   When the output channel is not a tty (CI logs, redirected stderr) the
+   carriage-return redraw would smear into one unreadable megaline, so
+   the reporter instead prints ordinary newline-terminated lines at a
+   slower default cadence. *)
 
 type dom_state = {
   mutable d_points : int;
@@ -13,6 +18,7 @@ type t = {
   mutex : Mutex.t;
   doms : (int, dom_state) Hashtbl.t;
   out : out_channel;
+  tty : bool;
   interval_ns : int;
   total : int option;  (* raw-cardinality estimate, for a fallback ETA *)
   start_ns : int;
@@ -21,11 +27,20 @@ type t = {
   mutable rendered : bool;
 }
 
-let create ?(interval_s = 0.2) ?total ?(out = stderr) () =
+let create ?interval_s ?total ?(out = stderr) ?tty () =
+  let tty =
+    match tty with
+    | Some b -> b
+    | None -> ( try Unix.isatty (Unix.descr_of_out_channel out) with _ -> false)
+  in
+  let interval_s =
+    match interval_s with Some s -> s | None -> if tty then 0.2 else 2.0
+  in
   {
     mutex = Mutex.create ();
     doms = Hashtbl.create 8;
     out;
+    tty;
     interval_ns = int_of_float (interval_s *. 1e9);
     total;
     start_ns = Clock.now_ns ();
@@ -34,12 +49,7 @@ let create ?(interval_s = 0.2) ?total ?(out = stderr) () =
     rendered = false;
   }
 
-let si n =
-  let f = float_of_int n in
-  if n < 10_000 then string_of_int n
-  else if f < 1e6 then Printf.sprintf "%.1fk" (f /. 1e3)
-  else if f < 1e9 then Printf.sprintf "%.2fM" (f /. 1e6)
-  else Printf.sprintf "%.2fG" (f /. 1e9)
+let si = Units.si_int
 
 let totals t =
   Hashtbl.fold
@@ -78,10 +88,13 @@ let line t ~now =
 
 let render t ~now =
   let s = line t ~now in
-  let pad = max 0 (t.last_width - String.length s) in
-  output_string t.out ("\r" ^ s ^ String.make pad ' ');
+  if t.tty then begin
+    let pad = max 0 (t.last_width - String.length s) in
+    output_string t.out ("\r" ^ s ^ String.make pad ' ');
+    t.last_width <- String.length s
+  end
+  else output_string t.out (s ^ "\n");
   flush t.out;
-  t.last_width <- String.length s;
   t.rendered <- true;
   t.last_render_ns <- now
 
@@ -109,7 +122,7 @@ let finish t =
   Mutex.lock t.mutex;
   if t.rendered then begin
     render t ~now:(Clock.now_ns ());
-    output_string t.out "\n";
+    if t.tty then output_string t.out "\n";
     flush t.out
   end;
   Mutex.unlock t.mutex

@@ -6,13 +6,19 @@
     carriage-return status line (points enumerated, survivors, rate,
     completed fraction and ETA) at most once per [interval_s]. The
     completed fraction comes from the engines' outermost-loop position
-    when available, else from [total] (a raw-cardinality estimate). *)
+    when available, else from [total] (a raw-cardinality estimate).
+
+    When [out] is not a tty the carriage-return redraw is skipped and
+    the reporter prints plain newline-terminated lines instead, at a
+    slower default cadence, so redirected logs stay readable. *)
 
 type t
 
 val create :
-  ?interval_s:float -> ?total:int -> ?out:out_channel -> unit -> t
-(** [interval_s] defaults to 0.2; [out] to [stderr]. *)
+  ?interval_s:float -> ?total:int -> ?out:out_channel -> ?tty:bool ->
+  unit -> t
+(** [out] defaults to [stderr]; [tty] to [Unix.isatty] on [out];
+    [interval_s] to 0.2 on a tty and 2.0 otherwise. *)
 
 val install : t -> unit
 (** Register as the global [Obs] progress hook. *)

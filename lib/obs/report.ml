@@ -1,0 +1,159 @@
+(* Render a metrics snapshot as the `beast report` tables: phase
+   timings, top-k hot constraints by total evaluation time, loop-entry
+   counts per depth, and chunk-duration skew for the work-stealing
+   scheduler. Everything here reads the merged snapshot, so the same
+   code reports a single run or a recombined shard fleet. *)
+
+let pct = [ (0.50, "p50"); (0.95, "p95"); (0.99, "p99") ]
+
+let label snap key =
+  match List.assoc_opt key snap with Some v -> v | None -> "?"
+
+let hist_row ppf ~name (h : Metrics.hist_snapshot) =
+  Format.fprintf ppf "  %-32s %10s %9s" name
+    (Units.si_int h.s_count)
+    (Units.duration_ns h.s_sum);
+  List.iter
+    (fun (q, _) ->
+      Format.fprintf ppf " %9s"
+        (Units.duration_ns_f (Metrics.Snapshot.quantile h q)))
+    pct;
+  Format.fprintf ppf " %9s@."
+    (Units.duration_ns_f (Metrics.Snapshot.mean h))
+
+let hist_header ppf title =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "  %-32s %10s %9s" "" "count" "total";
+  List.iter (fun (_, n) -> Format.fprintf ppf " %9s" n) pct;
+  Format.fprintf ppf " %9s@." "mean"
+
+let write ?(top = 10) ppf (snap : Metrics.snapshot) =
+  if snap = [] then
+    Format.fprintf ppf "no metrics recorded (run with --metrics)@."
+  else begin
+    (* ---- phases ---- *)
+    let phases = Metrics.Snapshot.histograms snap ~name:"phase_ns" in
+    if phases <> [] then begin
+      hist_header ppf "phases";
+      List.iter
+        (fun (labels, h) -> hist_row ppf ~name:(label labels "phase") h)
+        phases;
+      Format.fprintf ppf "@."
+    end;
+
+    (* ---- hot constraints ---- *)
+    let constraints =
+      Metrics.Snapshot.histograms snap ~name:"constraint_eval_ns"
+      |> List.filter (fun ((_, h) : _ * Metrics.hist_snapshot) -> h.s_count > 0)
+      |> List.sort (fun (_, a) (_, b) ->
+             compare
+               (b.Metrics.s_sum, b.Metrics.s_count)
+               (a.Metrics.s_sum, a.Metrics.s_count))
+    in
+    if constraints <> [] then begin
+      let total =
+        List.fold_left (fun acc (_, h) -> acc + h.Metrics.s_sum) 0 constraints
+      in
+      let shown = List.filteri (fun i _ -> i < top) constraints in
+      hist_header ppf
+        (Printf.sprintf "hot constraints (top %d of %d, by total eval time)"
+           (List.length shown) (List.length constraints));
+      List.iter
+        (fun (labels, h) -> hist_row ppf ~name:(label labels "constraint") h)
+        shown;
+      let shown_sum =
+        List.fold_left (fun acc (_, h) -> acc + h.Metrics.s_sum) 0 shown
+      in
+      if total > 0 then
+        Format.fprintf ppf "  shown constraints cover %.1f%% of %s eval time@."
+          (100.0 *. float_of_int shown_sum /. float_of_int total)
+          (Units.duration_ns total);
+      Format.fprintf ppf "@."
+    end;
+
+    (* ---- loop entries per depth ---- *)
+    let entries =
+      List.filter_map
+        (fun (it : Metrics.item) ->
+          match it.value with
+          | Metrics.Vcounter v when it.name = "loop_entries_total" ->
+            Some (it.labels, v)
+          | _ -> None)
+        snap
+      (* The snapshot orders labels lexicographically; depths are
+         numeric, so re-sort. *)
+      |> List.sort (fun (a, _) (b, _) ->
+             let depth l =
+               Option.bind (List.assoc_opt "depth" l) int_of_string_opt
+             in
+             compare (depth a, a) (depth b, b))
+    in
+    if entries <> [] then begin
+      Format.fprintf ppf "loop entries@.";
+      Format.fprintf ppf "  %-8s %-12s %12s@." "depth" "var" "entries";
+      List.iter
+        (fun (labels, v) ->
+          Format.fprintf ppf "  %-8s %-12s %12s@." (label labels "depth")
+            (label labels "var") (Units.si_int v))
+        entries;
+      Format.fprintf ppf "@."
+    end;
+
+    (* ---- chunk-duration skew ---- *)
+    let chunks = Metrics.Snapshot.histograms snap ~name:"chunk_duration_ns" in
+    if chunks <> [] then begin
+      hist_header ppf "scheduler chunks";
+      List.iter
+        (fun (labels, h) ->
+          let name =
+            match List.assoc_opt "space" labels with
+            | Some s -> s
+            | None -> "chunks"
+          in
+          hist_row ppf ~name h)
+        chunks;
+      List.iter
+        (fun ((_, h) : _ * Metrics.hist_snapshot) ->
+          if h.s_count > 0 then begin
+            let mean = Metrics.Snapshot.mean h in
+            let worst = float_of_int (Metrics.Snapshot.max_bound h) in
+            if mean > 0.0 then
+              Format.fprintf ppf
+                "  skew: slowest chunk <= %s, %.1fx the mean chunk@."
+                (Units.duration_ns_f worst) (worst /. mean)
+          end)
+        chunks;
+      Format.fprintf ppf "@."
+    end;
+
+    (* ---- plain counters and gauges ---- *)
+    let plain =
+      List.filter
+        (fun (it : Metrics.item) ->
+          match it.value with
+          | Metrics.Vhist _ -> false
+          | _ -> it.name <> "loop_entries_total")
+        snap
+    in
+    if plain <> [] then begin
+      Format.fprintf ppf "counters@.";
+      List.iter
+        (fun (it : Metrics.item) ->
+          let labels =
+            if it.labels = [] then ""
+            else
+              "{"
+              ^ String.concat ","
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) it.labels)
+              ^ "}"
+          in
+          match it.value with
+          | Metrics.Vcounter v ->
+            Format.fprintf ppf "  %-40s %12s@." (it.name ^ labels)
+              (Units.si_int v)
+          | Metrics.Vgauge v ->
+            Format.fprintf ppf "  %-40s %12g@." (it.name ^ labels) v
+          | Metrics.Vhist _ -> ())
+        plain
+    end
+  end

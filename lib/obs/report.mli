@@ -1,0 +1,8 @@
+(** `beast report` rendering: percentile tables over a (possibly
+    shard-merged) metrics snapshot. *)
+
+val write : ?top:int -> Format.formatter -> Metrics.snapshot -> unit
+(** Phase timings, top-[top] hot constraints by total evaluation time
+    (default 10), per-depth loop entries, scheduler chunk-duration skew,
+    then remaining counters/gauges. Prints a pointer at [--metrics] when
+    the snapshot is empty. *)

@@ -11,15 +11,20 @@
    as separate track rows. Timestamps are microseconds (floats) relative
    to the recorder's start so traces begin near zero. *)
 
-let thread_name_event buf ~tid ~name =
+let metadata_event buf ~what ~pid ~tid ~name =
   Buffer.add_string buf
-    (Printf.sprintf
-       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":"
-       tid);
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":"
+       what pid tid);
   Trace_json.escape buf name;
   Buffer.add_string buf "}}"
 
-let write_event buf ~start_ns (ev : Obs.event) =
+let thread_name_event buf ~pid ~tid ~name =
+  metadata_event buf ~what:"thread_name" ~pid ~tid ~name
+
+let process_name_event buf ~pid ~name =
+  metadata_event buf ~what:"process_name" ~pid ~tid:0 ~name
+
+let write_event buf ?(pid = 1) ~start_ns (ev : Obs.event) =
   let ph =
     match ev.Obs.ev_kind with
     | Obs.Begin -> "B"
@@ -37,7 +42,7 @@ let write_event buf ~start_ns (ev : Obs.event) =
   Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\"" ph);
   Buffer.add_string buf ",\"ts\":";
   Trace_json.float buf (Clock.ns_to_us (ev.Obs.ev_ts_ns - start_ns));
-  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.Obs.ev_dom);
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid ev.Obs.ev_dom);
   (match ev.Obs.ev_kind with
   | Obs.Complete dur ->
     Buffer.add_string buf ",\"dur\":";
@@ -56,13 +61,9 @@ let write_event buf ~start_ns (ev : Obs.event) =
     end);
   Buffer.add_string buf "}"
 
-let render ?(start_ns = 0) events =
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  let first = ref true in
-  let sep () =
-    if !first then first := false else Buffer.add_string buf ",\n"
-  in
+let add_process buf ~sep ~pid ~pname ~start_ns events =
+  sep ();
+  process_name_event buf ~pid ~name:pname;
   (* Name the domain tracks. *)
   let doms = Hashtbl.create 8 in
   Array.iter (fun ev -> Hashtbl.replace doms ev.Obs.ev_dom ()) events;
@@ -70,13 +71,28 @@ let render ?(start_ns = 0) events =
   |> List.sort Int.compare
   |> List.iter (fun d ->
          sep ();
-         thread_name_event buf ~tid:d ~name:(Printf.sprintf "domain %d" d));
+         thread_name_event buf ~pid ~tid:d ~name:(Printf.sprintf "domain %d" d));
   Array.iter
     (fun ev ->
       sep ();
-      write_event buf ~start_ns ev)
-    events;
+      write_event buf ~pid ~start_ns ev)
+    events
+
+let render_processes processes =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  List.iteri
+    (fun i (pname, start_ns, events) ->
+      add_process buf ~sep ~pid:(i + 1) ~pname ~start_ns events)
+    processes;
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
+
+let render ?(start_ns = 0) events =
+  render_processes [ ("beast", start_ns, events) ]
 
 let write ?start_ns oc events = output_string oc (render ?start_ns events)

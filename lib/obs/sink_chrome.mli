@@ -3,8 +3,18 @@
     Produces the object form [{"traceEvents": [...]}] accepted by
     [chrome://tracing] and Perfetto. Span begin/end map to ph "B"/"E",
     aggregate {!Obs.Complete} spans to ph "X", counters to ph "C";
-    domains appear as named track rows (pid 1, tid = domain id).
-    Timestamps are microseconds relative to [start_ns]. *)
+    domains appear as named track rows (tid = domain id) with
+    [thread_name]/[process_name] metadata events so viewers label the
+    tracks. Timestamps are microseconds relative to [start_ns]. *)
 
 val render : ?start_ns:int -> Obs.event array -> string
+(** Single process (pid 1, named "beast"). *)
+
+val render_processes : (string * int * Obs.event array) list -> string
+(** Multi-process trace: one [(name, start_ns, events)] group per
+    process, pid assigned from position (1-based). Used by
+    [beast merge --traces] to stitch per-shard traces into one view —
+    shard as process, domain as thread. Each group's timestamps are
+    rendered relative to its own [start_ns]. *)
+
 val write : ?start_ns:int -> out_channel -> Obs.event array -> unit

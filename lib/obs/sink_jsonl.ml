@@ -28,6 +28,78 @@ let write oc events =
       Buffer.output_buffer oc buf)
     events
 
+(* ------------------------------------------------------------------ *)
+(* Reading the log back (cross-shard trace merge)                      *)
+(* ------------------------------------------------------------------ *)
+
+let arg_of_jsonx = function
+  | Jsonx.Int i -> Obs.Int i
+  | Jsonx.Float f -> Obs.Float f
+  | Jsonx.Str s -> Obs.Str s
+  | Jsonx.Bool b -> Obs.Str (string_of_bool b)
+  | Jsonx.Null -> Obs.Str "null"
+  | Jsonx.Arr _ | Jsonx.Obj _ ->
+    raise (Jsonx.Error "args: nested values unsupported")
+
+let event_of_jsonx row =
+  let kind =
+    match Jsonx.to_str "kind" (Jsonx.member "kind" row) with
+    | "begin" -> Obs.Begin
+    | "end" -> Obs.End
+    | "complete" ->
+      Obs.Complete (Jsonx.to_int "dur_ns" (Jsonx.member "dur_ns" row))
+    | "instant" -> Obs.Instant
+    | "counter" ->
+      Obs.Counter (Jsonx.to_float "value" (Jsonx.member "value" row))
+    | other -> raise (Jsonx.Error (Printf.sprintf "unknown kind %S" other))
+  in
+  let args =
+    match Jsonx.member_opt "args" row with
+    | Some (Jsonx.Obj kvs) -> List.map (fun (k, v) -> (k, arg_of_jsonx v)) kvs
+    | Some _ -> raise (Jsonx.Error "args: expected an object")
+    | None -> []
+  in
+  {
+    Obs.ev_name = Jsonx.to_str "name" (Jsonx.member "name" row);
+    ev_cat = Jsonx.to_str "cat" (Jsonx.member "cat" row);
+    ev_ts_ns = Jsonx.to_int "ts_ns" (Jsonx.member "ts_ns" row);
+    ev_dom = Jsonx.to_int "dom" (Jsonx.member "dom" row);
+    ev_kind = kind;
+    ev_args = args;
+  }
+
+let parse_line line =
+  match Jsonx.parse line with
+  | Error msg -> Error msg
+  | Ok row -> (
+    match event_of_jsonx row with
+    | ev -> Ok ev
+    | exception Jsonx.Error msg -> Error msg)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let events = ref [] in
+      let lineno = ref 0 in
+      match
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            if String.trim line <> "" then
+              match parse_line line with
+              | Ok ev -> events := ev :: !events
+              | Error msg ->
+                raise
+                  (Jsonx.Error (Printf.sprintf "%s:%d: %s" path !lineno msg))
+          done
+        with End_of_file -> ()
+      with
+      | () -> Ok (Array.of_list (List.rev !events))
+      | exception Jsonx.Error msg -> Error msg)
+
 (* Streaming variant: events hit the channel as they are emitted (useful
    when a run may not reach an orderly shutdown). Emission is serialized
    with a mutex, so this sink is slower than {!Recorder} under the

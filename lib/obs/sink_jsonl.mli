@@ -7,6 +7,14 @@
 val write_event : Buffer.t -> Obs.event -> unit
 val write : out_channel -> Obs.event array -> unit
 
+val parse_line : string -> (Obs.event, string) result
+(** Inverse of {!write_event}, for one line. *)
+
+val read_file : string -> (Obs.event array, string) result
+(** Read a whole JSONL trace back in emission order (blank lines are
+    skipped; the error names the file and line). Cross-shard merging
+    ([beast merge --traces]) reads per-shard logs through this. *)
+
 val sink : out_channel -> Obs.sink
 (** Streaming sink: each event is serialized and written under a mutex
     as it is emitted. Prefer {!Recorder} + {!write} unless you need the

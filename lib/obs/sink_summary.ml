@@ -41,8 +41,6 @@ let top ~by ~n rows =
   List.filteri (fun i _ -> i < n)
     (List.sort (fun (_, a) (_, b) -> compare (by b) (by a)) rows)
 
-let ms ns = float_of_int ns *. 1e-6
-
 let write ?(top_n = 10) ppf (events : Obs.event array) =
   let constraints = Hashtbl.create 16 in
   let levels = Hashtbl.create 16 in
@@ -106,7 +104,9 @@ let write ?(top_n = 10) ppf (events : Obs.event array) =
     fprintf ppf "@\nspans (wall time, all domains):@\n";
     List.iter
       (fun (name, a) ->
-        fprintf ppf "  %-32s %10.3f ms  x%d@\n" name (ms a.a_time_ns) a.a_count)
+        fprintf ppf "  %-32s %10s  x%d@\n" name
+          (Units.duration_ns a.a_time_ns)
+          a.a_count)
       (List.sort (fun (_, a) (_, b) -> compare b.a_time_ns a.a_time_ns)
          span_rows)
   end;
@@ -115,7 +115,8 @@ let write ?(top_n = 10) ppf (events : Obs.event array) =
     fprintf ppf "@\ntop constraints by cumulative evaluation time:@\n";
     List.iter
       (fun (name, a) ->
-        fprintf ppf "  %-32s %10.3f ms  fired %d@\n" name (ms a.a_time_ns)
+        fprintf ppf "  %-32s %10s  fired %d@\n" name
+          (Units.duration_ns a.a_time_ns)
           a.a_fired)
       (top ~by:(fun a -> a.a_time_ns) ~n:top_n c_rows);
     fprintf ppf "@\ntop constraints by firings:@\n";
@@ -134,8 +135,9 @@ let write ?(top_n = 10) ppf (events : Obs.event array) =
     fprintf ppf "@\nloop levels (cumulative time inside level and below):@\n";
     List.iter
       (fun (name, a) ->
-        fprintf ppf "  L%-2d %-28s %10.3f ms  %d entries@\n" a.a_depth name
-          (ms a.a_time_ns) a.a_entries)
+        fprintf ppf "  L%-2d %-28s %10s  %d entries@\n" a.a_depth name
+          (Units.duration_ns a.a_time_ns)
+          a.a_entries)
       (List.sort (fun (_, a) (_, b) -> compare a.a_depth b.a_depth) l_rows)
   end;
   let counter_rows = rows counters |> List.map (fun (n, _) -> n) in

@@ -1,0 +1,34 @@
+(* Human-readable quantities for summaries and reports. Durations pick
+   their unit per value (ns, us, ms, s) instead of a single fixed unit,
+   so a 40 ns constraint check and a 12 s sweep both read naturally in
+   the same table. *)
+
+let duration_ns_f ns =
+  if Float.is_nan ns then "nan"
+  else
+    let sign = if ns < 0.0 then "-" else "" in
+    let ns = Float.abs ns in
+    let render value unit_ =
+      (* Three significant digits, dropping the decimals once the
+         integer part fills them ("999ms", "42.3us", "1.50s"). *)
+      let s =
+        if value >= 100.0 then Printf.sprintf "%.0f" value
+        else if value >= 10.0 then Printf.sprintf "%.1f" value
+        else Printf.sprintf "%.2f" value
+      in
+      sign ^ s ^ unit_
+    in
+    if ns < 1e3 then sign ^ Printf.sprintf "%.0fns" ns
+    else if ns < 1e6 then render (ns /. 1e3) "us"
+    else if ns < 1e9 then render (ns /. 1e6) "ms"
+    else render (ns /. 1e9) "s"
+
+let duration_ns ns = duration_ns_f (float_of_int ns)
+
+let si_int n =
+  let f = float_of_int (abs n) in
+  let sign = if n < 0 then "-" else "" in
+  if abs n < 10_000 then string_of_int n
+  else if f < 1e6 then sign ^ Printf.sprintf "%.1fk" (f /. 1e3)
+  else if f < 1e9 then sign ^ Printf.sprintf "%.2fM" (f /. 1e6)
+  else sign ^ Printf.sprintf "%.2fG" (f /. 1e9)

@@ -1,0 +1,12 @@
+(** Per-value unit formatting for reports and trace summaries. *)
+
+val duration_ns : int -> string
+(** Render a nanosecond duration with the unit picked per value:
+    ["740ns"], ["42.3us"], ["1.50ms"], ["12.0s"]. Three significant
+    digits above the nanosecond range. *)
+
+val duration_ns_f : float -> string
+(** Same for fractional nanoseconds (histogram quantile estimates). *)
+
+val si_int : int -> string
+(** Compact count: ["9500"], ["10.5k"], ["1.25M"], ["3.10G"]. *)

@@ -350,10 +350,19 @@ let test_chrome_well_formed () =
     | _ -> Alcotest.fail "missing traceEvents array"
   in
   (* Every real event appears, plus one thread_name metadata row per
-     domain. *)
+     domain and one process_name row. *)
   Alcotest.(check int) "event count"
-    (Array.length events + List.length (Recorder.domains r))
+    (Array.length events + List.length (Recorder.domains r) + 1)
     (List.length trace_events);
+  (match
+     List.find_opt
+       (fun ev -> Json.member "name" ev = Some (Json.Str "process_name"))
+       trace_events
+   with
+  | Some ev ->
+    Alcotest.(check bool) "process_name is metadata" true
+      (Json.member "ph" ev = Some (Json.Str "M"))
+  | None -> Alcotest.fail "missing process_name metadata event");
   List.iter
     (fun ev ->
       (match Json.member "ph" ev with
@@ -406,6 +415,26 @@ let test_jsonl_well_formed () =
       | exception Json.Bad msg -> Alcotest.failf "invalid JSONL line: %s" msg)
     lines
 
+let test_jsonl_parse_roundtrip () =
+  (* Sink_jsonl.parse_line must reconstruct exactly what write_event
+     emitted: same kind, timestamps, domain and args. This is what
+     `beast merge --traces` relies on to stitch shard traces. *)
+  let r = recorded_sweep () in
+  Array.iter
+    (fun ev ->
+      let buf = Buffer.create 256 in
+      Sink_jsonl.write_event buf ev;
+      let line = String.trim (Buffer.contents buf) in
+      match Sink_jsonl.parse_line line with
+      | Error msg -> Alcotest.failf "parse_line failed: %s on %s" msg line
+      | Ok ev' ->
+        if ev <> ev' then
+          Alcotest.failf "event did not round-trip: %s" line)
+    (Recorder.events r);
+  (match Sink_jsonl.parse_line "{\"kind\": \"wat\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad kind accepted")
+
 let test_summary_mentions_constraints () =
   let r = recorded_sweep () in
   let text = Sink_summary.to_string (Recorder.events r) in
@@ -418,6 +447,50 @@ let test_summary_mentions_constraints () =
     (fun sub ->
       Alcotest.(check bool) (sub ^ " mentioned") true (contains sub))
     [ "odd_sum"; "big_x"; "sweep:parallel"; "loop levels"; "constraints" ]
+
+(* ------------------------------------------------------------------ *)
+(* Recorder merge ordering under concurrent emission                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_merge_ordering () =
+  (* Several domains emit concurrently; the merged stream must contain
+     every event, be globally time-sorted, and preserve each domain's
+     own emission order. *)
+  let n_domains = 4 and per_domain = 250 in
+  let (), r =
+    record (fun () ->
+        let workers =
+          List.init n_domains (fun w ->
+              Domain.spawn (fun () ->
+                  for i = 0 to per_domain - 1 do
+                    Obs.instant
+                      ~args:[ ("seq", Obs.Int i); ("worker", Obs.Int w) ]
+                      "tick"
+                  done))
+        in
+        List.iter Domain.join workers)
+  in
+  let events = Recorder.events r in
+  Alcotest.(check int) "no events dropped" (n_domains * per_domain)
+    (Array.length events);
+  let last_ts = ref min_int in
+  let last_seq = Hashtbl.create 8 in
+  Array.iter
+    (fun ev ->
+      Alcotest.(check bool) "globally time-sorted" true
+        (ev.Obs.ev_ts_ns >= !last_ts);
+      last_ts := ev.Obs.ev_ts_ns;
+      let seq = int_arg "seq" ev in
+      let prev =
+        Option.value ~default:(-1) (Hashtbl.find_opt last_seq ev.Obs.ev_dom)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d order preserved" ev.Obs.ev_dom)
+        true (seq = prev + 1);
+      Hashtbl.replace last_seq ev.Obs.ev_dom seq)
+    events;
+  Alcotest.(check int) "all domains present" n_domains
+    (Hashtbl.length last_seq)
 
 (* ------------------------------------------------------------------ *)
 (* Progress reporting                                                  *)
@@ -460,6 +533,30 @@ let test_progress_reporter_output () =
      let rec go i = i + m <= n && (String.sub content i m = sub || go (i + 1)) in
      go 0);
   Alcotest.(check bool) "terminated by newline" true
+    (content.[String.length content - 1] = '\n');
+  (* The channel is a regular file, not a tty: the reporter must emit
+     plain newline-terminated lines with no carriage-return redraws. *)
+  Alcotest.(check bool) "no CR redraws when not a tty" false
+    (String.contains content '\r')
+
+let test_progress_tty_redraw () =
+  (* Forcing tty mode turns on in-place redraw: lines start with \r and
+     only `finish` appends the final newline. *)
+  let file = Filename.temp_file "beast_obs" ".progress" in
+  let oc = open_out file in
+  let p = Progress.create ~interval_s:0.0 ~out:oc ~tty:true () in
+  Progress.install p;
+  ignore
+    (Fun.protect
+       ~finally:(fun () -> Progress.finish p)
+       (fun () -> Engine_staged.run_space (Support.triangle_space ())));
+  close_out oc;
+  let ic = open_in file in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove file;
+  Alcotest.(check bool) "uses CR redraws" true (String.contains content '\r');
+  Alcotest.(check bool) "finish adds trailing newline" true
     (content.[String.length content - 1] = '\n')
 
 (* ------------------------------------------------------------------ *)
@@ -486,12 +583,20 @@ let () =
         [
           Alcotest.test_case "chrome JSON" `Quick test_chrome_well_formed;
           Alcotest.test_case "jsonl" `Quick test_jsonl_well_formed;
+          Alcotest.test_case "jsonl parse roundtrip" `Quick
+            test_jsonl_parse_roundtrip;
           Alcotest.test_case "summary" `Quick test_summary_mentions_constraints;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "multi-domain merge ordering" `Quick
+            test_recorder_merge_ordering;
         ] );
       ( "progress",
         [
           Alcotest.test_case "hook totals" `Quick test_progress_hook;
           Alcotest.test_case "reporter output" `Quick
             test_progress_reporter_output;
+          Alcotest.test_case "tty redraw mode" `Quick test_progress_tty_redraw;
         ] );
     ]

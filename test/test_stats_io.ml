@@ -38,6 +38,7 @@ let test_json_roundtrip_escapes () =
             cr_fired = 7;
           };
         ];
+      metrics = None;
     }
   in
   match Stats_io.of_json (Stats_io.to_json r) with
