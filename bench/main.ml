@@ -492,12 +492,89 @@ let ablation_parallel () =
   let device = Device.scale ~max_dim:20 ~max_threads:96 Device.tesla_k40c in
   let settings = { Gemm.default_settings with Gemm.device } in
   let plan = Plan.make_exn (Gemm.space ~settings ()) in
+  (* Engines are selected the way the CLI does it: by registry spec. *)
   List.iter
-    (fun domains ->
-      let s, t = time_once (fun () -> Engine_parallel.run ~domains plan) in
-      Printf.printf "domains=%d: %8.3f s, survivors %d\n" domains t
-        s.Engine.survivors)
-    [ 1; 2; 4 ]
+    (fun spec ->
+      match Engine_registry.find spec with
+      | Error msg -> Printf.printf "%s: %s\n" spec msg
+      | Ok (module E : Engine_intf.S) ->
+        let s, t = time_once (fun () -> E.run_plan plan) in
+        Printf.printf "%-12s %8.3f s, survivors %d\n" E.name t
+          s.Engine.survivors)
+    [ "parallel:1"; "parallel:2"; "parallel:4" ]
+
+let ablation_checkpoint () =
+  header
+    "Ablation: checkpointing overhead and resume equivalence. The\n\
+     resumable scheduler is the plain work-stealing sweep plus a chunk\n\
+     ledger; the pathological configuration below flushes the ledger to\n\
+     disk after every chunk (a real deployment writes every few\n\
+     seconds, amortizing to ~zero).";
+  let max_dim = if fast then 20 else 32 in
+  let max_threads = if fast then 96 else 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let plan = Plan.make_exn (Gemm.space ~settings ()) in
+  let domains = 4 in
+  let finished = function
+    | Engine_intf.Finished stats -> stats
+    | Engine_intf.Interrupted _ -> failwith "bench: unexpected interruption"
+  in
+  ignore (Engine_parallel.run ~domains plan) (* warm up domain spawning *);
+  let s_plain, t_plain =
+    time_once (fun () -> Engine_parallel.run ~domains plan)
+  in
+  let s_ledger, t_ledger =
+    time_once (fun () ->
+        finished (Engine_parallel.run_resumable ~domains plan))
+  in
+  let ck_path = Filename.temp_file "beast_bench_ck" ".json" in
+  let sink =
+    {
+      Engine_intf.ck_path;
+      ck_every_s = 0.0 (* flush after every chunk: worst case *);
+      ck_shard = Stats_io.unsharded;
+      ck_base_metrics = None;
+    }
+  in
+  let s_ck, t_ck =
+    time_once (fun () ->
+        finished
+          (Engine_parallel.run_resumable ~checkpoint:sink ~domains plan))
+  in
+  Printf.printf "plain work stealing:          %8.3f s\n" t_plain;
+  Printf.printf "resumable, no checkpoint:     %8.3f s  (+%.1f%%)\n" t_ledger
+    (100.0 *. ((t_ledger /. t_plain) -. 1.0));
+  Printf.printf "checkpoint after every chunk: %8.3f s  (+%.1f%%)\n" t_ck
+    (100.0 *. ((t_ck /. t_plain) -. 1.0));
+  Printf.printf "stats agree across all three: %b\n"
+    (s_plain = s_ledger && s_plain = s_ck);
+  (* Resume equivalence: interrupt partway, resume from the flushed
+     ledger, compare the stats files byte for byte. *)
+  let hits = ref 0 in
+  let target = s_plain.Engine.survivors / 2 in
+  let on_hit _ =
+    incr hits;
+    if !hits = target then Engine_parallel.interrupt ()
+  in
+  (match
+     Engine_parallel.run_resumable ~on_hit ~checkpoint:sink ~domains plan
+   with
+  | Engine_intf.Interrupted { completed; total } ->
+    let resumed =
+      match Checkpoint.of_file ck_path with
+      | Error msg -> failwith ("bench: checkpoint unreadable: " ^ msg)
+      | Ok ck ->
+        finished (Engine_parallel.run_resumable ~resume:ck ~domains plan)
+    in
+    let json stats = Stats_io.to_json (Stats_io.of_stats ~plan stats) in
+    Printf.printf
+      "interrupted at %d/%d chunks; resumed stats byte-identical: %b\n"
+      completed total
+      (json resumed = json s_plain)
+  | Engine_intf.Finished _ ->
+    print_endline "interrupt landed after the sweep finished; nothing to resume");
+  Sys.remove ck_path
 
 (* Static round-robin split vs chunked work stealing on a skewed space.
    The skew is the natural one: a hoisted divisibility constraint on the
@@ -799,6 +876,7 @@ let () =
   end;
   ablation_parallel ();
   ablation_stealing ();
+  ablation_checkpoint ();
   (match trace with
   | None -> ()
   | Some _ -> Obs.clear_sink ());

@@ -29,22 +29,21 @@ let max_threads_arg =
   Arg.(value & opt int 128 & info [ "max-threads" ] ~docv:"N" ~doc)
 
 let engine_arg =
-  let engines =
-    [
-      ("interp-naive", Sweep.Interp_naive);
-      ("interp", Sweep.Interp);
-      ("vm", Sweep.Vm);
-      ("staged", Sweep.Staged);
-      ("parallel", Sweep.Parallel 4);
-    ]
+  (* Engines resolve by name through the registry — the CLI no longer
+     keeps its own list of what exists. *)
+  let parse s =
+    match Engine_registry.find s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
   in
+  let print ppf (module E : Engine_intf.S) = Format.pp_print_string ppf E.name in
   let doc =
     Printf.sprintf "Evaluation engine: %s."
-      (String.concat ", " (List.map fst engines))
+      (String.concat ", " Engine_registry.names)
   in
   Arg.(
     value
-    & opt (enum engines) Sweep.Staged
+    & opt (conv (parse, print)) (module Engine_registry.Staged : Engine_intf.S)
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let trace_arg =
@@ -52,7 +51,13 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let trace_format_arg =
-  let fmts = [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("summary", `Summary) ] in
+  let fmts =
+    [
+      ("jsonl", Run_config.Jsonl);
+      ("chrome", Run_config.Chrome);
+      ("summary", Run_config.Summary);
+    ]
+  in
   let doc =
     "Trace format: $(b,jsonl) (one event per line), $(b,chrome) \
      (trace-event JSON, loadable in Perfetto or chrome://tracing), or \
@@ -60,7 +65,7 @@ let trace_format_arg =
   in
   Arg.(
     value
-    & opt (enum fmts) `Chrome
+    & opt (enum fmts) Run_config.Chrome
     & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
 
 let progress_arg =
@@ -68,6 +73,8 @@ let progress_arg =
   Arg.(value & flag & info [ "progress" ] ~doc)
 
 let shard_arg =
+  (* Syntax only: the bounds (0 <= I < N, N > 0) are checked by
+     Run_config.validate so programmatic configs get the same errors. *)
   let parse s =
     match String.index_opt s '/' with
     | Some k -> (
@@ -75,8 +82,7 @@ let shard_arg =
         ( int_of_string_opt (String.sub s 0 k),
           int_of_string_opt (String.sub s (k + 1) (String.length s - k - 1)) )
       with
-      | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
-      | Some _, Some _ -> Error (`Msg "shard: need 0 <= I < N")
+      | Some i, Some n -> Ok (i, n)
       | _ -> Error (`Msg "shard: expected I/N with integer I and N"))
     | None -> Error (`Msg "shard: expected I/N, e.g. --shard 0/3")
   in
@@ -91,6 +97,65 @@ let shard_arg =
     value
     & opt (some (conv (parse, print))) None
     & info [ "shard" ] ~docv:"I/N" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Periodically snapshot the sweep's completed-chunk ledger to $(docv) \
+     (written atomically), so a killed run can continue with --resume. \
+     Needs the parallel engine."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Seconds between checkpoint snapshots (default 5)." in
+  Arg.(
+    value & opt float 5.0 & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the checkpoint in $(docv): chunks it records as complete \
+     are skipped and the final output is byte-identical to an \
+     uninterrupted run. Checkpointing continues into the same file unless \
+     --checkpoint names another."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let fault_arg =
+  (* Test hook proving crash recovery: fail chunk attempts at random and
+     let the scheduler retry them. *)
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+           "fault-inject: expected chunk-crash:P (crash probability, \
+            optionally chunk-crash:P:SEED)")
+    in
+    match String.split_on_char ':' s with
+    | [ "chunk-crash"; p ] -> (
+      match float_of_string_opt p with
+      | Some prob -> Ok (Run_config.Chunk_crash { prob; seed = 42 })
+      | None -> bad ())
+    | [ "chunk-crash"; p; seed ] -> (
+      match (float_of_string_opt p, int_of_string_opt seed) with
+      | Some prob, Some seed -> Ok (Run_config.Chunk_crash { prob; seed })
+      | _ -> bad ())
+    | _ -> bad ()
+  in
+  let print ppf = function
+    | Run_config.Chunk_crash { prob; seed } ->
+      Format.fprintf ppf "chunk-crash:%g:%d" prob seed
+  in
+  let doc =
+    "Fault-injection test hook: make each chunk attempt crash with \
+     probability P (deterministic in the optional SEED, default 42), \
+     e.g. $(b,chunk-crash:0.3). Crashed chunks are retried until they \
+     complete; the final statistics must be unaffected."
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "fault-inject" ] ~docv:"KIND:P" ~doc)
 
 let stats_out_arg =
   let doc =
@@ -119,76 +184,55 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-(* Install the event recorder, the progress reporter and/or the metrics
-   registry around [f]; when [f] finishes (or raises) the collected
-   events are written to the trace file in the requested format and the
-   metrics to the Prometheus file. *)
-let with_obs ~trace ~trace_format ~progress ?(metrics = false) ?metrics_out f =
-  (* Open output files before doing any work so a bad path fails up
-     front instead of discarding a completed run at the end. *)
-  let open_or_die what file =
-    try open_out file
-    with Sys_error msg ->
-      Format.eprintf "beast: cannot open %s file: %s@." what msg;
-      exit 1
+(* The observability settings shared by every instrumented subcommand,
+   assembled into one Run_config record instead of five loose values
+   threaded through each term. *)
+let obs_config_term =
+  let build trace trace_format progress metrics metrics_out =
+    {
+      Run_config.default with
+      Run_config.trace;
+      trace_format;
+      progress;
+      metrics;
+      metrics_out;
+    }
   in
-  let recorder =
-    match trace with
-    | None -> None
-    | Some file ->
-      let oc = open_or_die "trace" file in
-      let r = Recorder.create () in
-      Obs.set_sink (Recorder.sink r);
-      Some (file, oc, r)
+  Term.(
+    const build $ trace_arg $ trace_format_arg $ progress_arg $ metrics_arg
+    $ metrics_out_arg)
+
+(* Sweep adds sharding and the checkpoint/resume/fault settings on top. *)
+let sweep_config_term =
+  let build cfg shard checkpoint checkpoint_every_s resume fault =
+    {
+      cfg with
+      Run_config.shard;
+      checkpoint;
+      checkpoint_every_s;
+      resume;
+      fault;
+    }
   in
-  let metrics_sink =
-    Option.map (fun file -> (file, open_or_die "metrics" file)) metrics_out
-  in
-  let registry =
-    if metrics || metrics_sink <> None then begin
-      let r = Metrics.create () in
-      Metrics.set_current r;
-      Some r
-    end
-    else None
-  in
-  let reporter =
-    if progress then begin
-      let p = Progress.create () in
-      Progress.install p;
-      Some p
-    end
-    else None
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Option.iter Progress.finish reporter;
-      (match registry with
-      | None -> ()
-      | Some r ->
-        Metrics.clear_current ();
-        (match metrics_sink with
-        | None -> ()
-        | Some (file, oc) ->
-          output_string oc (Metrics.Snapshot.to_prometheus (Metrics.snapshot r));
-          close_out oc;
-          Format.eprintf "wrote metrics to %s@." file));
-      match recorder with
-      | None -> ()
-      | Some (file, oc, r) ->
-        Obs.clear_sink ();
-        let events = Recorder.events r in
-        (match trace_format with
-        | `Jsonl -> Sink_jsonl.write oc events
-        | `Chrome -> Sink_chrome.write ~start_ns:(Recorder.start_ns r) oc events
-        | `Summary ->
-          let ppf = Format.formatter_of_out_channel oc in
-          Sink_summary.write ppf events;
-          Format.pp_print_flush ppf ());
-        close_out oc;
-        Format.eprintf "wrote %d trace events to %s@." (Array.length events)
-          file)
-    f
+  Term.(
+    const build $ obs_config_term $ shard_arg $ checkpoint_arg
+    $ checkpoint_every_arg $ resume_arg $ fault_arg)
+
+(* Validate the config, then run [f] under its instrumentation. [f]
+   returns the process exit code rather than calling [exit] itself, so
+   the Fun.protect finalizers inside with_instrumentation (trace and
+   metrics writes) always run before the process ends. *)
+let with_config cfg f =
+  (match Run_config.validate cfg with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "beast: %s@." msg;
+    exit 2);
+  match Run_config.with_instrumentation cfg f with
+  | code -> if code <> 0 then exit code
+  | exception Sys_error msg ->
+    Format.eprintf "beast: %s@." msg;
+    exit 1
 
 let resolve_device name max_dim max_threads =
   match Device.find name with
@@ -282,57 +326,153 @@ let objective_for space_name device =
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Pool the metrics a resumed checkpoint carried over with what the live
+   registry recorded after the resume, so the final stats file describes
+   the whole logical run. *)
+let pooled_metrics resume_ck =
+  let live = Option.map Metrics.snapshot (Metrics.current ()) in
+  let base = Option.bind resume_ck (fun ck -> ck.Checkpoint.metrics) in
+  match (base, live) with
+  | None, live -> live
+  | Some base, None -> Some base
+  | Some base, Some live ->
+    Some (Result.value ~default:live (Metrics.Snapshot.merge [ base; live ]))
+
 let sweep_term =
-  let run space_name device max_dim max_threads engine shard stats_out trace
-      trace_format progress metrics metrics_out =
+  let run space_name device max_dim max_threads (module E : Engine_intf.S)
+      stats_out cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    (match (shard, engine) with
-    | Some _, (Sweep.Interp_naive | Sweep.Interp) ->
+    if cfg.Run_config.shard <> None && not E.plan_based then begin
       Format.eprintf
-        "--shard needs a plan-based engine (vm, staged or parallel)@.";
+        "beast: --shard needs a plan-based engine (vm, staged or parallel)@.";
       exit 2
-    | _ -> ());
-    with_obs ~trace ~trace_format ~progress ~metrics ?metrics_out (fun () ->
+    end;
+    let wants_resumable =
+      cfg.Run_config.checkpoint <> None
+      || cfg.Run_config.resume <> None
+      || cfg.Run_config.fault <> None
+    in
+    if wants_resumable && Option.is_none E.resumable then begin
+      Format.eprintf
+        "beast: --checkpoint, --resume and --fault-inject need an engine \
+         with a chunk ledger (use --engine parallel)@.";
+      exit 2
+    end;
+    (* The checkpoint file is read before instrumentation starts: a
+       corrupt or mismatched file must fail before any work happens. *)
+    let resume_ck =
+      Option.map
+        (fun path ->
+          match Checkpoint.of_file path with
+          | Ok ck -> ck
+          | Error msg ->
+            Format.eprintf "beast: %s: %s@." path msg;
+            exit 1)
+        cfg.Run_config.resume
+    in
+    with_config cfg (fun () ->
         let t0 = Clock.now_ns () in
         (* The unchunked plan carries the constraint metadata --stats-out
            serializes; sharding restricts a copy of it. *)
         let plan = Plan.make_exn sp in
         let run_plan, shard_info =
-          match shard with
+          match cfg.Run_config.shard with
           | None -> (plan, Stats_io.unsharded)
           | Some (index, of_) ->
             ( Plan.chunk_outer plan ~index ~of_,
               { Stats_io.shard_index = index; shard_of = of_ } )
         in
-        let stats =
-          match engine with
-          | Sweep.Interp_naive | Sweep.Interp -> Sweep.run ~engine sp
-          | Sweep.Vm -> Engine_vm.run_plan run_plan
-          | Sweep.Staged -> Engine_staged.run run_plan
-          | Sweep.Parallel domains -> Engine_parallel.run ~domains run_plan
+        let resume_check =
+          match resume_ck with
+          | None -> Ok ()
+          | Some ck -> Checkpoint.validate ~plan:run_plan ~shard:shard_info ck
         in
-        let dt = Clock.elapsed_s ~since:t0 in
-        Format.printf "space %s on %s, engine %s%s: %.3fs@." space_name
-          device.Device.name (Sweep.engine_name engine)
-          (match shard with
-          | None -> ""
-          | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n)
-          dt;
-        Format.printf "%a" Engine.pp_stats stats;
-        match stats_out with
-        | None -> ()
-        | Some file ->
-          Stats_io.write_file file
-            (Stats_io.of_stats ~plan ~shard:shard_info
-               ?metrics:(Option.map Metrics.snapshot (Metrics.current ()))
-               stats);
-          Format.eprintf "wrote sweep statistics to %s@." file)
+        match resume_check with
+        | Error msg ->
+          Format.eprintf "beast: %s@." msg;
+          1
+        | Ok () -> (
+          let outcome =
+            match E.resumable with
+            | Some resumable ->
+              (* The resumable scheduler also handles the plain case, so
+                 every parallel sweep gets graceful SIGINT/SIGTERM
+                 draining, checkpointed or not. *)
+              let sink =
+                (* Keep checkpointing into the resumed file unless
+                   --checkpoint redirects it. *)
+                match
+                  (cfg.Run_config.checkpoint, cfg.Run_config.resume)
+                with
+                | Some path, _ | None, Some path ->
+                  Some
+                    {
+                      Engine_intf.ck_path = path;
+                      ck_every_s = cfg.Run_config.checkpoint_every_s;
+                      ck_shard = shard_info;
+                      ck_base_metrics =
+                        Option.bind resume_ck (fun ck ->
+                            ck.Checkpoint.metrics);
+                    }
+                | None, None -> None
+              in
+              let handler =
+                Sys.Signal_handle (fun _ -> Engine_parallel.interrupt ())
+              in
+              Sys.set_signal Sys.sigint handler;
+              Sys.set_signal Sys.sigterm handler;
+              resumable ?checkpoint:sink ?resume:resume_ck
+                ?fault:cfg.Run_config.fault run_plan
+            | None ->
+              Engine_intf.Finished
+                (if E.plan_based then E.run_plan run_plan
+                 else E.run_space sp)
+          in
+          match outcome with
+          | Engine_intf.Interrupted { completed; total } ->
+            Format.eprintf "beast: interrupted after %d of %d chunks@."
+              completed total;
+            (match (cfg.Run_config.checkpoint, cfg.Run_config.resume) with
+            | Some path, _ | None, Some path ->
+              Format.eprintf
+                "beast: checkpoint saved; continue with --resume %s@." path
+            | None, None ->
+              Format.eprintf
+                "beast: progress lost (run with --checkpoint FILE to make \
+                 sweeps resumable)@.");
+            3
+          | Engine_intf.Finished stats ->
+            let dt = Clock.elapsed_s ~since:t0 in
+            Format.printf "space %s on %s, engine %s%s: %.3fs@." space_name
+              device.Device.name E.name
+              (match cfg.Run_config.shard with
+              | None -> ""
+              | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n)
+              dt;
+            Format.printf "%a" Engine.pp_stats stats;
+            (* A checkpoint that survived to the end is stale: the run
+               completed, so resuming from it would be wrong. *)
+            (match (cfg.Run_config.checkpoint, cfg.Run_config.resume) with
+            | Some path, _ | None, Some path ->
+              if Sys.file_exists path then begin
+                (try Sys.remove path with Sys_error _ -> ());
+                Format.eprintf "beast: removed checkpoint %s (run complete)@."
+                  path
+              end
+            | None, None -> ());
+            (match stats_out with
+            | None -> ()
+            | Some file ->
+              Stats_io.write_file file
+                (Stats_io.of_stats ~plan ~shard:shard_info
+                   ?metrics:(pooled_metrics resume_ck) stats);
+              Format.eprintf "wrote sweep statistics to %s@." file);
+            0))
   in
   Term.(
     const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-    $ engine_arg $ shard_arg $ stats_out_arg $ trace_arg $ trace_format_arg
-    $ progress_arg $ metrics_arg $ metrics_out_arg)
+    $ engine_arg $ stats_out_arg $ sweep_config_term)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Enumerate and prune a search space") sweep_term
@@ -386,28 +526,57 @@ let tune_cmd =
   let top_arg =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the N best.")
   in
-  let run space_name device max_dim max_threads engine top trace trace_format
-      progress =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Abort any single benchmark call running longer than $(docv) \
+             and count it as a failure (reliable with the sequential \
+             engines).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failing benchmark up to N times with exponential \
+             backoff before skipping the configuration.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:"Initial retry backoff; doubles on every further attempt.")
+  in
+  let run space_name device max_dim max_threads engine top timeout_s retries
+      backoff_s cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, baseline = objective_for space_name device in
-    with_obs ~trace ~trace_format ~progress (fun () ->
-        let r = Tuner.tune ~engine ~top_n:top ~objective sp in
+    with_config cfg (fun () ->
+        let r =
+          Tuner.tune ~engine ~top_n:top ?timeout_s ~retries ~backoff_s
+            ~objective sp
+        in
         Format.printf "%a" (Tuner.pp_result ?peak) r;
-        match baseline with
+        (match baseline with
         | Some b -> (
           match Tuner.improvement r ~baseline:b with
           | Some ratio ->
             Format.printf "improvement over the cuBLAS model: %.2fx@." ratio
           | None -> ())
-        | None -> ())
+        | None -> ());
+        0)
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Enumerate, prune, benchmark on the device model, and rank")
     Term.(
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-      $ engine_arg $ top_arg $ trace_arg $ trace_format_arg $ progress_arg)
+      $ engine_arg $ top_arg $ timeout_arg $ retries_arg $ backoff_arg
+      $ obs_config_term)
 
 let occupancy_cmd =
   let threads = Arg.(required & pos 0 (some int) None & info [] ~docv:"THREADS") in
@@ -446,26 +615,26 @@ let funnel_cmd =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
            ~doc:"Also write the radial visualization (paper ref. [7]).")
   in
-  let run space_name device max_dim max_threads svg trace trace_format progress
-      =
+  let run space_name device max_dim max_threads svg cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    with_obs ~trace ~trace_format ~progress (fun () ->
+    with_config cfg (fun () ->
         let f = Stats.funnel sp in
         Format.printf "%a" Stats.pp f;
-        match svg with
+        (match svg with
         | Some file ->
           let oc = open_out file in
           output_string oc (Visualize.svg f);
           close_out oc;
           Format.printf "wrote %s@." file
-        | None -> ())
+        | None -> ());
+        0)
   in
   Cmd.v
     (Cmd.info "funnel"
        ~doc:"Measure how much of the space each constraint removes")
     Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-          $ svg_arg $ trace_arg $ trace_format_arg $ progress_arg)
+          $ svg_arg $ obs_config_term)
 
 let search_cmd =
   let method_arg =
@@ -480,12 +649,11 @@ let search_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run space_name device max_dim max_threads method_ budget seed trace
-      trace_format =
+  let run space_name device max_dim max_threads method_ budget seed cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, _ = objective_for space_name device in
-    with_obs ~trace ~trace_format ~progress:false (fun () ->
+    with_config cfg (fun () ->
         let plan = Plan.make_exn sp in
         let rng = Random.State.make [| seed |] in
         Search.reset_counters ();
@@ -496,7 +664,7 @@ let search_cmd =
             Search.hill_climb ~rng ~restarts:(max 1 (budget / 100))
               ~steps:100 ~objective plan
         in
-        match result with
+        (match result with
         | None -> Format.printf "no feasible point found@."
         | Some c ->
           Format.printf "best score %.2f" c.Search.score;
@@ -507,7 +675,8 @@ let search_cmd =
           Format.printf " after %d evaluations@." (Search.evaluations ());
           List.iter
             (fun (n, v) -> Format.printf "  %s = %s@." n (Value.to_string v))
-            c.Search.bindings)
+            c.Search.bindings);
+        0)
   in
   Cmd.v
     (Cmd.info "search"
@@ -515,7 +684,7 @@ let search_cmd =
          "Statistical search instead of exhaustive sweeping (the paper's           future-work direction)")
     Term.(
       const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-      $ method_arg $ budget_arg $ seed_arg $ trace_arg $ trace_format_arg)
+      $ method_arg $ budget_arg $ seed_arg $ obs_config_term)
 
 (* Cross-shard trace correlation: stitch the per-shard JSONL traces of a
    sharded sweep into one Chrome trace, with each shard rendered as a

@@ -10,6 +10,7 @@ type result = {
   best : candidate option;
   top : candidate list;
   evaluated : int;
+  failed : int;
   stats : Engine.stats;
   elapsed_s : float;
 }
@@ -28,27 +29,104 @@ let insert_top n candidate top =
   if List.length inserted > n then List.filteri (fun i _ -> i < n) inserted
   else inserted
 
-let tune ?engine ?(top_n = 10) ~objective space =
+exception Benchmark_timeout
+
+(* SIGALRM-based wall-clock guard around one objective call. The engines
+   serialize survivor callbacks behind a global mutex, so at most one
+   timer is armed at a time even under the parallel scheduler; delivery
+   to a worker domain is best-effort (see the .mli), which is why the
+   CLI pairs --timeout with the sequential default engine. *)
+let with_timeout timeout_s f =
+  match timeout_s with
+  | None -> f ()
+  | Some secs ->
+    let previous =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle (fun _ -> raise Benchmark_timeout))
+    in
+    let arm v =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = v })
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        arm 0.0;
+        Sys.set_signal Sys.sigalrm previous)
+      (fun () ->
+        arm secs;
+        f ())
+
+(* Retry-with-backoff around a failing (raising or timing-out)
+   objective: a pathological configuration is skipped after
+   [retries + 1] attempts instead of wedging the whole campaign. *)
+let guarded ~timeout_s ~retries ~backoff_s ~on_retry objective lookup =
+  let rec attempt k =
+    match with_timeout timeout_s (fun () -> objective lookup) with
+    | score -> Some score
+    | exception e ->
+      Obs.instant ~cat:"tune"
+        ~args:
+          [
+            ("attempt", Obs.Int k); ("error", Obs.Str (Printexc.to_string e));
+          ]
+        "benchmark:fail";
+      if k < retries then begin
+        on_retry ();
+        Unix.sleepf (backoff_s *. (2.0 ** float_of_int k));
+        attempt (k + 1)
+      end
+      else None
+  in
+  attempt 0
+
+let default_engine : (module Engine_intf.S) = (module Engine_registry.Staged)
+
+let tune ?(engine = default_engine) ?(top_n = 10) ?timeout_s ?(retries = 1)
+    ?(backoff_s = 0.05) ~objective space =
+  if retries < 0 then invalid_arg "Tuner.tune: retries < 0";
+  if backoff_s < 0.0 then invalid_arg "Tuner.tune: backoff_s < 0";
+  let (module E : Engine_intf.S) = engine in
   let plan = Plan.make_exn space in
   let iter_order = plan.Plan.iter_order in
   let mutex = Mutex.create () in
   let top = ref [] in
   let evaluated = ref 0 in
+  let failed = ref 0 in
+  let fail_counter, retry_counter =
+    match Metrics.current () with
+    | None -> (None, None)
+    | Some r ->
+      let mk name =
+        Some (Metrics.counter r ~name ~labels:[ ("space", Space.name space) ] ())
+      in
+      (mk "benchmark_failures_total", mk "benchmark_retries_total")
+  in
   let worst_of top =
     match top with
     | [] -> neg_infinity
     | _ -> (List.nth top (List.length top - 1)).score
   in
   let on_hit lookup =
-    let score = objective lookup in
-    Mutex.lock mutex;
-    incr evaluated;
-    if List.length !top < top_n || score > worst_of !top then begin
-      let bindings = List.map (fun n -> (n, lookup n)) iter_order in
-      top := insert_top top_n { score; bindings } !top;
-      Obs.instant ~cat:"tune" ~args:[ ("score", Obs.Float score) ] "candidate"
-    end;
-    Mutex.unlock mutex
+    match
+      guarded ~timeout_s ~retries ~backoff_s
+        ~on_retry:(fun () -> Option.iter Metrics.incr retry_counter)
+        objective lookup
+    with
+    | None ->
+      Mutex.lock mutex;
+      incr failed;
+      Mutex.unlock mutex;
+      Option.iter Metrics.incr fail_counter
+    | Some score ->
+      Mutex.lock mutex;
+      incr evaluated;
+      if List.length !top < top_n || score > worst_of !top then begin
+        let bindings = List.map (fun n -> (n, lookup n)) iter_order in
+        top := insert_top top_n { score; bindings } !top;
+        Obs.instant ~cat:"tune" ~args:[ ("score", Obs.Float score) ] "candidate"
+      end;
+      Mutex.unlock mutex
   in
   (* Monotonic clock: wall-clock adjustments (NTP slew, DST) must not
      distort the reported tuning time. *)
@@ -57,7 +135,7 @@ let tune ?engine ?(top_n = 10) ~objective space =
     Obs.with_span ~cat:"tune"
       ~args:[ ("space", Obs.Str (Space.name space)) ]
       "tune"
-      (fun () -> Sweep.run ?engine ~on_hit space)
+      (fun () -> E.run_space ~on_hit space)
   in
   let elapsed_s = Clock.elapsed_s ~since:t0 in
   let top = !top in
@@ -68,6 +146,7 @@ let tune ?engine ?(top_n = 10) ~objective space =
       | c :: _ -> Some c);
     top;
     evaluated = !evaluated;
+    failed = !failed;
     stats;
     elapsed_s;
   }
@@ -86,7 +165,8 @@ type bi_candidate = {
 let dominates (a1, a2) (b1, b2) =
   a1 >= b1 && a2 >= b2 && (a1 > b1 || a2 > b2)
 
-let pareto ?engine ?(max_front = 64) ~objectives space =
+let pareto ?(engine = default_engine) ?(max_front = 64) ~objectives space =
+  let (module E : Engine_intf.S) = engine in
   let f1, f2 = objectives in
   let plan = Plan.make_exn space in
   let iter_order = plan.Plan.iter_order in
@@ -112,7 +192,7 @@ let pareto ?engine ?(max_front = 64) ~objectives space =
     (Obs.with_span ~cat:"tune"
        ~args:[ ("space", Obs.Str (Space.name space)) ]
        "pareto"
-       (fun () -> Sweep.run ?engine ~on_hit space));
+       (fun () -> E.run_space ~on_hit space));
   let sorted =
     List.sort
       (fun a b -> compare (fst b.bi_scores) (fst a.bi_scores))
@@ -128,9 +208,11 @@ let pareto ?engine ?(max_front = 64) ~objectives space =
 
 let pp_result ?peak ppf r =
   Format.fprintf ppf
-    "tuned %d survivors in %.2fs (%d loop iterations, %d pruned)@\n"
+    "tuned %d survivors in %.2fs (%d loop iterations, %d pruned%s)@\n"
     r.evaluated r.elapsed_s r.stats.Engine.loop_iterations
-    (Engine.total_pruned r.stats);
+    (Engine.total_pruned r.stats)
+    (if r.failed > 0 then Printf.sprintf ", %d failed benchmarks" r.failed
+     else "");
   List.iteri
     (fun i c ->
       Format.fprintf ppf "  #%-2d score %10.2f" (i + 1) c.score;

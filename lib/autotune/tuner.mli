@@ -15,27 +15,48 @@ type candidate = {
 type result = {
   best : candidate option;
   top : candidate list;  (** best-first, at most [top_n] *)
-  evaluated : int;  (** survivors benchmarked *)
+  evaluated : int;  (** survivors benchmarked successfully *)
+  failed : int;
+      (** survivors skipped because the objective kept raising or timing
+          out through all retries *)
   stats : Engine.stats;  (** enumeration/pruning statistics *)
   elapsed_s : float;
 }
 
 val tune :
-  ?engine:Sweep.engine ->
+  ?engine:(module Engine_intf.S) ->
   ?top_n:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
   objective:(Expr.lookup -> float) ->
   Space.t ->
   result
 (** Sweep the space, score every survivor, keep the [top_n] (default 10)
-    best. The objective must be pure; with [Parallel _] engines it is
-    called concurrently. @raise Plan.Error if the space does not plan. *)
+    best. The engine is any {!Engine_registry} module (default
+    {!Engine_registry.Staged}); with parallel engines the objective is
+    called concurrently (invocations serialized by the scheduler).
+
+    A raising objective no longer wedges the campaign: each failure is
+    retried up to [retries] times (default 1) with exponential backoff
+    starting at [backoff_s] seconds (default 0.05), then the
+    configuration is skipped and counted in [result.failed].
+    [timeout_s] additionally bounds each benchmark call with a
+    SIGALRM-based wall-clock guard; a timed-out call counts as a
+    failure. The guard is reliable with the sequential engines; under
+    the parallel scheduler signal delivery to a worker domain is
+    best-effort, so pair [timeout_s] with a sequential engine.
+
+    @raise Plan.Error if the space does not plan.
+    @raise Invalid_argument on negative [retries] or [backoff_s]. *)
 
 val improvement : result -> baseline:float -> float option
 (** best score / baseline, the "Improvement" column of Table I. *)
 
 val pp_result : ?peak:float -> Format.formatter -> result -> unit
 (** Human-readable report; [peak] adds a %-of-peak column (Table I's
-    GEMM row reports "80% of peak"). *)
+    GEMM row reports "80% of peak"). Mentions failed benchmarks only
+    when there were any. *)
 
 (** {1 Multi-objective tuning}
 
@@ -49,7 +70,7 @@ type bi_candidate = {
 }
 
 val pareto :
-  ?engine:Sweep.engine ->
+  ?engine:(module Engine_intf.S) ->
   ?max_front:int ->
   objectives:(Expr.lookup -> float) * (Expr.lookup -> float) ->
   Space.t ->

@@ -1,0 +1,259 @@
+(* Resumable-sweep snapshots: the work-stealing scheduler's chunk ledger
+   as a file. A checkpoint records which chunks of an [n_chunks]-way
+   split have completed and each one's stats partial (survivors, loop
+   iterations, per-constraint fired counts), plus the metrics histograms
+   accumulated so far, bucket for bucket. Because chunk merging is
+   commutative and associative (sums, with a per-index max for the
+   depth-0 dedup), replaying the ledger in id order and sweeping only
+   the missing chunks reproduces the uninterrupted run's output
+   byte-for-byte.
+
+   The encoding follows Stats_io: fixed key order, no timestamps, a
+   version tag so future format changes fail loudly instead of parsing
+   garbage. *)
+
+module Jsonx = Beast_obs.Jsonx
+module Metrics = Beast_obs.Metrics
+
+let format_version = 1
+
+type chunk = {
+  c_id : int;
+  c_survivors : int;
+  c_loop_iterations : int;
+  c_fired : int array;
+}
+
+type t = {
+  space : string;
+  shard : Stats_io.shard;
+  n_chunks : int;
+  constraints : (string * Space.constraint_class * bool) array;
+  chunks : chunk list;  (* sorted by c_id, each id present at most once *)
+  metrics : Metrics.snapshot option;
+}
+
+let constraint_meta (plan : Plan.t) =
+  let depth0 = Plan.depth0_constraints plan in
+  Array.mapi (fun i (n, c) -> (n, c, depth0.(i))) plan.Plan.constraint_info
+
+let make ~(plan : Plan.t) ~shard ~n_chunks ?metrics completed =
+  let chunks =
+    List.sort
+      (fun a b -> compare a.c_id b.c_id)
+      (List.map
+         (fun (id, (s : Engine.stats)) ->
+           {
+             c_id = id;
+             c_survivors = s.Engine.survivors;
+             c_loop_iterations = s.Engine.loop_iterations;
+             c_fired = Array.map (fun (_, _, k) -> k) s.Engine.pruned;
+           })
+         completed)
+  in
+  {
+    space = plan.Plan.space_name;
+    shard;
+    n_chunks;
+    constraints = constraint_meta plan;
+    chunks;
+    metrics;
+  }
+
+let completed_ids t = List.map (fun c -> c.c_id) t.chunks
+
+let chunk_stats t =
+  List.map
+    (fun c ->
+      ( c.c_id,
+        {
+          Engine.survivors = c.c_survivors;
+          loop_iterations = c.c_loop_iterations;
+          pruned =
+            Array.mapi (fun i (n, cls, _) -> (n, cls, c.c_fired.(i))) t.constraints;
+        } ))
+    t.chunks
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let str s = Beast_obs.Trace_json.escape buf s in
+  add "{\n";
+  add "  \"beast_checkpoint\": %d,\n" format_version;
+  add "  \"space\": ";
+  str t.space;
+  add ",\n";
+  add "  \"shard\": { \"index\": %d, \"of\": %d },\n" t.shard.Stats_io.shard_index
+    t.shard.Stats_io.shard_of;
+  add "  \"n_chunks\": %d,\n" t.n_chunks;
+  add "  \"constraints\": [";
+  Array.iteri
+    (fun i (n, c, d0) ->
+      add "%s\n    { \"name\": " (if i = 0 then "" else ",");
+      str n;
+      add ", \"class\": \"%s\", \"depth0\": %b }"
+        (Space.constraint_class_name c)
+        d0)
+    t.constraints;
+  if Array.length t.constraints > 0 then add "\n  ";
+  add "],\n";
+  add "  \"chunks\": [";
+  List.iteri
+    (fun i c ->
+      add "%s\n    { \"id\": %d, \"survivors\": %d, \"loop_iterations\": %d, \"fired\": [%s] }"
+        (if i = 0 then "" else ",")
+        c.c_id c.c_survivors c.c_loop_iterations
+        (String.concat ", "
+           (Array.to_list (Array.map string_of_int c.c_fired))))
+    t.chunks;
+  if t.chunks <> [] then add "\n  ";
+  add "]";
+  (match t.metrics with
+  | None -> ()
+  | Some snap ->
+    add ",\n  \"metrics\": ";
+    Metrics.Snapshot.add_json buf ~indent:"  " snap);
+  add "\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Jsonx.Error msg)) fmt
+
+let decode json =
+  (match Jsonx.member_opt "beast_checkpoint" json with
+  | None -> fail "not a checkpoint file (missing \"beast_checkpoint\" tag)"
+  | Some v ->
+    let version = Jsonx.to_int "beast_checkpoint" v in
+    if version <> format_version then
+      fail "unsupported checkpoint format version %d (this build reads %d)"
+        version format_version);
+  let shard_json = Jsonx.member "shard" json in
+  let shard =
+    {
+      Stats_io.shard_index = Jsonx.to_int "index" (Jsonx.member "index" shard_json);
+      shard_of = Jsonx.to_int "of" (Jsonx.member "of" shard_json);
+    }
+  in
+  let n_chunks = Jsonx.to_int "n_chunks" (Jsonx.member "n_chunks" json) in
+  if n_chunks < 1 then fail "n_chunks must be at least 1 (got %d)" n_chunks;
+  let constraints =
+    Array.of_list
+      (List.map
+         (fun row ->
+           ( Jsonx.to_str "name" (Jsonx.member "name" row),
+             Stats_io.constraint_class_of_name
+               (Jsonx.to_str "class" (Jsonx.member "class" row)),
+             Jsonx.to_bool "depth0" (Jsonx.member "depth0" row) ))
+         (Jsonx.to_list "constraints" (Jsonx.member "constraints" json)))
+  in
+  let n_constraints = Array.length constraints in
+  let chunks =
+    List.map
+      (fun row ->
+        let c =
+          {
+            c_id = Jsonx.to_int "id" (Jsonx.member "id" row);
+            c_survivors = Jsonx.to_int "survivors" (Jsonx.member "survivors" row);
+            c_loop_iterations =
+              Jsonx.to_int "loop_iterations" (Jsonx.member "loop_iterations" row);
+            c_fired =
+              Array.of_list
+                (List.map
+                   (Jsonx.to_int "fired")
+                   (Jsonx.to_list "fired" (Jsonx.member "fired" row)));
+          }
+        in
+        if c.c_id < 0 || c.c_id >= n_chunks then
+          fail "chunk id %d out of range for an %d-chunk split" c.c_id n_chunks;
+        if c.c_survivors < 0 || c.c_loop_iterations < 0 then
+          fail "chunk %d carries negative counts" c.c_id;
+        if Array.length c.c_fired <> n_constraints then
+          fail "chunk %d has %d fired counts but the file lists %d constraints"
+            c.c_id (Array.length c.c_fired) n_constraints;
+        c)
+      (Jsonx.to_list "chunks" (Jsonx.member "chunks" json))
+  in
+  let chunks = List.sort (fun a b -> compare a.c_id b.c_id) chunks in
+  let rec check_unique = function
+    | a :: (b :: _ as rest) ->
+      if a.c_id = b.c_id then fail "chunk id %d appears twice" a.c_id;
+      check_unique rest
+    | _ -> ()
+  in
+  check_unique chunks;
+  let metrics =
+    match Jsonx.member_opt "metrics" json with
+    | None -> None
+    | Some m -> (
+      match Metrics.Snapshot.of_jsonx m with
+      | Ok snap -> Some snap
+      | Error msg -> fail "metrics: %s" msg)
+  in
+  {
+    space = Jsonx.to_str "space" (Jsonx.member "space" json);
+    shard;
+    n_chunks;
+    constraints;
+    chunks;
+    metrics;
+  }
+
+let of_json text =
+  match Jsonx.parse text with
+  | Error msg -> Error (Printf.sprintf "checkpoint: %s" msg)
+  | Ok json -> (
+    try Ok (decode json)
+    with Jsonx.Error msg -> Error (Printf.sprintf "checkpoint: %s" msg))
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Printf.sprintf "checkpoint: %s" msg)
+  | text -> of_json text
+
+(* Write-temp-then-rename: a crash (or kill signal) during the write
+   leaves either the previous complete checkpoint or a stray .tmp file,
+   never a truncated checkpoint under the real name. *)
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (to_json t);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Resume validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let validate ~(plan : Plan.t) ~(shard : Stats_io.shard) t =
+  if t.space <> plan.Plan.space_name then
+    Error
+      (Printf.sprintf "checkpoint: file describes space %S, this run sweeps %S"
+         t.space plan.Plan.space_name)
+  else if t.shard <> shard then
+    Error
+      (Printf.sprintf
+         "checkpoint: file was written by shard %d/%d, this run is shard %d/%d"
+         t.shard.Stats_io.shard_index t.shard.Stats_io.shard_of
+         shard.Stats_io.shard_index shard.Stats_io.shard_of)
+  else if t.constraints <> constraint_meta plan then
+    Error
+      "checkpoint: the file's constraint list does not match this space \
+       (the space definition changed since the checkpoint was written)"
+  else Ok ()

@@ -1,0 +1,46 @@
+(* The common face of the evaluation engines. Each engine module packs
+   its entry points behind one signature so the CLI, the tuner and the
+   bench select engines by name through {!Engine_registry} instead of
+   each keeping a hand-written match over the engine variant. *)
+
+type outcome =
+  | Finished of Engine.stats
+  | Interrupted of { completed : int; total : int }
+      (* stopped by {!Engine_parallel.interrupt} after draining the
+         in-flight chunks; [completed] of [total] chunks are in the
+         checkpoint (when one was requested) *)
+
+(* Where and how often a resumable run snapshots its chunk ledger. *)
+type checkpoint_sink = {
+  ck_path : string;
+  ck_every_s : float;
+  ck_shard : Stats_io.shard;  (* recorded in the file for resume checks *)
+  ck_base_metrics : Beast_obs.Metrics.snapshot option;
+      (* metrics carried over from the checkpoint being resumed; pooled
+         with the live registry's snapshot at every write *)
+}
+
+type resumable =
+  ?on_hit:Engine.on_hit ->
+  ?checkpoint:checkpoint_sink ->
+  ?resume:Checkpoint.t ->
+  ?fault:Run_config.fault ->
+  Plan.t ->
+  outcome
+
+module type S = sig
+  val name : string
+
+  val plan_based : bool
+  (* whether [run_plan] works; interpreter engines walk the space
+     directly and cannot take a chunked/sharded plan *)
+
+  val run_space : ?on_hit:Engine.on_hit -> Space.t -> Engine.stats
+
+  val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
+  (* raises [Invalid_argument] when [not plan_based] *)
+
+  val resumable : resumable option
+  (* checkpoint/resume/fault-injection entry point; only the parallel
+     scheduler keeps a chunk ledger, so only it offers one *)
+end

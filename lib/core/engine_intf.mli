@@ -1,0 +1,52 @@
+(** The common face of the evaluation engines.
+
+    Each engine packs its entry points behind {!module-type-S} so the
+    CLI, the tuner and the bench select engines by name through
+    {!Engine_registry} — one code path instead of four hand-written
+    match arms. *)
+
+type outcome =
+  | Finished of Engine.stats
+  | Interrupted of { completed : int; total : int }
+      (** stopped by {!Engine_parallel.interrupt} after draining the
+          in-flight chunks; [completed] of [total] chunks made it into
+          the checkpoint (when one was requested) *)
+
+type checkpoint_sink = {
+  ck_path : string;  (** checkpoint file, written atomically *)
+  ck_every_s : float;  (** minimum seconds between periodic writes *)
+  ck_shard : Stats_io.shard;
+      (** recorded in the file so resume can reject a shard mismatch *)
+  ck_base_metrics : Beast_obs.Metrics.snapshot option;
+      (** metrics carried over from the checkpoint being resumed; pooled
+          with the live registry's snapshot at every write *)
+}
+
+type resumable =
+  ?on_hit:Engine.on_hit ->
+  ?checkpoint:checkpoint_sink ->
+  ?resume:Checkpoint.t ->
+  ?fault:Run_config.fault ->
+  Plan.t ->
+  outcome
+(** A checkpointing sweep: skips the chunks [resume] records as
+    complete, periodically snapshots the ledger to [checkpoint], and —
+    under [fault] injection — retries crashed chunks with the survivor
+    callback still invoked exactly once per surviving point. *)
+
+module type S = sig
+  val name : string
+
+  val plan_based : bool
+  (** whether [run_plan] works; the interpreter engines walk the space
+      directly and cannot take a chunked or sharded plan *)
+
+  val run_space : ?on_hit:Engine.on_hit -> Space.t -> Engine.stats
+
+  val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
+  (** @raise Invalid_argument when [not plan_based] *)
+
+  val resumable : resumable option
+  (** checkpoint/resume/fault-injection entry point; only the parallel
+      scheduler keeps a chunk ledger, so only it offers one *)
+end

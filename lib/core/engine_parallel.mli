@@ -33,6 +33,38 @@ val run :
     not call back into the sweep, or it will deadlock).
     @raise Invalid_argument if [domains < 1] or [chunks_per_domain < 1]. *)
 
+val interrupt : unit -> unit
+(** Request a graceful stop of the {!run_resumable} sweep in flight:
+    each worker finishes the chunk it is running (the ledger only ever
+    holds complete chunks), a final checkpoint is flushed, and the run
+    returns {!Engine_intf.Interrupted}. Async-signal-safe — this is
+    what the CLI's SIGINT/SIGTERM handlers call. *)
+
+val run_resumable :
+  ?on_hit:Engine.on_hit ->
+  ?chunks_per_domain:int ->
+  ?checkpoint:Engine_intf.checkpoint_sink ->
+  ?resume:Checkpoint.t ->
+  ?fault:Run_config.fault ->
+  domains:int ->
+  Plan.t ->
+  Engine_intf.outcome
+(** {!run} with a persistent chunk ledger. [resume] seeds the ledger
+    with the checkpoint's completed chunks (and fixes the chunk-split
+    arity to the file's [n_chunks], so a resume may use a different
+    domain count); only the missing chunks are swept. [checkpoint]
+    snapshots the ledger atomically at most once per [ck_every_s]
+    seconds, and once more on interruption. Because chunk merging is
+    commutative and associative, an interrupted-then-resumed run
+    produces stats equal to an uninterrupted one — byte-identical
+    through {!Stats_io.to_json}. [fault] makes chunk attempts crash
+    deterministically (drawn from the seed, chunk id and attempt number,
+    decided {e before} the chunk runs so [on_hit] stays exactly-once);
+    crashed chunks are retried until they complete.
+    @raise Invalid_argument on bad [domains], [chunks_per_domain] or
+    crash probability.
+    @raise Failure if one chunk crashes 1000 attempts in a row. *)
+
 val run_static :
   ?on_hit:Engine.on_hit -> domains:int -> Plan.t -> Engine.stats
 (** The pre-chunking scheduler: exactly one static round-robin slice per

@@ -1,0 +1,102 @@
+(* Name-keyed engine selection: the one place that knows which engine
+   modules exist. The CLI, the tuner and the bench all resolve engines
+   through [find], so adding an engine means adding it here instead of
+   updating four hand-written match arms. *)
+
+let not_plan_based name =
+ fun ?on_hit:_ _ ->
+  invalid_arg
+    (Printf.sprintf
+       "the %s engine walks the space directly and cannot run a plan \
+        (chunked or sharded sweeps need vm, staged or parallel)"
+       name)
+
+module Interp_naive : Engine_intf.S = struct
+  let name = "interp-naive"
+  let plan_based = false
+  let run_space ?on_hit space = Engine_interp.run ?on_hit ~variant:`Naive space
+  let run_plan = not_plan_based name
+  let resumable = None
+end
+
+module Interp : Engine_intf.S = struct
+  let name = "interp"
+  let plan_based = false
+  let run_space ?on_hit space = Engine_interp.run ?on_hit ~variant:`Hoisted space
+  let run_plan = not_plan_based name
+  let resumable = None
+end
+
+module Vm : Engine_intf.S = struct
+  let name = "vm"
+  let plan_based = true
+  let run_space = Engine_vm.run_space
+  let run_plan = Engine_vm.run_plan
+  let resumable = None
+end
+
+module Staged : Engine_intf.S = struct
+  let name = "staged"
+  let plan_based = true
+  let run_space = Engine_staged.run_space
+  let run_plan = Engine_staged.run
+  let resumable = None
+end
+
+let default_parallel_domains = 4
+
+let parallel domains : (module Engine_intf.S) =
+  if domains < 1 then invalid_arg "Engine_registry.parallel: domains < 1";
+  (module struct
+    let name = Printf.sprintf "parallel-%d" domains
+    let plan_based = true
+
+    let run_space ?on_hit space =
+      Engine_parallel.run_space ?on_hit ~domains space
+
+    let run_plan ?on_hit plan = Engine_parallel.run ?on_hit ~domains plan
+
+    let resumable =
+      Some
+        (fun ?on_hit ?checkpoint ?resume ?fault plan ->
+          Engine_parallel.run_resumable ?on_hit ?checkpoint ?resume ?fault
+            ~domains plan)
+  end)
+
+let names = [ "interp-naive"; "interp"; "vm"; "staged"; "parallel[:DOMAINS]" ]
+
+let find spec : ((module Engine_intf.S), string) result =
+  let base, param =
+    match String.index_opt spec ':' with
+    | None -> (spec, None)
+    | Some k ->
+      ( String.sub spec 0 k,
+        Some (String.sub spec (k + 1) (String.length spec - k - 1)) )
+  in
+  let fixed m =
+    match param with
+    | None -> Ok m
+    | Some p ->
+      Error
+        (Printf.sprintf "the %s engine takes no parameter (got %S)" base p)
+  in
+  match base with
+  | "interp-naive" -> fixed (module Interp_naive : Engine_intf.S)
+  | "interp" -> fixed (module Interp : Engine_intf.S)
+  | "vm" -> fixed (module Vm : Engine_intf.S)
+  | "staged" -> fixed (module Staged : Engine_intf.S)
+  | "parallel" -> (
+    match param with
+    | None -> Ok (parallel default_parallel_domains)
+    | Some p -> (
+      match int_of_string_opt p with
+      | Some n when n >= 1 -> Ok (parallel n)
+      | Some n ->
+        Error (Printf.sprintf "parallel: need at least 1 domain (got %d)" n)
+      | None ->
+        Error
+          (Printf.sprintf "parallel: expected a domain count, got %S" p)))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown engine %s (try: %s)" spec
+         (String.concat ", " names))

@@ -1,0 +1,28 @@
+(** Name-keyed engine selection.
+
+    The one place that knows which engine modules exist: the CLI, the
+    tuner and the bench all resolve engines through {!find}, so adding
+    an engine is one registry entry instead of four hand-written match
+    arms. *)
+
+module Interp_naive : Engine_intf.S
+module Interp : Engine_intf.S
+module Vm : Engine_intf.S
+module Staged : Engine_intf.S
+
+val default_parallel_domains : int
+(** 4 — what bare ["parallel"] resolves to. *)
+
+val parallel : int -> (module Engine_intf.S)
+(** The work-stealing scheduler over the given number of domains; the
+    only engine whose [resumable] is populated.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val names : string list
+(** Accepted specs, for help text and error messages. *)
+
+val find : string -> ((module Engine_intf.S), string) result
+(** Resolve an engine spec: a bare name (["staged"], ["parallel"]) or a
+    parameterized one (["parallel:8"]). Errors on unknown names, on a
+    parameter given to a non-parametric engine, and on a domain count
+    below 1. *)

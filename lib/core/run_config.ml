@@ -1,0 +1,152 @@
+(* One record for everything a `beast` run can be configured with beyond
+   the space itself: observability (trace/progress/metrics), sharding,
+   and the checkpoint/resume/fault-injection settings of long-running
+   sweeps. The CLI builds the record once per invocation and threads it
+   through sweep/tune/funnel/search instead of growing each subcommand a
+   private pile of optional arguments. *)
+
+open Beast_obs
+
+type trace_format =
+  | Jsonl
+  | Chrome
+  | Summary
+
+type fault = Chunk_crash of { prob : float; seed : int }
+
+type t = {
+  trace : string option;
+  trace_format : trace_format;
+  progress : bool;
+  metrics : bool;
+  metrics_out : string option;
+  shard : (int * int) option;
+  checkpoint : string option;
+  checkpoint_every_s : float;
+  resume : string option;
+  fault : fault option;
+}
+
+let default =
+  {
+    trace = None;
+    trace_format = Chrome;
+    progress = false;
+    metrics = false;
+    metrics_out = None;
+    shard = None;
+    checkpoint = None;
+    checkpoint_every_s = 5.0;
+    resume = None;
+    fault = None;
+  }
+
+let metrics_enabled t = t.metrics || t.metrics_out <> None
+
+(* The shard bounds used to be checked only by the CLI argument parser;
+   a config built programmatically (or a future config file) could slip
+   an out-of-range shard through and silently sweep an empty space.
+   Everything funnels through here now. *)
+let validate_shard = function
+  | None -> Ok ()
+  | Some (_, n) when n <= 0 ->
+    Error (Printf.sprintf "shard: the shard count N must be positive (got N = %d)" n)
+  | Some (i, n) when i < 0 ->
+    Error
+      (Printf.sprintf
+         "shard %d/%d: the shard index must be non-negative" i n)
+  | Some (i, n) when i >= n ->
+    Error
+      (Printf.sprintf
+         "shard %d/%d: the shard index must be below the shard count \
+          (need 0 <= I < N)"
+         i n)
+  | Some _ -> Ok ()
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let* () = validate_shard t.shard in
+  let* () =
+    if t.checkpoint_every_s <= 0.0 then
+      Error
+        (Printf.sprintf "checkpoint-every: need a positive period (got %g)"
+           t.checkpoint_every_s)
+    else Ok ()
+  in
+  match t.fault with
+  | Some (Chunk_crash { prob; _ }) when prob < 0.0 || prob >= 1.0 ->
+    Error
+      (Printf.sprintf
+         "fault-inject: the crash probability must lie in [0, 1) (got %g); \
+          at 1 no chunk could ever complete"
+         prob)
+  | _ -> Ok ()
+
+(* Install the event recorder, the progress reporter and/or the metrics
+   registry around [f]; when [f] finishes (or raises) the collected
+   events are written to the trace file in the requested format and the
+   metrics to the Prometheus file. Output files are opened before any
+   work happens so a bad path raises [Sys_error] up front instead of
+   discarding a completed run at the end. *)
+let with_instrumentation t f =
+  let open_out_or_fail what file =
+    try open_out file
+    with Sys_error msg -> raise (Sys_error (Printf.sprintf "cannot open %s file: %s" what msg))
+  in
+  let recorder =
+    match t.trace with
+    | None -> None
+    | Some file ->
+      let oc = open_out_or_fail "trace" file in
+      let r = Recorder.create () in
+      Obs.set_sink (Recorder.sink r);
+      Some (file, oc, r)
+  in
+  let metrics_sink =
+    Option.map (fun file -> (file, open_out_or_fail "metrics" file)) t.metrics_out
+  in
+  let registry =
+    if metrics_enabled t then begin
+      let r = Metrics.create () in
+      Metrics.set_current r;
+      Some r
+    end
+    else None
+  in
+  let reporter =
+    if t.progress then begin
+      let p = Progress.create () in
+      Progress.install p;
+      Some p
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Progress.finish reporter;
+      (match registry with
+      | None -> ()
+      | Some r ->
+        Metrics.clear_current ();
+        (match metrics_sink with
+        | None -> ()
+        | Some (file, oc) ->
+          output_string oc (Metrics.Snapshot.to_prometheus (Metrics.snapshot r));
+          close_out oc;
+          Format.eprintf "wrote metrics to %s@." file));
+      match recorder with
+      | None -> ()
+      | Some (file, oc, r) ->
+        Obs.clear_sink ();
+        let events = Recorder.events r in
+        (match t.trace_format with
+        | Jsonl -> Sink_jsonl.write oc events
+        | Chrome -> Sink_chrome.write ~start_ns:(Recorder.start_ns r) oc events
+        | Summary ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Sink_summary.write ppf events;
+          Format.pp_print_flush ppf ());
+        close_out oc;
+        Format.eprintf "wrote %d trace events to %s@." (Array.length events)
+          file)
+    f

@@ -1,0 +1,53 @@
+(** One record for everything a run can be configured with beyond the
+    space itself: observability (trace, progress, metrics), sharding and
+    the checkpoint/resume/fault-injection settings of long-running
+    sweeps. [bin/beast.ml] builds the record once per invocation and
+    threads it through sweep/tune/funnel/search instead of passing a
+    growing pile of per-function optional arguments. *)
+
+type trace_format =
+  | Jsonl  (** one event per line *)
+  | Chrome  (** trace-event JSON, loadable in Perfetto *)
+  | Summary  (** human-readable aggregates *)
+
+type fault =
+  | Chunk_crash of { prob : float; seed : int }
+      (** test hook: each chunk attempt crashes with probability [prob],
+          drawn deterministically from [seed], the chunk id and the
+          attempt number; the scheduler must retry it to completion *)
+
+type t = {
+  trace : string option;  (** write a trace of the run to this file *)
+  trace_format : trace_format;
+  progress : bool;  (** live progress reporting on stderr *)
+  metrics : bool;  (** install a metrics registry around the run *)
+  metrics_out : string option;
+      (** write Prometheus text exposition here (implies [metrics]) *)
+  shard : (int * int) option;  (** [(i, n)]: run block [i] of an n-way split *)
+  checkpoint : string option;  (** periodically snapshot progress here *)
+  checkpoint_every_s : float;  (** seconds between checkpoint writes *)
+  resume : string option;  (** checkpoint file to resume from *)
+  fault : fault option;
+}
+
+val default : t
+(** No instrumentation, no shard, no checkpointing,
+    [checkpoint_every_s = 5.0]. *)
+
+val metrics_enabled : t -> bool
+(** [metrics || metrics_out <> None]. *)
+
+val validate : t -> (unit, string) result
+(** Reject configurations that would otherwise fail silently: shard
+    bounds ([n <= 0], [i < 0] or [i >= n] would sweep an empty space),
+    non-positive checkpoint periods, and crash probabilities outside
+    [\[0, 1)]. *)
+
+val with_instrumentation : t -> (unit -> 'a) -> 'a
+(** Install the event recorder, progress reporter and/or metrics
+    registry described by the config around the callback; when it
+    returns (or raises) the collected events are written to the trace
+    file in the requested format and the metrics to the Prometheus file.
+    Output files are opened before the callback runs, so a bad path
+    raises [Sys_error] up front instead of discarding a completed run at
+    the end. *)

@@ -57,6 +57,11 @@ val of_json : string -> (t, string) result
 val of_file : string -> (t, string) result
 val write_file : string -> t -> unit
 
+val constraint_class_of_name : string -> Space.constraint_class
+(** Inverse of {!Space.constraint_class_name}; raises
+    [Beast_obs.Jsonx.Error] on an unknown name. Shared with the
+    {!Checkpoint} decoder. *)
+
 val merge : t list -> (t, string) result
 (** Recombine a complete shard set: every input must describe the same
     space, constraint list and split arity [N], and the indices must

@@ -14,13 +14,16 @@ let engine_name = function
 
 let all_engines = [ Interp_naive; Interp; Vm; Staged; Parallel 2 ]
 
+let module_of : engine -> (module Engine_intf.S) = function
+  | Interp_naive -> (module Engine_registry.Interp_naive)
+  | Interp -> (module Engine_registry.Interp)
+  | Vm -> (module Engine_registry.Vm)
+  | Staged -> (module Engine_registry.Staged)
+  | Parallel n -> Engine_registry.parallel n
+
 let run ?(engine = Staged) ?on_hit space =
-  match engine with
-  | Interp_naive -> Engine_interp.run ?on_hit ~variant:`Naive space
-  | Interp -> Engine_interp.run ?on_hit ~variant:`Hoisted space
-  | Vm -> Engine_vm.run_space ?on_hit space
-  | Staged -> Engine_staged.run_space ?on_hit space
-  | Parallel n -> Engine_parallel.run_space ?on_hit ~domains:n space
+  let (module E : Engine_intf.S) = module_of engine in
+  E.run_space ?on_hit space
 
 let survivors ?engine ?limit space =
   let plan = Plan.make_exn space in

@@ -11,6 +11,10 @@ type engine =
 val engine_name : engine -> string
 val all_engines : engine list
 
+val module_of : engine -> (module Engine_intf.S)
+(** The {!Engine_registry} module behind each variant; {!run} and the
+    tuner dispatch through it. *)
+
 val run : ?engine:engine -> ?on_hit:Engine.on_hit -> Space.t -> Engine.stats
 (** @raise Plan.Error if the space does not plan. *)
 

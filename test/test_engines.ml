@@ -357,6 +357,93 @@ let prop_work_stealing_matches_staged =
       let plan = Plan.make_exn (space_of descr) in
       Engine_staged.run plan = Engine_parallel.run ~domains:3 plan)
 
+(* ---- Engine registry: name-keyed lookup behind Engine_intf.S ---- *)
+
+let find_exn spec =
+  match Engine_registry.find spec with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "find %S: %s" spec msg
+
+let test_registry_resolves_all_names () =
+  List.iter
+    (fun (spec, expected_name) ->
+      let (module E : Engine_intf.S) = find_exn spec in
+      Alcotest.(check string) spec expected_name E.name)
+    [
+      ("interp-naive", "interp-naive");
+      ("interp", "interp");
+      ("vm", "vm");
+      ("staged", "staged");
+      ("parallel", Printf.sprintf "parallel-%d" Engine_registry.default_parallel_domains);
+      ("parallel:7", "parallel-7");
+    ]
+
+let test_registry_rejects_bad_specs () =
+  List.iter
+    (fun spec ->
+      match Engine_registry.find spec with
+      | Ok (module E : Engine_intf.S) ->
+        Alcotest.failf "%S resolved to %s" spec E.name
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error names the choices (got %S)" spec msg)
+          true
+          (String.length msg > 0))
+    [ ""; "jit"; "parallel:0"; "parallel:-2"; "parallel:x"; "staged:2"; "interp:" ]
+
+let test_registry_engines_agree () =
+  let sp = Support.triangle_space () in
+  let expected = Support.survivor_count sp in
+  List.iter
+    (fun spec ->
+      let (module E : Engine_intf.S) = find_exn spec in
+      Alcotest.(check int)
+        (E.name ^ " survivors via registry")
+        expected (E.run_space sp).Engine.survivors)
+    [ "interp-naive"; "interp"; "vm"; "staged"; "parallel:3" ]
+
+let test_registry_plan_based_flags () =
+  let check spec expected =
+    let (module E : Engine_intf.S) = find_exn spec in
+    Alcotest.(check bool) (spec ^ " plan_based") expected E.plan_based
+  in
+  check "interp-naive" false;
+  check "interp" false;
+  check "vm" true;
+  check "staged" true;
+  check "parallel" true;
+  (* Space-only engines must refuse run_plan loudly, not silently
+     re-plan and drop the caller's plan. *)
+  let plan = Plan.make_exn (Support.triangle_space ()) in
+  let (module Naive : Engine_intf.S) = find_exn "interp-naive" in
+  (match Naive.run_plan plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "interp-naive accepted a plan")
+
+let test_registry_resumable_only_parallel () =
+  List.iter
+    (fun (spec, expected) ->
+      let (module E : Engine_intf.S) = find_exn spec in
+      Alcotest.(check bool) (spec ^ " resumable") expected
+        (Option.is_some E.resumable))
+    [
+      ("interp-naive", false);
+      ("interp", false);
+      ("vm", false);
+      ("staged", false);
+      ("parallel:2", true);
+    ]
+
+let test_registry_resumable_runs () =
+  let (module E : Engine_intf.S) = find_exn "parallel:3" in
+  let resumable = Option.get E.resumable in
+  let plan = Plan.make_exn (Support.triangle_space ()) in
+  match resumable plan with
+  | Engine_intf.Finished stats ->
+    Alcotest.check Support.stats_testable "registry resumable = staged"
+      (Engine_staged.run plan) stats
+  | Engine_intf.Interrupted _ -> Alcotest.fail "spurious interruption"
+
 let () =
   Alcotest.run "engines"
     [
@@ -398,6 +485,21 @@ let () =
           Alcotest.test_case "empty iterator" `Quick test_empty_iterator;
           Alcotest.test_case "division by zero" `Quick
             test_division_by_zero_propagates;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "resolves all names" `Quick
+            test_registry_resolves_all_names;
+          Alcotest.test_case "rejects bad specs" `Quick
+            test_registry_rejects_bad_specs;
+          Alcotest.test_case "engines agree via registry" `Quick
+            test_registry_engines_agree;
+          Alcotest.test_case "plan_based flags" `Quick
+            test_registry_plan_based_flags;
+          Alcotest.test_case "only parallel is resumable" `Quick
+            test_registry_resumable_only_parallel;
+          Alcotest.test_case "resumable closure runs" `Quick
+            test_registry_resumable_runs;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,85 @@
+(* Run_config validation: the shard-bounds bugfix plus the new
+   checkpoint/fault knobs. *)
+
+open Beast_core
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let expect_error what cfg sub =
+  match Run_config.validate cfg with
+  | Ok () -> Alcotest.failf "%s was accepted" what
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s message mentions %S (got %S)" what sub msg)
+      true (contains ~sub msg)
+
+let expect_ok what cfg =
+  match Run_config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s rejected: %s" what msg
+
+let test_default_validates () = expect_ok "default" Run_config.default
+
+let test_shard_bounds () =
+  let with_shard shard = { Run_config.default with Run_config.shard } in
+  expect_ok "0/1" (with_shard (Some (0, 1)));
+  expect_ok "2/3" (with_shard (Some (2, 3)));
+  expect_error "index = count" (with_shard (Some (3, 3))) "below the shard count";
+  expect_error "index > count" (with_shard (Some (7, 3))) "below the shard count";
+  expect_error "negative index" (with_shard (Some (-1, 3))) "non-negative";
+  expect_error "zero count" (with_shard (Some (0, 0))) "must be positive";
+  expect_error "negative count" (with_shard (Some (0, -2))) "must be positive"
+
+let test_checkpoint_interval () =
+  let with_every checkpoint_every_s =
+    {
+      Run_config.default with
+      Run_config.checkpoint = Some "ck.json";
+      checkpoint_every_s;
+    }
+  in
+  expect_ok "positive interval" (with_every 0.1);
+  expect_error "zero interval" (with_every 0.0) "checkpoint";
+  expect_error "negative interval" (with_every (-1.0)) "checkpoint"
+
+let test_fault_probability () =
+  let with_fault prob =
+    {
+      Run_config.default with
+      Run_config.fault = Some (Run_config.Chunk_crash { prob; seed = 42 });
+    }
+  in
+  expect_ok "prob 0" (with_fault 0.0);
+  expect_ok "prob 0.5" (with_fault 0.5);
+  expect_error "prob 1.0" (with_fault 1.0) "[0, 1)";
+  expect_error "prob 1.5" (with_fault 1.5) "[0, 1)";
+  expect_error "negative prob" (with_fault (-0.1)) "[0, 1)"
+
+let test_metrics_enabled () =
+  Alcotest.(check bool) "off by default" false
+    (Run_config.metrics_enabled Run_config.default);
+  Alcotest.(check bool) "on with --metrics" true
+    (Run_config.metrics_enabled
+       { Run_config.default with Run_config.metrics = true });
+  Alcotest.(check bool) "implied by --metrics-out" true
+    (Run_config.metrics_enabled
+       { Run_config.default with Run_config.metrics_out = Some "m.prom" })
+
+let () =
+  Alcotest.run "run_config"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "default ok" `Quick test_default_validates;
+          Alcotest.test_case "shard bounds" `Quick test_shard_bounds;
+          Alcotest.test_case "checkpoint interval" `Quick
+            test_checkpoint_interval;
+          Alcotest.test_case "fault probability" `Quick test_fault_probability;
+          Alcotest.test_case "metrics_enabled" `Quick test_metrics_enabled;
+        ] );
+    ]

@@ -68,11 +68,83 @@ let test_top_n_sorted_unique () =
 
 let test_parallel_matches_sequential_best () =
   let seq = Tuner.tune ~objective (simple_space ()) in
-  let par = Tuner.tune ~engine:(Sweep.Parallel 3) ~objective (simple_space ()) in
+  let par =
+    Tuner.tune ~engine:(Engine_registry.parallel 3) ~objective (simple_space ())
+  in
   match seq.Tuner.best, par.Tuner.best with
   | Some a, Some b ->
     Alcotest.(check (float 1e-12)) "same best score" a.Tuner.score b.Tuner.score
   | _ -> Alcotest.fail "missing best"
+
+(* ---- Fault tolerance: raising/timing-out objectives ---- *)
+
+let test_raising_objective_skipped () =
+  (* Every third survivor raises on all attempts: the campaign must
+     complete, count the failures and keep the best of the rest. *)
+  let calls = ref 0 in
+  let flaky lookup =
+    incr calls;
+    let x = Value.to_int (lookup "x") in
+    if x mod 3 = 0 then failwith "benchmark crashed";
+    objective lookup
+  in
+  let r = Tuner.tune ~retries:0 ~objective:flaky (simple_space ()) in
+  Alcotest.(check bool) "some failed" true (r.Tuner.failed > 0);
+  Alcotest.(check int) "evaluated + failed = survivors"
+    r.Tuner.stats.Engine.survivors
+    (r.Tuner.evaluated + r.Tuner.failed);
+  match r.Tuner.best with
+  | None -> Alcotest.fail "no best despite surviving configurations"
+  | Some c ->
+    Alcotest.(check bool) "best is from a non-crashing config" true
+      (Value.to_int (List.assoc "x" c.Tuner.bindings) mod 3 <> 0)
+
+let test_retry_recovers_transient_failure () =
+  (* Each configuration fails on its first attempt and succeeds on the
+     retry: with retries:1 nothing is lost. *)
+  let seen = Hashtbl.create 64 in
+  let transient lookup =
+    let key =
+      (Value.to_int (lookup "x") * 1000) + Value.to_int (lookup "y")
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      failwith "transient failure"
+    end;
+    objective lookup
+  in
+  let r =
+    Tuner.tune ~retries:1 ~backoff_s:0.0 ~objective:transient (simple_space ())
+  in
+  Alcotest.(check int) "nothing failed" 0 r.Tuner.failed;
+  Alcotest.(check int) "all survivors benchmarked"
+    r.Tuner.stats.Engine.survivors r.Tuner.evaluated;
+  match r.Tuner.best with
+  | None -> Alcotest.fail "no best"
+  | Some c -> Alcotest.(check (float 0.0)) "score 0" 0.0 c.Tuner.score
+
+let test_timeout_unwedges_campaign () =
+  (* One pathological configuration spins forever; the SIGALRM guard
+     must abort it and the campaign must finish without it. *)
+  let wedged lookup =
+    let x = Value.to_int (lookup "x") and y = Value.to_int (lookup "y") in
+    if x = 1 && y = 0 then begin
+      let v = ref 0.0 in
+      while !v >= 0.0 do
+        (* allocation in the loop gives the runtime poll points to
+           deliver the timeout exception at *)
+        v := Sys.opaque_identity (!v +. 1e-9) *. 1.0
+      done
+    end;
+    objective lookup
+  in
+  let r =
+    Tuner.tune ~timeout_s:0.2 ~retries:0 ~objective:wedged (simple_space ())
+  in
+  Alcotest.(check int) "exactly the wedged config failed" 1 r.Tuner.failed;
+  match r.Tuner.best with
+  | None -> Alcotest.fail "no best"
+  | Some c -> Alcotest.(check (float 0.0)) "score 0" 0.0 c.Tuner.score
 
 let test_improvement () =
   let r = Tuner.tune ~objective:(fun _ -> 10.0) (simple_space ()) in
@@ -160,6 +232,15 @@ let () =
             test_parallel_matches_sequential_best;
           Alcotest.test_case "improvement" `Quick test_improvement;
           Alcotest.test_case "fully pruned space" `Quick test_empty_space_tunes;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "raising objective skipped" `Quick
+            test_raising_objective_skipped;
+          Alcotest.test_case "retry recovers transient failure" `Quick
+            test_retry_recovers_transient_failure;
+          Alcotest.test_case "timeout unwedges campaign" `Quick
+            test_timeout_unwedges_campaign;
         ] );
       ( "table1 bands",
         [
