@@ -687,8 +687,65 @@ let ablation_obs_overhead () =
      closures are the ones the seed build compiled, so the only cost is\n\
      one flag check per run.\n"
 
+(* The provenance companion to the obs ablation: the same sweep with
+   and without a pruning-provenance collector installed. Attribution
+   compiles to per-constraint counting programs, so the instrumented
+   sweep pays one closure call per firing plus the slot mirror; with no
+   collector the uninstrumented closures run and the cost is zero. The
+   deterministic outputs (survivors, total attributed removals,
+   exactness) feed the regression gate via BENCH_provenance.json. *)
+let ablation_provenance () =
+  header
+    "Ablation: single-pass pruning provenance on the staged GEMM sweep\n\
+     (provenance off vs on; BENCH_provenance.json records the result).";
+  let max_dim = if fast then 20 else 32 in
+  let max_threads = if fast then 96 else 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let plan = Plan.make_exn (Gemm.space ~settings ()) in
+  ignore (Engine_staged.run plan) (* warm up *);
+  let off =
+    ns_per_run "staged-prov-off" (fun () -> ignore (Engine_staged.run plan))
+  in
+  let on =
+    ns_per_run "staged-prov-on" (fun () ->
+        ignore (Provenance.with_collector (fun () -> Engine_staged.run plan)))
+  in
+  let stats, summary =
+    Provenance.with_collector (fun () -> Engine_staged.run plan)
+  in
+  let removed, exact =
+    match Provenance.total_removed summary with
+    | Some n -> (n, true)
+    | None -> (0, false)
+  in
+  let overhead_pct = 100.0 *. ((on /. off) -. 1.0) in
+  Printf.printf "provenance disabled: %10.3f ms/run\n" (off *. 1e-6);
+  Printf.printf "provenance enabled:  %10.3f ms/run  (+%.1f%%)\n" (on *. 1e-6)
+    overhead_pct;
+  Printf.printf "%d survivors; %d removed points attributed; exact: %b\n"
+    stats.Engine.survivors removed exact;
+  let oc = open_out "BENCH_provenance.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"ablation-provenance\",\n\
+    \  \"space\": \"gemm\",\n\
+    \  \"max_dim\": %d,\n\
+    \  \"survivors\": %d,\n\
+    \  \"total_removed\": %d,\n\
+    \  \"exact\": %b,\n\
+    \  \"off_ms\": %.3f,\n\
+    \  \"on_ms\": %.3f,\n\
+    \  \"overhead_pct\": %.1f\n\
+     }\n"
+    max_dim stats.Engine.survivors removed exact (off *. 1e-6) (on *. 1e-6)
+    overhead_pct;
+  close_out oc;
+  print_endline "wrote BENCH_provenance.json"
+
 (* ------------------------------------------------------------------ *)
-(* Regression gate: compare BENCH_parallel.json against a committed     *)
+(* Regression gate: compare BENCH_parallel.json (or any other BENCH_*   *)
+(* artifact, dispatched on its "bench" field) against a committed       *)
 (* baseline.                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -743,7 +800,38 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
       (Float.abs (b -. c) <= 0.05)
       (Printf.sprintf "baseline %.2f, current %.2f" b c)
   in
+  let bench_kind =
+    try Jsonx.to_str "bench" (Jsonx.member "bench" base)
+    with Jsonx.Error _ -> "ablation-stealing"
+  in
   (try
+     if bench_kind = "ablation-provenance" then begin
+       exact_str "bench";
+       exact_str "space";
+       exact_int "max_dim";
+       exact_int "survivors";
+       exact_int "total_removed";
+       check "exact"
+         (Jsonx.to_bool "exact" (Jsonx.member "exact" cur))
+         "attribution must stay exact on the plain gemm space";
+       let b_over =
+         Jsonx.to_float "overhead_pct" (Jsonx.member "overhead_pct" base)
+       and c_over =
+         Jsonx.to_float "overhead_pct" (Jsonx.member "overhead_pct" cur)
+       in
+       if gate_timing then
+         check "overhead_pct"
+           (c_over <= b_over +. threshold_pct)
+           (Printf.sprintf
+              "baseline +%.1f%%, current +%.1f%% (threshold +%.0f points)"
+              b_over c_over threshold_pct)
+       else
+         Printf.printf
+           "  %-28s info  baseline +%.1f%%, current +%.1f%% (not gated; pass \
+            --gate-timing)\n"
+           "overhead_pct" b_over c_over;
+       raise Exit
+     end;
      exact_str "bench";
      exact_str "space";
      exact_int "max_dim";
@@ -793,9 +881,11 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
          "  %-28s info  baseline %.3fs/%.2fx, current %.3fs/%.2fx (not gated; \
           pass --gate-timing)\n"
          "stealing_s/speedup" b_steal b_speedup c_steal c_speedup
-   with Jsonx.Error msg ->
-     Printf.eprintf "bench gate: malformed bench json: %s\n" msg;
-     exit 1);
+   with
+  | Exit -> ()
+  | Jsonx.Error msg ->
+    Printf.eprintf "bench gate: malformed bench json: %s\n" msg;
+    exit 1);
   if !failures > 0 then begin
     Printf.printf "bench gate: %d check(s) FAILED\n" !failures;
     exit 1
@@ -876,6 +966,7 @@ let () =
   end;
   ablation_parallel ();
   ablation_stealing ();
+  ablation_provenance ();
   ablation_checkpoint ();
   (match trace with
   | None -> ()

@@ -157,6 +157,18 @@ let fault_arg =
     & opt (some (conv (parse, print))) None
     & info [ "fault-inject" ] ~docv:"KIND:P" ~doc)
 
+let explain_out_arg =
+  let doc =
+    "Collect single-pass pruning provenance during the sweep (exact \
+     per-constraint removal counts, per-depth survival, survivor density \
+     over the outermost iterator) and write it with the sweep statistics \
+     to $(docv). Render with $(b,beast explain); shard files merge with \
+     $(b,beast merge) into exactly the unsharded file. Incompatible with \
+     --resume."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "explain-out" ] ~docv:"FILE" ~doc)
+
 let stats_out_arg =
   let doc =
     "Write the sweep statistics (survivor and loop-iteration totals, \
@@ -202,9 +214,10 @@ let obs_config_term =
     const build $ trace_arg $ trace_format_arg $ progress_arg $ metrics_arg
     $ metrics_out_arg)
 
-(* Sweep adds sharding and the checkpoint/resume/fault settings on top. *)
+(* Sweep adds sharding, the checkpoint/resume/fault settings and the
+   provenance collector on top. *)
 let sweep_config_term =
-  let build cfg shard checkpoint checkpoint_every_s resume fault =
+  let build cfg shard checkpoint checkpoint_every_s resume fault explain_out =
     {
       cfg with
       Run_config.shard;
@@ -212,11 +225,12 @@ let sweep_config_term =
       checkpoint_every_s;
       resume;
       fault;
+      explain_out;
     }
   in
   Term.(
     const build $ obs_config_term $ shard_arg $ checkpoint_arg
-    $ checkpoint_every_arg $ resume_arg $ fault_arg)
+    $ checkpoint_every_arg $ resume_arg $ fault_arg $ explain_out_arg)
 
 (* Validate the config, then run [f] under its instrumentation. [f]
    returns the process exit code rather than calling [exit] itself, so
@@ -468,6 +482,18 @@ let sweep_term =
                 (Stats_io.of_stats ~plan ~shard:shard_info
                    ?metrics:(pooled_metrics resume_ck) stats);
               Format.eprintf "wrote sweep statistics to %s@." file);
+            (match (cfg.Run_config.explain_out, Provenance.current ()) with
+            | Some file, Some collector ->
+              (* The explain file is the stats file plus the provenance
+                 section (and the metrics, when recorded), so beast
+                 merge/report/explain all read it. *)
+              Stats_io.write_file file
+                (Stats_io.of_stats ~plan ~shard:shard_info
+                   ?metrics:(pooled_metrics resume_ck)
+                   ~provenance:(Provenance.summary collector)
+                   stats);
+              Format.eprintf "wrote pruning provenance to %s@." file
+            | _ -> ());
             0))
   in
   Term.(
@@ -615,11 +641,23 @@ let funnel_cmd =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
            ~doc:"Also write the radial visualization (paper ref. [7]).")
   in
-  let run space_name device max_dim max_threads svg cfg =
+  let prefix_sweeps_arg =
+    Arg.(
+      value & flag
+      & info [ "prefix-sweeps" ]
+          ~doc:
+            "Measure with the reference n+1 prefix-sweep method instead \
+             of the single provenance-instrumented sweep (the two agree \
+             exactly; this is the independent cross-check).")
+  in
+  let run space_name device max_dim max_threads svg prefix_sweeps cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     with_config cfg (fun () ->
-        let f = Stats.funnel sp in
+        let f =
+          if prefix_sweeps then Stats.funnel sp
+          else Stats.funnel_single_pass sp
+        in
         Format.printf "%a" Stats.pp f;
         (match svg with
         | Some file ->
@@ -632,9 +670,12 @@ let funnel_cmd =
   in
   Cmd.v
     (Cmd.info "funnel"
-       ~doc:"Measure how much of the space each constraint removes")
+       ~doc:
+         "Measure how much of the space each constraint removes (one \
+          provenance-instrumented sweep; --prefix-sweeps for the n+1 \
+          reference method)")
     Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
-          $ svg_arg $ obs_config_term)
+          $ svg_arg $ prefix_sweeps_arg $ obs_config_term)
 
 let search_cmd =
   let method_arg =
@@ -818,12 +859,19 @@ let report_cmd =
           Format.eprintf "merge: %s@." msg;
           exit 1)
     in
+    let snap =
+      match merged.Stats_io.metrics with
+      | Some snap -> snap
+      | None ->
+        Format.eprintf
+          "beast report: no \"metrics\" section in %s (sweep with \
+           --metrics --stats-out)@."
+          (String.concat ", " files);
+        exit 1
+    in
     Format.printf "space %s: %d survivors of %d points@."
       merged.Stats_io.space merged.Stats_io.survivors
       merged.Stats_io.loop_iterations;
-    let snap =
-      Option.value ~default:Metrics.Snapshot.empty merged.Stats_io.metrics
-    in
     Report.write ~top Format.std_formatter snap;
     Format.pp_print_flush Format.std_formatter ()
   in
@@ -834,6 +882,58 @@ let report_cmd =
           (percentile tables per constraint, loop-entry counts, \
           scheduler chunk skew); multiple shard files are merged into \
           exact fleet-level percentiles first")
+    Term.(const run $ files_arg $ top_arg)
+
+let explain_cmd =
+  let files_arg =
+    let doc =
+      "Statistics files written by sweep --explain-out; several shard \
+       files are merged (exactly, bucket for bucket) before rendering."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Show the K largest dead outer-coordinate ranges.")
+  in
+  let run files top =
+    let shards =
+      List.map
+        (fun f ->
+          match Stats_io.of_file f with
+          | Ok r -> r
+          | Error msg ->
+            Format.eprintf "%s: %s@." f msg;
+            exit 1)
+        files
+    in
+    let merged =
+      match shards with
+      | [ one ] -> one
+      | several -> (
+        match Stats_io.merge several with
+        | Ok m -> m
+        | Error msg ->
+          Format.eprintf "merge: %s@." msg;
+          exit 1)
+    in
+    match Explain.write ~top Format.std_formatter merged with
+    | Ok () -> Format.pp_print_flush Format.std_formatter ()
+    | Error msg ->
+      Format.eprintf "beast explain: %s@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render the pruning provenance of an instrumented sweep (sweep \
+          --explain-out): the exact constraint waterfall in evaluation \
+          order, evaluation cost against selectivity with misplaced \
+          constraints flagged, the largest dead outer-coordinate ranges, \
+          and the per-depth survival funnel; multiple shard files are \
+          merged exactly first")
     Term.(const run $ files_arg $ top_arg)
 
 let export_cmd =
@@ -861,6 +961,6 @@ let main =
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
-      funnel_cmd; search_cmd; merge_cmd; report_cmd; export_cmd ]
+      funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd ]
 
 let () = exit (Cmd.eval main)

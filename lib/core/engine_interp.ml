@@ -11,8 +11,32 @@ let run ?on_hit ?(variant = `Hoisted) space =
     | `Hoisted -> true
     | `Naive -> false
   in
-  let instrument = Obs.instrumenting () in
   let plan = Plan.make_exn ~hoist space in
+  (* The interpreter's environment is string-keyed, so provenance (which
+     evaluates trip bounds over the slot machine) keeps an integer slot
+     mirror, updated on loop entry and derivation in the instrumented
+     path. With [`Naive] every constraint sits at the innermost depth
+     and each firing removes exactly one point (empty subtree product),
+     so attribution is trivially exact. *)
+  let prov = Provenance.current () in
+  let plocal =
+    Option.map (fun _ -> Provenance.local_of (Provenance.attribution plan)) prov
+  in
+  let instrument = Obs.instrumenting () || plocal <> None in
+  let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
+  let mirror slot (v : Value.t) =
+    match v with
+    | Int i -> slots.(slot) <- i
+    | Bool b -> slots.(slot) <- (if b then 1 else 0)
+    | Float _ | Str _ -> ()
+  in
+  let prov_fire, prov_hit =
+    match plocal with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some pl ->
+      ( (fun c -> Provenance.fire pl slots c),
+        fun () -> Provenance.hit pl slots )
+  in
   let env : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (n, v) -> Hashtbl.replace env n v) (Space.settings space);
   let lookup name = Hashtbl.find env name in
@@ -56,12 +80,15 @@ let run ?on_hit ?(variant = `Hoisted) space =
     | [] -> ()
     | Yield :: rest ->
       incr survivors;
+      prov_hit ();
       (match on_hit with
       | None -> ()
       | Some f -> f lookup);
       exec_steps ~depth rest
-    | Derive { d_name; _ } :: rest ->
-      Hashtbl.replace env d_name (eval_body d_name);
+    | Derive { d_name; d_slot; _ } :: rest ->
+      let v = eval_body d_name in
+      Hashtbl.replace env d_name v;
+      if instrument then mirror d_slot v;
       exec_steps ~depth rest
     | Check { c_name; c_index; _ } :: rest ->
       let fired =
@@ -73,9 +100,12 @@ let run ?on_hit ?(variant = `Hoisted) space =
         end
         else Value.truthy (eval_body c_name)
       in
-      if fired then pruned.(c_index) <- pruned.(c_index) + 1
+      if fired then begin
+        pruned.(c_index) <- pruned.(c_index) + 1;
+        prov_fire c_index
+      end
       else exec_steps ~depth rest
-    | Loop { l_var; l_body; _ } :: rest ->
+    | Loop { l_var; l_slot; l_body; _ } :: rest ->
       let it = Hashtbl.find iter_by_name l_var in
       (* Materializing the whole iterator before looping mirrors Python's
          range() building its value list (Section XI-B). *)
@@ -86,6 +116,7 @@ let run ?on_hit ?(variant = `Hoisted) space =
         Array.iteri
           (fun j v ->
             Hashtbl.replace env l_var v;
+            mirror l_slot v;
             incr loop_iterations;
             depth_entries.(depth) <- depth_entries.(depth) + 1;
             if depth = 0 then outer_done := j + 1;
@@ -122,6 +153,9 @@ let run ?on_hit ?(variant = `Hoisted) space =
       ~level_time;
     Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
   end;
+  (match (prov, plocal) with
+  | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
+  | _ -> ());
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;

@@ -62,6 +62,7 @@ let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
        longer than one chunk. Each worker folds its chunk results
        locally (sum + per-constraint max for the depth-0 dedup). *)
     let cursor = Atomic.make 0 in
+    let done_count = Atomic.make 0 in
     (* One handle resolved up front; recording is per-domain inside. *)
     let chunk_hist =
       Option.map
@@ -91,6 +92,9 @@ let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
           Option.iter
             (fun h -> Metrics.record h (Clock.now_ns () - t0))
             chunk_hist;
+          Obs.chunk_tick
+            ~completed:(1 + Atomic.fetch_and_add done_count 1)
+            ~total:n_chunks;
           (acc :=
              match !acc with
              | None -> Some (s, s)
@@ -102,6 +106,8 @@ let run ?on_hit ?(chunks_per_domain = default_chunks_per_domain) ~domains
       !acc
     in
     let sweep () =
+      (* Anchor the reporter's throughput base before any chunk lands. *)
+      Obs.chunk_tick ~completed:0 ~total:n_chunks;
       let spawned =
         List.init domains (fun dom -> Domain.spawn (worker dom))
       in
@@ -252,6 +258,7 @@ let run_resumable ?on_hit ?(chunks_per_domain = default_chunks_per_domain)
       (fun () ->
         ledger.(id) <- Some stats;
         incr completed;
+        Obs.chunk_tick ~completed:!completed ~total:n_chunks;
         match checkpoint with
         | Some sink
           when Clock.ns_to_s (Clock.now_ns () - !last_ck_ns)
@@ -309,6 +316,9 @@ let run_resumable ?on_hit ?(chunks_per_domain = default_chunks_per_domain)
     steal ()
   in
   let sweep () =
+    (* The resumed count is reported up front so the reporter treats it
+       as the base, not as throughput observed this run. *)
+    Obs.chunk_tick ~completed:!completed ~total:n_chunks;
     let spawned = List.init domains (fun dom -> Domain.spawn (worker dom)) in
     List.iter Domain.join spawned
   in

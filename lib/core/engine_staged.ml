@@ -19,7 +19,13 @@ open Beast_obs
 
 let run ?on_hit (plan : Plan.t) =
   let metrics = Metrics.current () in
-  let instrument = Obs.instrumenting () || metrics <> None in
+  let prov = Provenance.current () in
+  (* Provenance accumulates into a run-private local (no synchronization
+     in the hot path) published into the ambient collector at run end,
+     so parallel chunk runs compose by summation. *)
+  let plocal =
+    Option.map (fun _ -> Provenance.local_of (Provenance.attribution plan)) prov
+  in
   (* Per-constraint evaluation-latency histograms ([None] = metrics off). *)
   let eval_hists =
     Option.map
@@ -201,6 +207,16 @@ let run ?on_hit (plan : Plan.t) =
       Engine.sample sampler ~points:!loop_iterations ~survivors:!survivors
         ~frac:(frac ())
   in
+  (* Resolved once per run: no-ops unless a provenance collector is
+     installed, so the instrumented-for-metrics path pays one indirect
+     call per firing/survivor at most. *)
+  let prov_fire, prov_hit =
+    match plocal with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some pl ->
+      ( (fun c -> Provenance.fire pl slots c),
+        fun () -> Provenance.hit pl slots )
+  in
   let rec compile_steps_instr ~depth (steps : Plan.step list) : unit -> unit =
     match steps with
     | [] -> fun () -> ()
@@ -208,6 +224,7 @@ let run ?on_hit (plan : Plan.t) =
       let k = compile_steps_instr ~depth rest in
       fun () ->
         hit ();
+        prov_hit ();
         k ()
     | Derive { d_slot; d_compute; _ } :: rest ->
       let f = compile_compute d_compute in
@@ -224,7 +241,11 @@ let run ?on_hit (plan : Plan.t) =
           let t0 = Clock.now_ns () in
           let v = f () in
           check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
-          if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+          if v <> 0 then begin
+            pruned.(c_index) <- pruned.(c_index) + 1;
+            prov_fire c_index
+          end
+          else k ()
       | Some hists ->
         let h = hists.(c_index) in
         fun () ->
@@ -233,7 +254,11 @@ let run ?on_hit (plan : Plan.t) =
           let dt = Clock.now_ns () - t0 in
           check_time.(c_index) <- check_time.(c_index) + dt;
           Metrics.record h dt;
-          if v <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ())
+          if v <> 0 then begin
+            pruned.(c_index) <- pruned.(c_index) + 1;
+            prov_fire c_index
+          end
+          else k ())
     | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
       let body = compile_steps_instr ~depth:(depth + 1) l_body in
       let k = compile_steps_instr ~depth rest in
@@ -254,9 +279,7 @@ let run ?on_hit (plan : Plan.t) =
           if step = 0 then
             raise (Expr.Eval_error (Printf.sprintf "%s: zero range step" l_var));
           if depth = 0 then
-            outer_total :=
-              (if step > 0 then max 0 ((stop - start + step - 1) / step)
-               else max 0 ((start - stop - step - 1) / -step));
+            outer_total := Plan.trip_count ~start ~stop ~step;
           let i = ref start in
           if step > 0 then
             while !i < stop do
@@ -290,19 +313,95 @@ let run ?on_hit (plan : Plan.t) =
           level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0);
           k ())
   in
+  (* Provenance-only compiler: the plain continuation chain plus the
+     fire/hit hooks and per-depth entry counts provenance publishes —
+     none of the clock reads or sampling of the fully instrumented
+     path, which would otherwise dominate a provenance-enabled sweep
+     (two timestamps per constraint evaluation). *)
+  let rec compile_steps_prov ~depth (steps : Plan.step list) : unit -> unit =
+    match steps with
+    | [] -> fun () -> ()
+    | Yield :: rest ->
+      let k = compile_steps_prov ~depth rest in
+      fun () ->
+        hit ();
+        prov_hit ();
+        k ()
+    | Derive { d_slot; d_compute; _ } :: rest ->
+      let f = compile_compute d_compute in
+      let k = compile_steps_prov ~depth rest in
+      fun () ->
+        slots.(d_slot) <- f ();
+        k ()
+    | Check { c_index; c_compute; _ } :: rest ->
+      let f = compile_compute c_compute in
+      let k = compile_steps_prov ~depth rest in
+      fun () ->
+        if f () <> 0 then begin
+          pruned.(c_index) <- pruned.(c_index) + 1;
+          prov_fire c_index
+        end
+        else k ()
+    | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
+      let body = compile_steps_prov ~depth:(depth + 1) l_body in
+      let k = compile_steps_prov ~depth rest in
+      let enter v =
+        slots.(l_slot) <- v;
+        incr loop_iterations;
+        depth_entries.(depth) <- depth_entries.(depth) + 1;
+        body ()
+      in
+      match l_iter with
+      | CRange (a, b, c) ->
+        let fa = compile_cexpr a and fb = compile_cexpr b and fc = compile_cexpr c in
+        fun () ->
+          let stop = fb () and step = fc () in
+          if step = 0 then
+            raise (Expr.Eval_error (Printf.sprintf "%s: zero range step" l_var));
+          let i = ref (fa ()) in
+          if step > 0 then
+            while !i < stop do
+              enter !i;
+              i := !i + step
+            done
+          else
+            while !i > stop do
+              enter !i;
+              i := !i + step
+            done;
+          k ()
+      | CValues vs ->
+        fun () ->
+          for j = 0 to Array.length vs - 1 do
+            enter vs.(j)
+          done;
+          k ()
+      | CDyn materialize ->
+        fun () ->
+          let vs = materialize slots in
+          for j = 0 to Array.length vs - 1 do
+            enter vs.(j)
+          done;
+          k ())
+  in
+  let full_instr = Obs.instrumenting () || metrics <> None in
   let sweep =
-    if instrument then compile_steps_instr ~depth:0 plan.Plan.steps
+    if full_instr then compile_steps_instr ~depth:0 plan.Plan.steps
+    else if plocal <> None then compile_steps_prov ~depth:0 plan.Plan.steps
     else compile_steps plan.Plan.steps
   in
   let t0 = Clock.now_ns () in
   Obs.with_span ~cat:"engine"
     ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
     "sweep:staged" sweep;
-  if instrument then begin
+  if full_instr then begin
     Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
       ~level_time;
     Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
   end;
+  (match (prov, plocal) with
+  | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
+  | _ -> ());
   (* Counters add across chunks and shards, so per-run adds compose. *)
   Option.iter
     (fun r ->

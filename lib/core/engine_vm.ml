@@ -306,6 +306,21 @@ let compile ?(instrument = false) (plan : Plan.t) =
 let run ?on_hit (p : program) =
   let plan = p.prog_plan in
   let regs = Array.make p.n_regs 0 in
+  (* Registers [0, n_slots) ARE the plan's slots, so the provenance
+     accumulator reads them directly. Resolved to no-op closures when no
+     collector is installed; per-depth entries need an instrumented
+     program ({!run_plan} selects one whenever provenance is on). *)
+  let prov = Provenance.current () in
+  let plocal =
+    Option.map (fun _ -> Provenance.local_of (Provenance.attribution plan)) prov
+  in
+  let prov_fire, prov_hit =
+    match plocal with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some pl ->
+      ( (fun c -> Provenance.fire pl regs c),
+        fun () -> Provenance.hit pl regs )
+  in
   let arrays = Array.make p.n_arrays [||] in
   List.iter (fun (aid, vs) -> arrays.(aid) <- vs) p.static_arrays;
   let n_constraints = Array.length plan.Plan.constraint_info in
@@ -378,15 +393,15 @@ let run ?on_hit (p : program) =
     | Itrip (d, s, e, st) ->
       let start = regs.(s) and stop = regs.(e) and step = regs.(st) in
       if step = 0 then raise (Expr.Eval_error "Engine_vm: zero range step");
-      regs.(d) <-
-        (if step > 0 then max 0 ((stop - start + step - 1) / step)
-         else max 0 ((start - stop - step - 1) / -step));
+      regs.(d) <- Plan.trip_count ~start ~stop ~step;
       incr pc
     | Iprune (c, t) ->
       pruned.(c) <- pruned.(c) + 1;
+      prov_fire c;
       pc := t
     | Ihit ->
       hit ();
+      prov_hit ();
       incr pc
     | Iiters ->
       incr loop_iterations;
@@ -430,6 +445,9 @@ let run ?on_hit (p : program) =
       ~level_time;
     Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
   end;
+  (match (prov, plocal) with
+  | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
+  | _ -> ());
   {
     Engine.survivors = !survivors;
     loop_iterations = !loop_iterations;
@@ -438,7 +456,10 @@ let run ?on_hit (p : program) =
   }
 
 let run_plan ?on_hit plan =
-  run ?on_hit (compile ~instrument:(Obs.instrumenting ()) plan)
+  run ?on_hit
+    (compile
+       ~instrument:(Obs.instrumenting () || Provenance.enabled ())
+       plan)
 
 let run_space ?on_hit space = run_plan ?on_hit (Plan.make_exn space)
 

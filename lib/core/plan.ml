@@ -100,6 +100,49 @@ let rec eval_cexpr slots e =
     if d = 0 then raise Division_by_zero else (eval_cexpr slots a + d - 1) / d
   | CCall _ -> invalid_arg "eval_cexpr: malformed builtin call"
 
+(* Staged twin of [eval_cexpr]: pay the AST walk once, get a closure
+   chain to run per evaluation. Worth it anywhere the same bound is
+   evaluated many times against different slot states (the staged
+   engine compiles its own richer variant; provenance counting
+   programs use this one). *)
+let rec compile_cexpr e =
+  match e with
+  | CLit k -> fun _ -> k
+  | CSlot i -> fun slots -> slots.(i)
+  | CUn (Neg, a) ->
+    let a = compile_cexpr a in
+    fun slots -> -a slots
+  | CUn (Not, a) ->
+    let a = compile_cexpr a in
+    fun slots -> if a slots = 0 then 1 else 0
+  | CBin (And, a, b) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots -> if a slots = 0 then 0 else if b slots = 0 then 0 else 1
+  | CBin (Or, a, b) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots -> if a slots <> 0 then 1 else if b slots <> 0 then 1 else 0
+  | CBin (op, a, b) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots -> eval_int_binop op (a slots) (b slots)
+  | CIf (c, t, f) ->
+    let c = compile_cexpr c and t = compile_cexpr t and f = compile_cexpr f in
+    fun slots -> if c slots <> 0 then t slots else f slots
+  | CCall (Min, [ a; b ]) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots -> min (a slots) (b slots)
+  | CCall (Max, [ a; b ]) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots -> max (a slots) (b slots)
+  | CCall (Abs, [ a ]) ->
+    let a = compile_cexpr a in
+    fun slots -> abs (a slots)
+  | CCall (Ceil_div, [ a; b ]) ->
+    let a = compile_cexpr a and b = compile_cexpr b in
+    fun slots ->
+      let d = b slots in
+      if d = 0 then raise Division_by_zero else (a slots + d - 1) / d
+  | CCall _ -> invalid_arg "compile_cexpr: malformed builtin call"
+
 module Iset = Set.Make (Int)
 
 let cexpr_slots e =
@@ -394,6 +437,11 @@ let static_cexpr e =
   | [] -> ( try Some (eval_cexpr [||] e) with _ -> None)
   | _ :: _ -> None
 
+let trip_count ~start ~stop ~step =
+  if step = 0 then 0
+  else if step > 0 then max 0 ((stop - start + step - 1) / step)
+  else max 0 ((start - stop - step - 1) / -step)
+
 (* Block [index] of [of_] over a trip sequence of length [len]:
    positions [index*len/of_, (index+1)*len/of_). Adjacent blocks tile
    the sequence exactly and differ in size by at most one. *)
@@ -415,10 +463,7 @@ let chunk_outer t ~index ~of_ =
       | CRange (a, b, c) -> (
         match (static_cexpr a, static_cexpr b, static_cexpr c) with
         | Some a', Some b', Some c' when c' <> 0 ->
-          let trip =
-            if c' > 0 then max 0 ((b' - a' + c' - 1) / c')
-            else max 0 ((a' - b' - c' - 1) / -c')
-          in
+          let trip = trip_count ~start:a' ~stop:b' ~step:c' in
           let lo, hi = block_bounds ~index ~of_ trip in
           CRange (CLit (a' + (c' * lo)), CLit (a' + (c' * hi)), CLit c')
         | _ ->

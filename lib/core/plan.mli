@@ -144,8 +144,24 @@ val eval_cexpr : int array -> cexpr -> int
 (** Reference evaluator, also used by the tree-walking engine. Division
     truncates; division or modulus by zero raises [Division_by_zero]. *)
 
+val compile_cexpr : cexpr -> int array -> int
+(** Staged twin of {!eval_cexpr}: the AST is walked once at compile
+    time, yielding a closure chain with the same semantics. Use where
+    one bound is evaluated many times against different slot states. *)
+
 val cexpr_slots : cexpr -> int list
 (** Sorted slot indices read by the expression. *)
+
+val static_cexpr : cexpr -> int option
+(** The expression's value when it reads no slots (settings were folded
+    during lowering, so such expressions are compile-time constants);
+    [None] for slot-dependent or non-evaluating expressions. *)
+
+val trip_count : start:int -> stop:int -> step:int -> int
+(** Number of values [range(start, stop, step)] visits (0 when
+    [step = 0] — engines reject zero steps separately). The one formula
+    shared by the engines, {!chunk_outer} and the provenance
+    attribution, so subtree cardinalities agree everywhere. *)
 
 val pp : Format.formatter -> t -> unit
 (** Pseudo-code dump of the nest, for inspection and golden tests. *)

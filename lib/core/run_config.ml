@@ -25,6 +25,7 @@ type t = {
   checkpoint_every_s : float;
   resume : string option;
   fault : fault option;
+  explain_out : string option;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     checkpoint_every_s = 5.0;
     resume = None;
     fault = None;
+    explain_out = None;
   }
 
 let metrics_enabled t = t.metrics || t.metrics_out <> None
@@ -73,14 +75,25 @@ let validate t =
            t.checkpoint_every_s)
     else Ok ()
   in
-  match t.fault with
-  | Some (Chunk_crash { prob; _ }) when prob < 0.0 || prob >= 1.0 ->
+  let* () =
+    match t.fault with
+    | Some (Chunk_crash { prob; _ }) when prob < 0.0 || prob >= 1.0 ->
+      Error
+        (Printf.sprintf
+           "fault-inject: the crash probability must lie in [0, 1) (got %g); \
+            at 1 no chunk could ever complete"
+           prob)
+    | _ -> Ok ()
+  in
+  (* A resumed run skips the chunks the checkpoint already completed, so
+     its provenance would describe only the tail of the sweep — silently
+     wrong attribution. Re-run without --resume to explain a space. *)
+  if t.explain_out <> None && t.resume <> None then
     Error
-      (Printf.sprintf
-         "fault-inject: the crash probability must lie in [0, 1) (got %g); \
-          at 1 no chunk could ever complete"
-         prob)
-  | _ -> Ok ()
+      "explain-out: provenance needs a full sweep; it cannot be combined \
+       with --resume (the checkpointed chunks would be missing from the \
+       attribution)"
+  else Ok ()
 
 (* Install the event recorder, the progress reporter and/or the metrics
    registry around [f]; when [f] finishes (or raises) the collected
@@ -121,8 +134,21 @@ let with_instrumentation t f =
     end
     else None
   in
+  (* The collector is ambient like the metrics registry; the caller
+     reads its summary (Provenance.current) inside [f], before this
+     wrapper clears it. Serialization stays with the caller because the
+     explain file needs the plan and shard tag. *)
+  let collector =
+    if t.explain_out <> None then begin
+      let c = Provenance.create () in
+      Provenance.set_current c;
+      Some c
+    end
+    else None
+  in
   Fun.protect
     ~finally:(fun () ->
+      if collector <> None then Provenance.clear_current ();
       Option.iter Progress.finish reporter;
       (match registry with
       | None -> ()

@@ -28,6 +28,9 @@ type t = {
   checkpoint_every_s : float;  (** seconds between checkpoint writes *)
   resume : string option;  (** checkpoint file to resume from *)
   fault : fault option;
+  explain_out : string option;
+      (** collect single-pass pruning provenance and write it (with the
+          run's stats) here, for [beast explain] *)
 }
 
 val default : t
@@ -40,14 +43,21 @@ val metrics_enabled : t -> bool
 val validate : t -> (unit, string) result
 (** Reject configurations that would otherwise fail silently: shard
     bounds ([n <= 0], [i < 0] or [i >= n] would sweep an empty space),
-    non-positive checkpoint periods, and crash probabilities outside
-    [\[0, 1)]. *)
+    non-positive checkpoint periods, crash probabilities outside
+    [\[0, 1)], and [explain_out] combined with [resume] (a resumed run
+    skips completed chunks, so its provenance would describe only the
+    tail of the sweep). *)
 
 val with_instrumentation : t -> (unit -> 'a) -> 'a
-(** Install the event recorder, progress reporter and/or metrics
-    registry described by the config around the callback; when it
-    returns (or raises) the collected events are written to the trace
-    file in the requested format and the metrics to the Prometheus file.
-    Output files are opened before the callback runs, so a bad path
-    raises [Sys_error] up front instead of discarding a completed run at
-    the end. *)
+(** Install the event recorder, progress reporter, metrics registry
+    and/or provenance collector described by the config around the
+    callback; when it returns (or raises) the collected events are
+    written to the trace file in the requested format and the metrics to
+    the Prometheus file. Output files are opened before the callback
+    runs, so a bad path raises [Sys_error] up front instead of
+    discarding a completed run at the end.
+
+    When [explain_out] is set a {!Provenance} collector is ambient for
+    the callback's duration; the callback must read
+    [Provenance.current ()]'s summary itself (serialization needs the
+    plan and shard tag, which only the caller has). *)

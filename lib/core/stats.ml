@@ -83,6 +83,123 @@ let funnel ?(engine = fun plan -> Engine_staged.run plan) space =
         rows;
       })
 
+(* Exact funnel from ONE sweep: run the space once with a provenance
+   collector installed; each constraint's removal count is its summed
+   subtree cardinality at rejection (see Provenance). On spaces where
+   attribution is exact — all inner loop bounds static or bound before
+   the check — this equals the n+1-sweep funnel above; otherwise fall
+   back to the prefix sweeps rather than return partial counts. *)
+let funnel_single_pass ?(engine = fun plan -> Engine_staged.run plan) space =
+  let module Obs = Beast_obs.Obs in
+  Obs.with_span ~cat:"stats"
+    ~args:[ ("space", Obs.Str (Space.name space)) ]
+    "funnel_single_pass"
+    (fun () ->
+      let plan = Plan.make_exn space in
+      let stats, summary =
+        Provenance.with_collector (fun () -> engine plan)
+      in
+      match Provenance.total_removed summary with
+      | None -> funnel ~engine space
+      | Some removed_total ->
+        let removed_by_name =
+          List.map
+            (fun (r : Provenance.crow) ->
+              (r.Provenance.pc_name, r.Provenance.pc_removed))
+            summary.Provenance.pv_constraints
+        in
+        let fired_of name =
+          match
+            Array.to_list stats.Engine.pruned
+            |> List.find_opt (fun (n, _, _) -> n = name)
+          with
+          | Some (_, _, k) -> k
+          | None -> 0
+        in
+        let rows =
+          List.map
+            (fun (name, cls) ->
+              {
+                constraint_name = name;
+                constraint_class = cls;
+                fired = fired_of name;
+                removed =
+                  (match List.assoc_opt name removed_by_name with
+                  | Some r -> r
+                  | None -> None);
+              })
+            (evaluation_order plan)
+        in
+        {
+          space = Space.name space;
+          total_points = stats.Engine.survivors + removed_total;
+          survivors = stats.Engine.survivors;
+          rows;
+        })
+
+(* Rebuild a funnel from a serialized instrumented run (or a merged
+   shard set) without re-sweeping anything. The canonical nest is
+   linear, so evaluation order is a stable sort of the rows by
+   rejection depth. *)
+let funnel_of_run (t : Stats_io.t) =
+  match t.Stats_io.provenance with
+  | None ->
+    Error "no \"provenance\" section (sweep with --explain-out FILE)"
+  | Some p ->
+    if
+      List.length t.Stats_io.constraints
+      <> List.length p.Provenance.pv_constraints
+    then Error "the stats and provenance constraint lists differ in length"
+    else begin
+      let paired =
+        List.combine t.Stats_io.constraints p.Provenance.pv_constraints
+      in
+      match
+        List.find_opt
+          (fun ((cr : Stats_io.constraint_row), (pc : Provenance.crow)) ->
+            cr.Stats_io.cr_name <> pc.Provenance.pc_name)
+          paired
+      with
+      | Some (cr, pc) ->
+        Error
+          (Printf.sprintf
+             "stats row %S does not match provenance row %S"
+             cr.Stats_io.cr_name pc.Provenance.pc_name)
+      | None ->
+        let ordered =
+          List.stable_sort
+            (fun (_, (a : Provenance.crow)) (_, (b : Provenance.crow)) ->
+              compare a.Provenance.pc_depth b.Provenance.pc_depth)
+            paired
+        in
+        let rows =
+          List.map
+            (fun ((cr : Stats_io.constraint_row), (pc : Provenance.crow)) ->
+              {
+                constraint_name = cr.Stats_io.cr_name;
+                constraint_class = cr.Stats_io.cr_class;
+                fired = cr.Stats_io.cr_fired;
+                removed = pc.Provenance.pc_removed;
+              })
+            ordered
+        in
+        let exact_removed =
+          List.fold_left
+            (fun acc r ->
+              match r.removed with
+              | Some k -> acc + k
+              | None -> acc)
+            0 rows
+        in
+        Ok
+          {
+            space = t.Stats_io.space;
+            total_points = t.Stats_io.survivors + exact_removed;
+            survivors = t.Stats_io.survivors;
+            rows;
+          }
+    end
+
 let of_stats space (stats : Engine.stats) ~total_points =
   {
     space = Space.name space;

@@ -34,9 +34,10 @@ type t = {
   loop_iterations : int;
   constraints : constraint_row list;
   metrics : Metrics.snapshot option;
+  provenance : Provenance.summary option;
 }
 
-let of_stats ~(plan : Plan.t) ?(shard = unsharded) ?metrics
+let of_stats ~(plan : Plan.t) ?(shard = unsharded) ?metrics ?provenance
     (stats : Engine.stats) =
   let depth0 = Plan.depth0_constraints plan in
   {
@@ -51,6 +52,7 @@ let of_stats ~(plan : Plan.t) ?(shard = unsharded) ?metrics
              { cr_name = n; cr_class = c; cr_depth0 = depth0.(i); cr_fired = k })
            stats.Engine.pruned);
     metrics;
+    provenance;
   }
 
 let to_stats t =
@@ -107,6 +109,11 @@ let to_json t =
   | Some snap ->
     add ",\n  \"metrics\": ";
     Metrics.Snapshot.add_json buf ~indent:"  " snap);
+  (match t.provenance with
+  | None -> ()
+  | Some s ->
+    add ",\n  \"provenance\": ";
+    Provenance.add_json buf ~indent:"  " s);
   add "\n}\n";
   Buffer.contents buf
 
@@ -148,6 +155,15 @@ let of_json text =
           | Ok snap -> Some snap
           | Error msg -> raise (Jsonx.Error (Printf.sprintf "metrics: %s" msg)))
       in
+      let provenance =
+        match Jsonx.member_opt "provenance" json with
+        | None -> None
+        | Some p -> (
+          match Provenance.of_jsonx p with
+          | Ok s -> Some s
+          | Error msg ->
+            raise (Jsonx.Error (Printf.sprintf "provenance: %s" msg)))
+      in
       Ok
         {
           space = Jsonx.to_str "space" (Jsonx.member "space" json);
@@ -161,6 +177,7 @@ let of_json text =
             Jsonx.to_int "loop_iterations" (Jsonx.member "loop_iterations" json);
           constraints;
           metrics;
+          provenance;
         }
     with Jsonx.Error msg -> Error msg)
 
@@ -206,6 +223,21 @@ let merge_metrics shards =
          (List.filter_map (fun s -> s.metrics) shards))
   | _, _ -> Error "some shards carry metrics and some do not"
 
+(* Provenance merges exactly: removal counts and depth entries sum,
+   survivor-density cells union by outer value. Depth-0 firings carry
+   chunk-sized removal closures, so even those sum (unlike the fired
+   counts above, which max-dedupe). Mixed presence is an error, like
+   metrics. *)
+let merge_provenance shards =
+  match List.partition (fun s -> s.provenance <> None) shards with
+  | [], _ -> Ok None
+  | _, [] ->
+    Result.map
+      (fun p -> Some p)
+      (Provenance.merge_summaries
+         (List.filter_map (fun s -> s.provenance) shards))
+  | _, _ -> Error "some shards carry provenance and some do not"
+
 let merge = function
   | [] -> Error "no shard files given"
   | first :: rest as shards -> (
@@ -233,7 +265,10 @@ let merge = function
         else
           match merge_metrics shards with
           | Error msg -> Error msg
-          | Ok metrics ->
+          | Ok metrics -> (
+            match merge_provenance shards with
+            | Error msg -> Error msg
+            | Ok provenance ->
             let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
             let constraints =
               List.mapi
@@ -259,5 +294,6 @@ let merge = function
                 loop_iterations = sum (fun s -> s.loop_iterations);
                 constraints;
                 metrics;
-              }
+                provenance;
+              })
       end)

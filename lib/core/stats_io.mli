@@ -36,10 +36,15 @@ type t = {
   metrics : Beast_obs.Metrics.snapshot option;
       (** recorded metrics (histograms/counters/gauges) when the run had
           a registry installed; omitted from the JSON when [None] *)
+  provenance : Provenance.summary option;
+      (** single-pass pruning provenance when the run had a collector
+          installed ([--explain-out]); omitted from the JSON when
+          [None] *)
 }
 
 val of_stats :
   plan:Plan.t -> ?shard:shard -> ?metrics:Beast_obs.Metrics.snapshot ->
+  ?provenance:Provenance.summary ->
   Engine.stats -> t
 (** Tag engine statistics with the plan's constraint metadata. [plan]
     must be the {e unchunked} plan (a chunked plan with no loops may
@@ -72,4 +77,10 @@ val merge : t list -> (t, string) result
 
     Metric snapshots merge by bucket-wise pooling (lossless for the
     log-bucketed histograms), giving exact fleet-level percentiles; it
-    is an error if only some shards carry metrics. *)
+    is an error if only some shards carry metrics.
+
+    Provenance summaries merge with {!Provenance.merge_summaries}
+    (removal counts and depth entries sum, survivor-density cells union
+    by outer value), so merged shard provenance is byte-identical to an
+    unsharded instrumented run's; it is an error if only some shards
+    carry provenance. *)

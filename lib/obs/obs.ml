@@ -115,6 +115,24 @@ let progress_tick ~points ~survivors ~frac =
   | None -> ()
   | Some f -> f ~dom:(domain_id ()) ~points ~survivors ~frac
 
+(* Chunk-level progress, fed by the parallel scheduler once per
+   completed chunk (so no per-point cost and no instrumentation
+   requirement): completed/total chunk counts let the reporter derive a
+   pruning-aware ETA from measured chunk throughput instead of raw
+   point cardinality. *)
+
+type chunk_fn = completed:int -> total:int -> unit
+
+let chunk_progress : chunk_fn option ref = ref None
+
+let set_chunk_progress f = chunk_progress := Some f
+let clear_chunk_progress () = chunk_progress := None
+
+let chunk_tick ~completed ~total =
+  match !chunk_progress with
+  | None -> ()
+  | Some f -> f ~completed ~total
+
 let instrumenting () = !on || !progress_on
 
 (* ------------------------------------------------------------------ *)

@@ -97,6 +97,21 @@ val clear_progress : unit -> unit
 val progress_enabled : unit -> bool
 val progress_tick : points:int -> survivors:int -> frac:float -> unit
 
+(** {2 Chunk progress hook}
+
+    Fed by the parallel scheduler once per {e completed} chunk — no
+    per-point cost, so it needs no instrumented code path and is not
+    part of {!instrumenting}. Completed/total chunk counts let the
+    reporter derive a pruning-aware ETA from measured chunk throughput
+    (dead regions finish their chunks fast and pull the estimate down)
+    instead of raw point cardinality. *)
+
+type chunk_fn = completed:int -> total:int -> unit
+
+val set_chunk_progress : chunk_fn -> unit
+val clear_chunk_progress : unit -> unit
+val chunk_tick : completed:int -> total:int -> unit
+
 val instrumenting : unit -> bool
 (** [enabled () || progress_enabled ()]: engines consult this once per
     run to pick the instrumented code path. *)

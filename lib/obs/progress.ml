@@ -25,6 +25,13 @@ type t = {
   mutable last_render_ns : int;
   mutable last_width : int;
   mutable rendered : bool;
+  (* Chunk-completion figures from the parallel scheduler. [c_base] is
+     the completed count at the first tick: a resumed run starts with
+     its checkpointed chunks already done, and those must not count as
+     throughput observed this run. *)
+  mutable c_done : int;
+  mutable c_total : int;
+  mutable c_base : int;
 }
 
 let create ?interval_s ?total ?(out = stderr) ?tty () =
@@ -47,6 +54,9 @@ let create ?interval_s ?total ?(out = stderr) ?tty () =
     last_render_ns = 0;
     last_width = 0;
     rendered = false;
+    c_done = 0;
+    c_total = 0;
+    c_base = -1;
   }
 
 let si = Units.si_int
@@ -65,26 +75,47 @@ let line t ~now =
   let elapsed = Clock.ns_to_s (now - t.start_ns) in
   let rate = if elapsed > 0.0 then float_of_int points /. elapsed else 0.0 in
   let frac =
-    if n_frac > 0 then Some (frac_sum /. float_of_int n_frac)
+    if t.c_total > 0 then
+      Some (float_of_int t.c_done /. float_of_int t.c_total)
+    else if n_frac > 0 then Some (frac_sum /. float_of_int n_frac)
     else
       match t.total with
       | Some total when total > 0 ->
         Some (float_of_int points /. float_of_int total)
       | _ -> None
   in
+  (* Prefer the chunk-weighted estimate: remaining work is priced at the
+     mean wall time of the chunks completed *this run* (c_base excludes
+     chunks restored from a checkpoint), so heavily pruned regions —
+     whose chunks fly by — shrink the ETA the way raw point cardinality
+     never can. *)
+  let eta_s =
+    let observed = t.c_done - max 0 t.c_base in
+    if t.c_total > 0 && observed > 0 && elapsed > 0.0 then
+      Some
+        (elapsed *. float_of_int (t.c_total - t.c_done)
+        /. float_of_int observed)
+    else
+      match frac with
+      | Some f when f > 1e-6 && f <= 1.0 -> Some (elapsed *. ((1.0 /. f) -. 1.0))
+      | _ -> None
+  in
   let eta =
-    match frac with
-    | Some f when f > 1e-6 && f <= 1.0 ->
-      Printf.sprintf "  eta %.1fs" (elapsed *. ((1.0 /. f) -. 1.0))
-    | _ -> ""
+    match eta_s with
+    | Some s -> Printf.sprintf "  eta %.1fs" s
+    | None -> ""
   in
   let pct =
     match frac with
     | Some f -> Printf.sprintf "  %5.1f%%" (100.0 *. Float.min 1.0 f)
     | None -> ""
   in
-  Printf.sprintf "[beast] %s points  %s survivors  %s pts/s  %.1fs%s%s"
-    (si points) (si survivors) (si (int_of_float rate)) elapsed pct eta
+  let chunks =
+    if t.c_total > 0 then Printf.sprintf "  %d/%d chunks" t.c_done t.c_total
+    else ""
+  in
+  Printf.sprintf "[beast] %s points  %s survivors  %s pts/s  %.1fs%s%s%s"
+    (si points) (si survivors) (si (int_of_float rate)) elapsed chunks pct eta
 
 let render t ~now =
   let s = line t ~now in
@@ -115,10 +146,24 @@ let tick t ~dom ~points ~survivors ~frac =
   if now - t.last_render_ns >= t.interval_ns then render t ~now;
   Mutex.unlock t.mutex
 
-let install t = Obs.set_progress (tick t)
+let chunk_tick t ~completed ~total =
+  Mutex.lock t.mutex;
+  if t.c_base < 0 then t.c_base <- completed;
+  (* Ticks from different domains can land out of order; the count only
+     ever grows. *)
+  t.c_done <- max t.c_done completed;
+  t.c_total <- total;
+  let now = Clock.now_ns () in
+  if now - t.last_render_ns >= t.interval_ns then render t ~now;
+  Mutex.unlock t.mutex
+
+let install t =
+  Obs.set_progress (tick t);
+  Obs.set_chunk_progress (chunk_tick t)
 
 let finish t =
   Obs.clear_progress ();
+  Obs.clear_chunk_progress ();
   Mutex.lock t.mutex;
   if t.rendered then begin
     render t ~now:(Clock.now_ns ());

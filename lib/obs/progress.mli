@@ -21,11 +21,20 @@ val create :
     [interval_s] to 0.2 on a tty and 2.0 otherwise. *)
 
 val install : t -> unit
-(** Register as the global [Obs] progress hook. *)
+(** Register as the global [Obs] progress {e and} chunk-progress hook. *)
 
 val tick :
   t -> dom:int -> points:int -> survivors:int -> frac:float -> unit
 (** Direct entry point (what {!install} registers). Thread-safe. *)
+
+val chunk_tick : t -> completed:int -> total:int -> unit
+(** Chunk-completion entry point (registered by {!install} as the
+    [Obs.chunk_tick] hook). When chunk figures are present the status
+    line shows [done/total chunks] and the ETA switches to a
+    pruning-aware estimate: remaining chunks priced at the mean wall
+    time of the chunks completed this run (chunks restored from a
+    checkpoint are excluded from the observed throughput), rather than
+    extrapolating from raw point cardinality. Thread-safe. *)
 
 val finish : t -> unit
 (** Unregister the hook, draw a final line and terminate it with a

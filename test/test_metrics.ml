@@ -175,6 +175,7 @@ let stats_record ~shard_index ~shard_of metrics =
     loop_iterations = 0;
     constraints = [];
     metrics = Some metrics;
+    provenance = None;
   }
 
 let test_merge_bucket_for_bucket () =

@@ -39,6 +39,7 @@ let test_json_roundtrip_escapes () =
           };
         ];
       metrics = None;
+      provenance = None;
     }
   in
   match Stats_io.of_json (Stats_io.to_json r) with
