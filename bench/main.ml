@@ -533,6 +533,7 @@ let ablation_checkpoint () =
     {
       Engine_intf.ck_path;
       ck_every_s = 0.0 (* flush after every chunk: worst case *);
+      ck_run_id = None;
       ck_shard = Stats_io.unsharded;
       ck_base_metrics = None;
     }
@@ -743,6 +744,83 @@ let ablation_provenance () =
   close_out oc;
   print_endline "wrote BENCH_provenance.json"
 
+(* The live-introspection companion: the same staged sweep with the
+   heartbeat status file and the flight recorder installed vs plain.
+   The status writer is throttled (at most one temp-then-rename per
+   interval) and the flight ring is a per-domain array store, so the
+   dominant cost is the same one the obs ablation measures: the
+   engines pick their instrumented compiled path once any sink is
+   live. BENCH_status.json feeds the regression gate; the checks that
+   must hold everywhere (status file parses, flight dump non-empty)
+   are deterministic, the overhead is reported and gated only behind
+   --gate-timing like every other timing field. *)
+let ablation_status () =
+  header
+    "Ablation: heartbeat status + flight recorder on the staged GEMM\n\
+     sweep (introspection off vs on; BENCH_status.json records the\n\
+     result).";
+  let max_dim = if fast then 20 else 32 in
+  let max_threads = if fast then 96 else 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let plan = Plan.make_exn (Gemm.space ~settings ()) in
+  let stats = Engine_staged.run plan (* warm up + reference counts *) in
+  let off =
+    ns_per_run "staged-status-off" (fun () -> ignore (Engine_staged.run plan))
+  in
+  let status_file = "BENCH_status.heartbeat.json" in
+  let flight_file = "BENCH_status.flight.jsonl" in
+  let cfg =
+    {
+      Run_config.default with
+      Run_config.status = Some status_file;
+      status_every_s = 0.1;
+      flight = Some flight_file;
+    }
+  in
+  let on =
+    Run_config.with_instrumentation ~run_id:"bench-status" ~space:"gemm" cfg
+      (fun () ->
+        ns_per_run "staged-status-on" (fun () ->
+            ignore (Engine_staged.run plan)))
+  in
+  let status_parses =
+    match Status.of_file status_file with
+    | Ok v -> v.Status.v_state = "completed"
+    | Error _ -> false
+  in
+  let flight_nonempty =
+    match Sink_jsonl.read_file flight_file with
+    | Ok events -> Array.length events > 0
+    | Error _ -> false
+  in
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ status_file; flight_file ];
+  let overhead_pct = 100.0 *. ((on /. off) -. 1.0) in
+  Printf.printf "introspection disabled: %10.3f ms/run\n" (off *. 1e-6);
+  Printf.printf "status + flight on:     %10.3f ms/run  (+%.1f%%)\n"
+    (on *. 1e-6) overhead_pct;
+  Printf.printf "final status parses: %b; flight dump non-empty: %b\n"
+    status_parses flight_nonempty;
+  let oc = open_out "BENCH_status.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"ablation-status\",\n\
+    \  \"space\": \"gemm\",\n\
+    \  \"max_dim\": %d,\n\
+    \  \"survivors\": %d,\n\
+    \  \"status_parses\": %b,\n\
+    \  \"flight_nonempty\": %b,\n\
+    \  \"off_ms\": %.3f,\n\
+    \  \"on_ms\": %.3f,\n\
+    \  \"overhead_pct\": %.1f\n\
+     }\n"
+    max_dim stats.Engine.survivors status_parses flight_nonempty (off *. 1e-6)
+    (on *. 1e-6) overhead_pct;
+  close_out oc;
+  print_endline "wrote BENCH_status.json"
+
 (* ------------------------------------------------------------------ *)
 (* Regression gate: compare BENCH_parallel.json (or any other BENCH_*   *)
 (* artifact, dispatched on its "bench" field) against a committed       *)
@@ -805,6 +883,35 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
     with Jsonx.Error _ -> "ablation-stealing"
   in
   (try
+     if bench_kind = "ablation-status" then begin
+       exact_str "bench";
+       exact_str "space";
+       exact_int "max_dim";
+       exact_int "survivors";
+       check "status_parses"
+         (Jsonx.to_bool "status_parses" (Jsonx.member "status_parses" cur))
+         "final heartbeat snapshot must be parseable and completed";
+       check "flight_nonempty"
+         (Jsonx.to_bool "flight_nonempty" (Jsonx.member "flight_nonempty" cur))
+         "flight recorder must dump at least one event";
+       let b_over =
+         Jsonx.to_float "overhead_pct" (Jsonx.member "overhead_pct" base)
+       and c_over =
+         Jsonx.to_float "overhead_pct" (Jsonx.member "overhead_pct" cur)
+       in
+       if gate_timing then
+         check "overhead_pct"
+           (c_over <= b_over +. threshold_pct)
+           (Printf.sprintf
+              "baseline +%.1f%%, current +%.1f%% (threshold +%.0f points)"
+              b_over c_over threshold_pct)
+       else
+         Printf.printf
+           "  %-28s info  baseline +%.1f%%, current +%.1f%% (not gated; pass \
+            --gate-timing)\n"
+           "overhead_pct" b_over c_over;
+       raise Exit
+     end;
      if bench_kind = "ablation-provenance" then begin
        exact_str "bench";
        exact_str "space";
@@ -968,6 +1075,7 @@ let () =
   ablation_stealing ();
   ablation_provenance ();
   ablation_checkpoint ();
+  ablation_status ();
   (match trace with
   | None -> ()
   | Some _ -> Obs.clear_sink ());

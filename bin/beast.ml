@@ -122,14 +122,16 @@ let resume_arg =
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
 
 let fault_arg =
-  (* Test hook proving crash recovery: fail chunk attempts at random and
-     let the scheduler retry them. *)
+  (* Test hooks: chunk-crash proves crash recovery (failed attempts are
+     retried); chunk-fatal takes the whole run down, exercising the
+     flight-recorder and manifest crash paths. *)
   let parse s =
     let bad () =
       Error
         (`Msg
            "fault-inject: expected chunk-crash:P (crash probability, \
-            optionally chunk-crash:P:SEED)")
+            optionally chunk-crash:P:SEED) or chunk-fatal:K (unrecoverable \
+            crash when chunk K runs)")
     in
     match String.split_on_char ':' s with
     | [ "chunk-crash"; p ] -> (
@@ -140,17 +142,25 @@ let fault_arg =
       match (float_of_string_opt p, int_of_string_opt seed) with
       | Some prob, Some seed -> Ok (Run_config.Chunk_crash { prob; seed })
       | _ -> bad ())
+    | [ "chunk-fatal"; k ] -> (
+      match int_of_string_opt k with
+      | Some chunk -> Ok (Run_config.Chunk_fatal { chunk })
+      | None -> bad ())
     | _ -> bad ()
   in
   let print ppf = function
     | Run_config.Chunk_crash { prob; seed } ->
       Format.fprintf ppf "chunk-crash:%g:%d" prob seed
+    | Run_config.Chunk_fatal { chunk } ->
+      Format.fprintf ppf "chunk-fatal:%d" chunk
   in
   let doc =
-    "Fault-injection test hook: make each chunk attempt crash with \
-     probability P (deterministic in the optional SEED, default 42), \
-     e.g. $(b,chunk-crash:0.3). Crashed chunks are retried until they \
-     complete; the final statistics must be unaffected."
+    "Fault-injection test hook: $(b,chunk-crash:P) makes each chunk \
+     attempt crash with probability P (deterministic in the optional \
+     SEED, default 42; crashed chunks are retried until they complete, \
+     so the final statistics are unaffected); $(b,chunk-fatal:K) raises \
+     an unrecoverable error when chunk K runs, taking the run down — \
+     use with --flight to exercise post-mortem dumps."
   in
   Arg.(
     value
@@ -196,23 +206,89 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let progress_every_arg =
+  let doc =
+    "Seconds between progress redraws (default 0.2 on a tty, 2 \
+     otherwise). Raise it so long sweeps don't flood non-tty CI logs \
+     with throttled plain lines."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "progress-every" ] ~docv:"SECONDS" ~doc)
+
+let status_arg =
+  let doc =
+    "Atomically rewrite a small JSON heartbeat snapshot of the run \
+     (chunks done/total, per-domain throughput, survivor rate, \
+     pruning-aware ETA, checkpoint age) to $(docv); attach to it with \
+     $(b,beast top)."
+  in
+  Arg.(value & opt (some string) None & info [ "status" ] ~docv:"FILE" ~doc)
+
+let status_every_arg =
+  let doc = "Seconds between status-file rewrites (default 1)." in
+  Arg.(value & opt float 1.0 & info [ "status-every" ] ~docv:"SECONDS" ~doc)
+
+let flight_arg =
+  let doc =
+    "Keep a fixed-size flight-recorder ring of recent events per domain \
+     and dump it to $(docv) as JSONL when the run exits — cleanly, \
+     interrupted or crashed — so post-mortems get the last moments \
+     without full --trace cost."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
+let flight_size_arg =
+  let doc = "Flight-recorder ring capacity per domain (default 512 events)." in
+  Arg.(
+    value
+    & opt int Flight.default_capacity
+    & info [ "flight-size" ] ~docv:"N" ~doc)
+
+let runs_dir_arg =
+  let doc =
+    "Write a run manifest into $(docv) at start (status \"running\") \
+     and finalize it at exit (completed/interrupted/crashed, exit code, \
+     wall time); inspect with $(b,beast runs)."
+  in
+  Arg.(value & opt (some string) None & info [ "runs" ] ~docv:"DIR" ~doc)
+
+let run_id_arg =
+  let doc =
+    "Use $(docv) as the run id instead of minting one, and also stamp \
+     it into the --stats-out file (minted ids never are, so stats stay \
+     byte-identical across instrumentation settings)."
+  in
+  Arg.(value & opt (some string) None & info [ "run-id" ] ~docv:"ID" ~doc)
+
 (* The observability settings shared by every instrumented subcommand,
-   assembled into one Run_config record instead of five loose values
+   assembled into one Run_config record instead of a dozen loose values
    threaded through each term. *)
 let obs_config_term =
-  let build trace trace_format progress metrics metrics_out =
+  let build trace trace_format progress progress_every_s metrics metrics_out
+      status status_every_s flight flight_capacity runs_dir run_id =
     {
       Run_config.default with
       Run_config.trace;
       trace_format;
       progress;
+      progress_every_s;
       metrics;
       metrics_out;
+      status;
+      status_every_s;
+      flight;
+      flight_capacity;
+      runs_dir;
+      run_id;
     }
   in
   Term.(
-    const build $ trace_arg $ trace_format_arg $ progress_arg $ metrics_arg
-    $ metrics_out_arg)
+    const build $ trace_arg $ trace_format_arg $ progress_arg
+    $ progress_every_arg $ metrics_arg $ metrics_out_arg $ status_arg
+    $ status_every_arg $ flight_arg $ flight_size_arg $ runs_dir_arg
+    $ run_id_arg)
 
 (* Sweep adds sharding, the checkpoint/resume/fault settings and the
    provenance collector on top. *)
@@ -233,20 +309,80 @@ let sweep_config_term =
     $ checkpoint_every_arg $ resume_arg $ fault_arg $ explain_out_arg)
 
 (* Validate the config, then run [f] under its instrumentation. [f]
-   returns the process exit code rather than calling [exit] itself, so
-   the Fun.protect finalizers inside with_instrumentation (trace and
-   metrics writes) always run before the process ends. *)
-let with_config cfg f =
+   receives the effective run id (explicit --run-id, or freshly minted
+   when any introspection surface wants one) and returns the process
+   exit code rather than calling [exit] itself, so the Fun.protect
+   finalizers inside with_instrumentation (trace, flight and metrics
+   writes, status finalization) always run before the process ends.
+
+   When --runs names a directory, a manifest is written before the work
+   starts and finalized on every exit path — normal return, Sys_error,
+   or a crash unwinding past us — so `beast runs` can always tell how a
+   run ended. *)
+let with_config ?space ?engine cfg f =
   (match Run_config.validate cfg with
   | Ok () -> ()
   | Error msg ->
     Format.eprintf "beast: %s@." msg;
     exit 2);
-  match Run_config.with_instrumentation cfg f with
-  | code -> if code <> 0 then exit code
+  let run_id =
+    match cfg.Run_config.run_id with
+    | Some id -> Some id
+    | None ->
+      if Run_config.introspected cfg then
+        let seed =
+          Printf.sprintf "%s|%s"
+            (Option.value space ~default:"beast")
+            (match cfg.Run_config.shard with
+            | None -> "0/1"
+            | Some (i, n) -> Printf.sprintf "%d/%d" i n)
+        in
+        Some (Run_meta.fresh_id ~seed ())
+      else None
+  in
+  let manifest =
+    match (cfg.Run_config.runs_dir, run_id) with
+    | Some dir, Some id ->
+      let m =
+        Run_meta.make ~run_id:id
+          ~space:(Option.value space ~default:"?")
+          ?shard:cfg.Run_config.shard
+          ~engine:(Option.value engine ~default:"-")
+          ()
+      in
+      Run_meta.save ~dir m;
+      Some (dir, m)
+    | _ -> None
+  in
+  let t0 = Clock.now_ns () in
+  let finalize_manifest code =
+    match manifest with
+    | None -> ()
+    | Some (dir, m) ->
+      let status =
+        match code with
+        | 0 -> Run_meta.Completed
+        | 3 -> Run_meta.Interrupted
+        | _ -> Run_meta.Crashed
+      in
+      ignore
+        (Run_meta.finalize ~dir m ~status ~exit_code:code
+           ~wall_s:(Clock.elapsed_s ~since:t0))
+  in
+  match
+    Run_config.with_instrumentation ?run_id ?space cfg (fun () -> f run_id)
+  with
+  | code ->
+    finalize_manifest code;
+    if code <> 0 then exit code
   | exception Sys_error msg ->
+    finalize_manifest 1;
     Format.eprintf "beast: %s@." msg;
     exit 1
+  | exception e ->
+    (* Cmdliner maps an uncaught exception to its internal-error code. *)
+    finalize_manifest 125;
+    raise e
 
 let resolve_device name max_dim max_threads =
   match Device.find name with
@@ -385,7 +521,7 @@ let sweep_term =
             exit 1)
         cfg.Run_config.resume
     in
-    with_config cfg (fun () ->
+    with_config ~space:space_name ~engine:E.name cfg (fun run_id ->
         let t0 = Clock.now_ns () in
         (* The unchunked plan carries the constraint metadata --stats-out
            serializes; sharding restricts a copy of it. *)
@@ -405,6 +541,7 @@ let sweep_term =
         match resume_check with
         | Error msg ->
           Format.eprintf "beast: %s@." msg;
+          Run_config.set_exit_state "crashed";
           1
         | Ok () -> (
           let outcome =
@@ -424,6 +561,7 @@ let sweep_term =
                     {
                       Engine_intf.ck_path = path;
                       ck_every_s = cfg.Run_config.checkpoint_every_s;
+                      ck_run_id = run_id;
                       ck_shard = shard_info;
                       ck_base_metrics =
                         Option.bind resume_ck (fun ck ->
@@ -455,6 +593,7 @@ let sweep_term =
               Format.eprintf
                 "beast: progress lost (run with --checkpoint FILE to make \
                  sweeps resumable)@.");
+            Run_config.set_exit_state "interrupted";
             3
           | Engine_intf.Finished stats ->
             let dt = Clock.elapsed_s ~since:t0 in
@@ -479,7 +618,8 @@ let sweep_term =
             | None -> ()
             | Some file ->
               Stats_io.write_file file
-                (Stats_io.of_stats ~plan ~shard:shard_info
+                (Stats_io.of_stats ~plan ?run_id:cfg.Run_config.run_id
+                   ~shard:shard_info
                    ?metrics:(pooled_metrics resume_ck) stats);
               Format.eprintf "wrote sweep statistics to %s@." file);
             (match (cfg.Run_config.explain_out, Provenance.current ()) with
@@ -488,7 +628,8 @@ let sweep_term =
                  section (and the metrics, when recorded), so beast
                  merge/report/explain all read it. *)
               Stats_io.write_file file
-                (Stats_io.of_stats ~plan ~shard:shard_info
+                (Stats_io.of_stats ~plan ?run_id:cfg.Run_config.run_id
+                   ~shard:shard_info
                    ?metrics:(pooled_metrics resume_ck)
                    ~provenance:(Provenance.summary collector)
                    stats);
@@ -581,7 +722,7 @@ let tune_cmd =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, baseline = objective_for space_name device in
-    with_config cfg (fun () ->
+    with_config ~space:space_name ~engine:"tune" cfg (fun _run_id ->
         let r =
           Tuner.tune ~engine ~top_n:top ?timeout_s ~retries ~backoff_s
             ~objective sp
@@ -653,7 +794,7 @@ let funnel_cmd =
   let run space_name device max_dim max_threads svg prefix_sweeps cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    with_config cfg (fun () ->
+    with_config ~space:space_name ~engine:"funnel" cfg (fun _run_id ->
         let f =
           if prefix_sweeps then Stats.funnel sp
           else Stats.funnel_single_pass sp
@@ -694,7 +835,7 @@ let search_cmd =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
     let objective, peak, _ = objective_for space_name device in
-    with_config cfg (fun () ->
+    with_config ~space:space_name ~engine:"search" cfg (fun _run_id ->
         let plan = Plan.make_exn sp in
         let rng = Random.State.make [| seed |] in
         Search.reset_counters ();
@@ -734,7 +875,33 @@ let search_cmd =
    shards that ran at different wall times (different CI jobs) still
    line up for side-by-side comparison. *)
 let merge_traces files trace_out =
-  let processes =
+  (* Each shard's [run:meta] instant (emitted at sink install) carries
+     its real coordinates; when every file has one with a distinct
+     shard index, processes get pid = index + 1 and a self-describing
+     name, so the stitched trace is correct whatever order the files
+     were listed in. Traces without metadata (old files, unsharded
+     runs) fall back to positional pids named after the file. *)
+  let shard_meta events =
+    Array.fold_left
+      (fun acc ev ->
+        if acc <> None || ev.Obs.ev_name <> "run:meta" then acc
+        else
+          let str k =
+            match List.assoc_opt k ev.Obs.ev_args with
+            | Some (Obs.Str s) -> Some s
+            | _ -> None
+          in
+          let int k =
+            match List.assoc_opt k ev.Obs.ev_args with
+            | Some (Obs.Int i) -> Some i
+            | _ -> None
+          in
+          match (int "shard_index", int "shard_of") with
+          | Some i, Some n -> Some (i, n, str "run_id")
+          | _ -> None)
+      None events
+  in
+  let shards =
     List.map
       (fun f ->
         match Sink_jsonl.read_file f with
@@ -748,8 +915,33 @@ let merge_traces files trace_out =
               max_int events
           in
           let start_ns = if start_ns = max_int then 0 else start_ns in
-          (Filename.remove_extension (Filename.basename f), start_ns, events))
+          (f, shard_meta events, start_ns, events))
       files
+  in
+  let metas = List.filter_map (fun (_, m, _, _) -> m) shards in
+  let indices = List.sort_uniq compare (List.map (fun (i, _, _) -> i) metas) in
+  let use_meta =
+    List.length metas = List.length shards
+    && List.length indices = List.length shards
+  in
+  let processes =
+    List.mapi
+      (fun pos (f, meta, start_ns, events) ->
+        match (use_meta, meta) with
+        | true, Some (i, n, run_id) ->
+          let name =
+            Printf.sprintf "shard %d/%d%s" i n
+              (match run_id with
+              | None -> ""
+              | Some id -> Printf.sprintf " run %s" id)
+          in
+          (i + 1, name, start_ns, events)
+        | _ ->
+          ( pos + 1,
+            Filename.remove_extension (Filename.basename f),
+            start_ns,
+            events ))
+      shards
   in
   let rendered = Sink_chrome.render_processes processes in
   (match trace_out with
@@ -954,6 +1146,191 @@ let export_cmd =
           serialized")
     Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Live introspection: beast top (heartbeat viewer), beast runs        *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let status_file_arg =
+    let doc = "Heartbeat status file written by sweep --status $(docv)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let once_arg =
+    let doc = "Print one snapshot and exit instead of following." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between redraws when following (default 1)." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let fmt_eta = function
+    | None -> "-"
+    | Some s when s < 0.0 -> "-"
+    | Some s -> Printf.sprintf "%.0fs" s
+  in
+  let render ppf (v : Status.view) =
+    let open Status in
+    let lines = ref 0 in
+    let line fmt =
+      Format.kfprintf
+        (fun ppf ->
+          incr lines;
+          Format.fprintf ppf "@.")
+        ppf fmt
+    in
+    line "%s  %s%s  pid %d  %s"
+      (match v.v_run_id with None -> "run -" | Some id -> "run " ^ id)
+      (match v.v_space with None -> "?" | Some sp -> sp)
+      (match v.v_shard with
+      | None -> ""
+      | Some (i, n) -> Printf.sprintf " shard %d/%d" i n)
+      v.v_pid v.v_state;
+    line "chunks %d/%d  points %s (%s/s)  survivors %s (%.2f%%)"
+      v.v_chunks_done v.v_chunks_total
+      (Units.si_int v.v_points)
+      (Units.si_int (int_of_float v.v_points_per_s))
+      (Units.si_int v.v_survivors)
+      (100.0 *. v.v_survivor_rate);
+    line "elapsed %.1fs  eta %s  checkpoint %s" v.v_elapsed_s
+      (fmt_eta v.v_eta_s)
+      (match v.v_checkpoint_age_s with
+      | None -> "-"
+      | Some age -> Printf.sprintf "%.1fs ago" age);
+    List.iter
+      (fun (dom, points, survivors) ->
+        line "  dom %d: %s points, %s survivors" dom (Units.si_int points)
+          (Units.si_int survivors))
+      v.v_domains;
+    !lines
+  in
+  let run file once interval =
+    if interval <= 0.0 then begin
+      Format.eprintf "beast top: --interval must be positive@.";
+      exit 2
+    end;
+    let tty = Unix.isatty Unix.stdout in
+    let read_view () = Status.of_file file in
+    if once || not tty then begin
+      (* One plain snapshot (or, when following off-tty, a snapshot
+         line block per interval — greppable, no control codes). *)
+      let rec loop first =
+        match read_view () with
+        | Error msg ->
+          if first then begin
+            Format.eprintf "beast top: %s: %s@." file msg;
+            exit 1
+          end
+          else begin
+            Unix.sleepf interval;
+            loop false
+          end
+        | Ok v ->
+          ignore (render Format.std_formatter v);
+          Format.pp_print_flush Format.std_formatter ();
+          if not (once || v.Status.v_state <> "running") then begin
+            Unix.sleepf interval;
+            loop false
+          end
+      in
+      loop true
+    end
+    else begin
+      (* Full-redraw follow mode: repaint in place with cursor-up, so
+         the terminal shows one live panel instead of a scrolling log. *)
+      let prev_lines = ref 0 in
+      let rec loop first =
+        (match read_view () with
+        | Error msg ->
+          if first then begin
+            Format.eprintf "beast top: %s: %s (waiting)@." file msg;
+            Format.pp_print_flush Format.err_formatter ()
+          end
+        | Ok v ->
+          if !prev_lines > 0 then
+            print_string (Printf.sprintf "\027[%dA" !prev_lines);
+          let buf = Buffer.create 512 in
+          let ppf = Format.formatter_of_buffer buf in
+          let n = render ppf v in
+          Format.pp_print_flush ppf ();
+          (* Clear each repainted line before writing over it, so a
+             shrinking field never leaves stale characters behind. *)
+          String.split_on_char '\n' (Buffer.contents buf)
+          |> List.iter (fun l ->
+                 if l <> "" then print_string ("\027[2K" ^ l ^ "\n"));
+          prev_lines := n;
+          flush stdout;
+          if v.Status.v_state <> "running" then raise Exit);
+        Unix.sleepf interval;
+        loop false
+      in
+      try loop true with Exit -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Follow the heartbeat status file of a running sweep (sweep \
+          --status FILE): chunk progress, throughput, survivor rate, \
+          pruning-aware ETA, checkpoint age and per-domain utilization. \
+          Redraws in place on a tty; plain snapshots with --once or \
+          when piped")
+    Term.(const run $ status_file_arg $ once_arg $ interval_arg)
+
+let runs_cmd =
+  let target_arg =
+    let doc =
+      "Runs directory written by sweep --runs (default $(b,runs)), or a \
+       single manifest file to inspect."
+    in
+    Arg.(value & pos 0 string "runs" & info [] ~docv:"DIR|FILE" ~doc)
+  in
+  let describe (m : Run_meta.t) =
+    Format.printf "%-12s  %-14s  %-7s  %-10s  %-11s  %-4s  %s@." m.Run_meta.run_id
+      m.Run_meta.space
+      (match m.Run_meta.shard with
+      | None -> "-"
+      | Some (i, n) -> Printf.sprintf "%d/%d" i n)
+      m.Run_meta.engine
+      (Run_meta.status_name m.Run_meta.status)
+      (match m.Run_meta.exit_code with
+      | None -> "-"
+      | Some c -> string_of_int c)
+      (match m.Run_meta.wall_s with
+      | None -> "-"
+      | Some w -> Printf.sprintf "%.1fs" w)
+  in
+  let header () =
+    Format.printf "%-12s  %-14s  %-7s  %-10s  %-11s  %-4s  %s@." "run" "space"
+      "shard" "engine" "status" "exit" "wall"
+  in
+  let run target =
+    if Sys.file_exists target && not (Sys.is_directory target) then begin
+      match Run_meta.of_file target with
+      | Error msg ->
+        Format.eprintf "beast runs: %s: %s@." target msg;
+        exit 1
+      | Ok m ->
+        header ();
+        describe m
+    end
+    else begin
+      match Run_meta.list ~dir:target with
+      | [] ->
+        Format.eprintf "beast runs: no manifests in %s@." target;
+        exit 1
+      | manifests ->
+        header ();
+        List.iter describe manifests
+    end
+  in
+  Cmd.v
+    (Cmd.info "runs"
+       ~doc:
+         "List the run manifests in a runs directory (sweep --runs DIR): \
+          run id, space, shard, engine, outcome, exit code and wall \
+          time — or inspect a single manifest file")
+    Term.(const run $ target_arg)
+
 let main =
   Cmd.group
     (Cmd.info "beast" ~version:"1.0.0"
@@ -961,6 +1338,7 @@ let main =
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
-      funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd ]
+      funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd;
+      top_cmd; runs_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -26,6 +26,7 @@ type chunk = {
 
 type t = {
   space : string;
+  run_id : string option;
   shard : Stats_io.shard;
   n_chunks : int;
   constraints : (string * Space.constraint_class * bool) array;
@@ -37,7 +38,7 @@ let constraint_meta (plan : Plan.t) =
   let depth0 = Plan.depth0_constraints plan in
   Array.mapi (fun i (n, c) -> (n, c, depth0.(i))) plan.Plan.constraint_info
 
-let make ~(plan : Plan.t) ~shard ~n_chunks ?metrics completed =
+let make ~(plan : Plan.t) ?run_id ~shard ~n_chunks ?metrics completed =
   let chunks =
     List.sort
       (fun a b -> compare a.c_id b.c_id)
@@ -53,6 +54,7 @@ let make ~(plan : Plan.t) ~shard ~n_chunks ?metrics completed =
   in
   {
     space = plan.Plan.space_name;
+    run_id;
     shard;
     n_chunks;
     constraints = constraint_meta plan;
@@ -87,6 +89,12 @@ let to_json t =
   add "  \"space\": ";
   str t.space;
   add ",\n";
+  (match t.run_id with
+  | None -> ()
+  | Some id ->
+    add "  \"run_id\": ";
+    str id;
+    add ",\n");
   add "  \"shard\": { \"index\": %d, \"of\": %d },\n" t.shard.Stats_io.shard_index
     t.shard.Stats_io.shard_of;
   add "  \"n_chunks\": %d,\n" t.n_chunks;
@@ -198,6 +206,7 @@ let decode json =
   in
   {
     space = Jsonx.to_str "space" (Jsonx.member "space" json);
+    run_id = Option.map (Jsonx.to_str "run_id") (Jsonx.member_opt "run_id" json);
     shard;
     n_chunks;
     constraints;

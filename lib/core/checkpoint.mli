@@ -23,6 +23,10 @@ type chunk = {
 
 type t = {
   space : string;
+  run_id : string option;
+      (** id of the run that wrote the snapshot, when it had one; purely
+          informational — {!validate} ignores it, since a resume is by
+          definition a different run *)
   shard : Stats_io.shard;  (** the split this run was a shard of *)
   n_chunks : int;  (** arity of the chunk split being checkpointed *)
   constraints : (string * Space.constraint_class * bool) array;
@@ -33,6 +37,7 @@ type t = {
 
 val make :
   plan:Plan.t ->
+  ?run_id:string ->
   shard:Stats_io.shard ->
   n_chunks:int ->
   ?metrics:Beast_obs.Metrics.snapshot ->

@@ -148,11 +148,10 @@ let run ?on_hit ?(variant = `Hoisted) space =
       ]
     "sweep:interp"
     (fun () -> exec_steps ~depth:0 plan.Plan.steps);
-  if instrument then begin
+  if instrument then
     Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
       ~level_time;
-    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
-  end;
+  Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0;
   (match (prov, plocal) with
   | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
   | _ -> ());

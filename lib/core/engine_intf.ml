@@ -14,6 +14,9 @@ type outcome =
 type checkpoint_sink = {
   ck_path : string;
   ck_every_s : float;
+  ck_run_id : string option;
+      (* stamped into the snapshot so resumed artifacts correlate with
+         the run that wrote them *)
   ck_shard : Stats_io.shard;  (* recorded in the file for resume checks *)
   ck_base_metrics : Beast_obs.Metrics.snapshot option;
       (* metrics carried over from the checkpoint being resumed; pooled

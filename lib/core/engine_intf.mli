@@ -15,6 +15,9 @@ type outcome =
 type checkpoint_sink = {
   ck_path : string;  (** checkpoint file, written atomically *)
   ck_every_s : float;  (** minimum seconds between periodic writes *)
+  ck_run_id : string option;
+      (** stamped into the snapshot so resumed artifacts correlate with
+          the run that wrote them *)
   ck_shard : Stats_io.shard;
       (** recorded in the file so resume can reject a shard mismatch *)
   ck_base_metrics : Beast_obs.Metrics.snapshot option;

@@ -246,7 +246,8 @@ let run_resumable ?on_hit ?(chunks_per_domain = default_chunks_per_domain)
       "checkpoint:write"
       (fun () ->
         Checkpoint.save sink.Engine_intf.ck_path
-          (Checkpoint.make ~plan ~shard:sink.Engine_intf.ck_shard ~n_chunks
+          (Checkpoint.make ~plan ?run_id:sink.Engine_intf.ck_run_id
+             ~shard:sink.Engine_intf.ck_shard ~n_chunks
              ?metrics:(checkpoint_metrics ()) !entries));
     Option.iter Metrics.incr ck_writes
   in
@@ -283,6 +284,17 @@ let run_resumable ?on_hit ?(chunks_per_domain = default_chunks_per_domain)
           "chunk:crash";
         Option.iter Metrics.incr crash_count;
         attempt (k + 1)
+      | Some (Run_config.Chunk_fatal { chunk = fatal }) when fatal = id ->
+        (* Unrecoverable by design: the event lands in the flight ring
+           before the exception unwinds through Domain.join, so a
+           post-mortem dump names the chunk that took the run down. *)
+        Obs.instant ~cat:"engine"
+          ~args:[ ("chunk", Obs.Int id) ]
+          "chunk:fatal";
+        Atomic.set stop_requested true;
+        failwith
+          (Printf.sprintf
+             "Engine_parallel: injected fatal fault on chunk %d" id)
       | _ -> Engine_staged.run ?on_hit chunk
     in
     attempt 0

@@ -394,11 +394,12 @@ let run ?on_hit (plan : Plan.t) =
   Obs.with_span ~cat:"engine"
     ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
     "sweep:staged" sweep;
-  if full_instr then begin
+  if full_instr then
     Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
       ~level_time;
-    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
-  end;
+  (* Unconditional: one hook check per run, and the cheap way a coarse
+     status heartbeat learns per-chunk point totals. *)
+  Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0;
   (match (prov, plocal) with
   | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
   | _ -> ());

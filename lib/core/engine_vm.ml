@@ -440,11 +440,10 @@ let run ?on_hit (p : program) =
   Obs.with_span ~cat:"engine"
     ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
     "sweep:vm" dispatch;
-  if p.instrumented then begin
+  if p.instrumented then
     Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
       ~level_time;
-    Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0
-  end;
+  Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0;
   (match (prov, plocal) with
   | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
   | _ -> ());

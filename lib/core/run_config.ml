@@ -1,9 +1,9 @@
 (* One record for everything a `beast` run can be configured with beyond
-   the space itself: observability (trace/progress/metrics), sharding,
-   and the checkpoint/resume/fault-injection settings of long-running
-   sweeps. The CLI builds the record once per invocation and threads it
-   through sweep/tune/funnel/search instead of growing each subcommand a
-   private pile of optional arguments. *)
+   the space itself: observability (trace/progress/metrics/status/
+   flight), sharding, and the checkpoint/resume/fault-injection settings
+   of long-running sweeps. The CLI builds the record once per invocation
+   and threads it through sweep/tune/funnel/search instead of growing
+   each subcommand a private pile of optional arguments. *)
 
 open Beast_obs
 
@@ -12,12 +12,15 @@ type trace_format =
   | Chrome
   | Summary
 
-type fault = Chunk_crash of { prob : float; seed : int }
+type fault =
+  | Chunk_crash of { prob : float; seed : int }
+  | Chunk_fatal of { chunk : int }
 
 type t = {
   trace : string option;
   trace_format : trace_format;
   progress : bool;
+  progress_every_s : float option;
   metrics : bool;
   metrics_out : string option;
   shard : (int * int) option;
@@ -26,6 +29,12 @@ type t = {
   resume : string option;
   fault : fault option;
   explain_out : string option;
+  run_id : string option;
+  runs_dir : string option;
+  status : string option;
+  status_every_s : float;
+  flight : string option;
+  flight_capacity : int;
 }
 
 let default =
@@ -33,6 +42,7 @@ let default =
     trace = None;
     trace_format = Chrome;
     progress = false;
+    progress_every_s = None;
     metrics = false;
     metrics_out = None;
     shard = None;
@@ -41,9 +51,19 @@ let default =
     resume = None;
     fault = None;
     explain_out = None;
+    run_id = None;
+    runs_dir = None;
+    status = None;
+    status_every_s = 1.0;
+    flight = None;
+    flight_capacity = Flight.default_capacity;
   }
 
 let metrics_enabled t = t.metrics || t.metrics_out <> None
+
+let introspected t =
+  t.runs_dir <> None || t.status <> None || t.flight <> None
+  || t.trace <> None || t.run_id <> None
 
 (* The shard bounds used to be checked only by the CLI argument parser;
    a config built programmatically (or a future config file) could slip
@@ -76,6 +96,26 @@ let validate t =
     else Ok ()
   in
   let* () =
+    if t.status_every_s < 0.0 then
+      Error
+        (Printf.sprintf "status-every: need a non-negative period (got %g)"
+           t.status_every_s)
+    else Ok ()
+  in
+  let* () =
+    match t.progress_every_s with
+    | Some s when s <= 0.0 ->
+      Error (Printf.sprintf "progress-every: need a positive period (got %g)" s)
+    | _ -> Ok ()
+  in
+  let* () =
+    if t.flight_capacity < 1 then
+      Error
+        (Printf.sprintf "flight-size: need at least one event (got %d)"
+           t.flight_capacity)
+    else Ok ()
+  in
+  let* () =
     match t.fault with
     | Some (Chunk_crash { prob; _ }) when prob < 0.0 || prob >= 1.0 ->
       Error
@@ -83,6 +123,11 @@ let validate t =
            "fault-inject: the crash probability must lie in [0, 1) (got %g); \
             at 1 no chunk could ever complete"
            prob)
+    | Some (Chunk_fatal { chunk }) when chunk < 0 ->
+      Error
+        (Printf.sprintf
+           "fault-inject: the fatal chunk id must be non-negative (got %d)"
+           chunk)
     | _ -> Ok ()
   in
   (* A resumed run skips the chunks the checkpoint already completed, so
@@ -95,13 +140,24 @@ let validate t =
        attribution)"
   else Ok ()
 
-(* Install the event recorder, the progress reporter and/or the metrics
-   registry around [f]; when [f] finishes (or raises) the collected
-   events are written to the trace file in the requested format and the
-   metrics to the Prometheus file. Output files are opened before any
-   work happens so a bad path raises [Sys_error] up front instead of
-   discarding a completed run at the end. *)
-let with_instrumentation t f =
+(* How the run ended, for the status file's final snapshot. The default
+   is "completed"; the CLI flips it to "interrupted" before returning
+   exit code 3, and the crash wrapper below flips it to "crashed" when
+   the callback raises. A plain ref suffices: it is written from the
+   main thread only, between the sweep and the finalizers. *)
+let exit_state = ref "completed"
+let set_exit_state s = exit_state := s
+
+(* Install the event recorder, flight recorder, progress reporter,
+   status heartbeat and/or the metrics registry around [f]; when [f]
+   finishes (or raises) the collected events are written to the trace
+   file in the requested format, the flight rings are dumped, the status
+   file is finalized and the metrics go to the Prometheus file. Output
+   files are opened before any work happens so a bad path raises
+   [Sys_error] up front instead of discarding a completed run at the
+   end. *)
+let with_instrumentation ?run_id ?space t f =
+  exit_state := "completed";
   let open_out_or_fail what file =
     try open_out file
     with Sys_error msg -> raise (Sys_error (Printf.sprintf "cannot open %s file: %s" what msg))
@@ -112,9 +168,39 @@ let with_instrumentation t f =
     | Some file ->
       let oc = open_out_or_fail "trace" file in
       let r = Recorder.create () in
-      Obs.set_sink (Recorder.sink r);
       Some (file, oc, r)
   in
+  let flight =
+    Option.map
+      (fun file -> (file, Flight.create ~capacity:t.flight_capacity ()))
+      t.flight
+  in
+  (* One global sink slot: the flight recorder tees into the trace
+     recorder when both are requested. *)
+  (match (recorder, flight) with
+  | None, None -> ()
+  | Some (_, _, r), None -> Obs.set_sink (Recorder.sink r)
+  | None, Some (_, fl) ->
+    (* Coarse: the ring wants the run's final moments (chunk spans,
+       faults, run:meta), not full tracing — a flight recorder must
+       not slow the plane down. *)
+    Obs.set_sink ~fine:false (Flight.sink fl)
+  | Some (_, _, r), Some (_, fl) -> Obs.set_sink (Flight.tee fl (Recorder.sink r)));
+  (* Stamp the run's identity into the event stream itself, so traces
+     and flight dumps stay attributable after files are renamed — and so
+     [beast merge --traces] can recover real shard coordinates instead
+     of trusting argument order. *)
+  if Obs.enabled () then begin
+    let args =
+      (match run_id with None -> [] | Some id -> [ ("run_id", Obs.Str id) ])
+      @ (match space with None -> [] | Some sp -> [ ("space", Obs.Str sp) ])
+      @
+      match t.shard with
+      | None -> []
+      | Some (i, n) -> [ ("shard_index", Obs.Int i); ("shard_of", Obs.Int n) ]
+    in
+    Obs.instant ~cat:"run" ~args "run:meta"
+  end;
   let metrics_sink =
     Option.map (fun file -> (file, open_out_or_fail "metrics" file)) t.metrics_out
   in
@@ -127,13 +213,35 @@ let with_instrumentation t f =
     else None
   in
   let reporter =
-    if t.progress then begin
-      let p = Progress.create () in
-      Progress.install p;
-      Some p
-    end
+    if t.progress then Some (Progress.create ?interval_s:t.progress_every_s ())
     else None
   in
+  let status =
+    Option.map
+      (fun path ->
+        let checkpoint_path =
+          match (t.checkpoint, t.resume) with
+          | Some p, _ | None, Some p -> Some p
+          | None, None -> None
+        in
+        Status.create ~interval_s:t.status_every_s ?run_id ?space
+          ?shard:t.shard ?checkpoint_path ~path ())
+      t.status
+  in
+  (* The Obs progress/chunk hooks are single-slot; when both the
+     terminal reporter and the status heartbeat are live, fan one
+     closure out to both. *)
+  (match (reporter, status) with
+  | None, None -> ()
+  | Some p, None -> Progress.install p
+  | None, Some st -> Status.install st
+  | Some p, Some st ->
+    Obs.set_progress (fun ~dom ~points ~survivors ~frac ->
+        Progress.tick p ~dom ~points ~survivors ~frac;
+        Status.tick st ~dom ~points ~survivors ~frac);
+    Obs.set_chunk_progress (fun ~completed ~total ->
+        Progress.chunk_tick p ~completed ~total;
+        Status.chunk_tick st ~completed ~total));
   (* The collector is ambient like the metrics registry; the caller
      reads its summary (Provenance.current) inside [f], before this
      wrapper clears it. Serialization stays with the caller because the
@@ -146,10 +254,26 @@ let with_instrumentation t f =
     end
     else None
   in
+  let run_f () =
+    match f () with
+    | v -> v
+    | exception e ->
+      exit_state := "crashed";
+      raise e
+  in
   Fun.protect
     ~finally:(fun () ->
       if collector <> None then Provenance.clear_current ();
-      Option.iter Progress.finish reporter;
+      (match (reporter, status) with
+      | None, None -> ()
+      | Some p, None -> Progress.finish p
+      | None, Some st ->
+        Obs.clear_progress ();
+        Obs.clear_chunk_progress ();
+        Status.finalize st ~state:!exit_state
+      | Some p, Some st ->
+        Progress.finish p;
+        Status.finalize st ~state:!exit_state);
       (match registry with
       | None -> ()
       | Some r ->
@@ -160,10 +284,15 @@ let with_instrumentation t f =
           output_string oc (Metrics.Snapshot.to_prometheus (Metrics.snapshot r));
           close_out oc;
           Format.eprintf "wrote metrics to %s@." file));
+      if recorder <> None || flight <> None then Obs.clear_sink ();
+      (match flight with
+      | None -> ()
+      | Some (file, fl) ->
+        let n = Flight.dump fl file in
+        Format.eprintf "wrote flight recording (%d events) to %s@." n file);
       match recorder with
       | None -> ()
       | Some (file, oc, r) ->
-        Obs.clear_sink ();
         let events = Recorder.events r in
         (match t.trace_format with
         | Jsonl -> Sink_jsonl.write oc events
@@ -175,4 +304,4 @@ let with_instrumentation t f =
         close_out oc;
         Format.eprintf "wrote %d trace events to %s@." (Array.length events)
           file)
-    f
+    run_f

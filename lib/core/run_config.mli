@@ -1,9 +1,10 @@
 (** One record for everything a run can be configured with beyond the
-    space itself: observability (trace, progress, metrics), sharding and
-    the checkpoint/resume/fault-injection settings of long-running
-    sweeps. [bin/beast.ml] builds the record once per invocation and
-    threads it through sweep/tune/funnel/search instead of passing a
-    growing pile of per-function optional arguments. *)
+    space itself: observability (trace, progress, metrics, heartbeat
+    status, flight recorder), sharding and the checkpoint/resume/
+    fault-injection settings of long-running sweeps. [bin/beast.ml]
+    builds the record once per invocation and threads it through
+    sweep/tune/funnel/search instead of passing a growing pile of
+    per-function optional arguments. *)
 
 type trace_format =
   | Jsonl  (** one event per line *)
@@ -15,11 +16,19 @@ type fault =
       (** test hook: each chunk attempt crashes with probability [prob],
           drawn deterministically from [seed], the chunk id and the
           attempt number; the scheduler must retry it to completion *)
+  | Chunk_fatal of { chunk : int }
+      (** test hook: the first attempt at chunk [chunk] raises an
+          unrecoverable exception, taking the whole run down — exercises
+          the crash path (flight-recorder dump, manifest status) *)
 
 type t = {
   trace : string option;  (** write a trace of the run to this file *)
   trace_format : trace_format;
   progress : bool;  (** live progress reporting on stderr *)
+  progress_every_s : float option;
+      (** progress redraw period; defaults to the reporter's own
+          (0.2s tty / 2s plain) — raise it so non-tty CI logs aren't
+          flooded on long sweeps *)
   metrics : bool;  (** install a metrics registry around the run *)
   metrics_out : string option;
       (** write Prometheus text exposition here (implies [metrics]) *)
@@ -31,31 +40,70 @@ type t = {
   explain_out : string option;
       (** collect single-pass pruning provenance and write it (with the
           run's stats) here, for [beast explain] *)
+  run_id : string option;
+      (** explicit run id; also stamped into the stats file (a minted id
+          never is, keeping --stats-out byte-identical across
+          instrumentation settings) *)
+  runs_dir : string option;
+      (** write a {!Beast_obs.Run_meta} manifest into this directory *)
+  status : string option;
+      (** atomically rewrite a heartbeat status snapshot here, for
+          [beast top] *)
+  status_every_s : float;  (** seconds between status rewrites; 0 = every tick *)
+  flight : string option;
+      (** keep a flight-recorder ring of recent events and dump it here
+          as JSONL at exit (clean, interrupted or crashed) *)
+  flight_capacity : int;  (** ring capacity per domain *)
 }
 
 val default : t
 (** No instrumentation, no shard, no checkpointing,
-    [checkpoint_every_s = 5.0]. *)
+    [checkpoint_every_s = 5.0], [status_every_s = 1.0],
+    [flight_capacity = Flight.default_capacity]. *)
 
 val metrics_enabled : t -> bool
 (** [metrics || metrics_out <> None]. *)
 
+val introspected : t -> bool
+(** Whether the run wants a run id minted: any of [runs_dir], [status],
+    [flight], [trace] or an explicit [run_id] is set. *)
+
 val validate : t -> (unit, string) result
 (** Reject configurations that would otherwise fail silently: shard
     bounds ([n <= 0], [i < 0] or [i >= n] would sweep an empty space),
-    non-positive checkpoint periods, crash probabilities outside
-    [\[0, 1)], and [explain_out] combined with [resume] (a resumed run
-    skips completed chunks, so its provenance would describe only the
-    tail of the sweep). *)
+    non-positive checkpoint/progress periods, negative status periods,
+    a flight ring below one event, crash probabilities outside
+    [\[0, 1)], negative fatal chunk ids, and [explain_out] combined
+    with [resume] (a resumed run skips completed chunks, so its
+    provenance would describe only the tail of the sweep). *)
 
-val with_instrumentation : t -> (unit -> 'a) -> 'a
-(** Install the event recorder, progress reporter, metrics registry
-    and/or provenance collector described by the config around the
-    callback; when it returns (or raises) the collected events are
-    written to the trace file in the requested format and the metrics to
+val set_exit_state : string -> unit
+(** How the run ended, for the status file's final snapshot:
+    ["completed"] (the default, reset by each
+    {!with_instrumentation}), ["interrupted"] or ["crashed"]. The CLI
+    sets it before returning a non-zero exit code; a callback that
+    raises is marked ["crashed"] automatically. *)
+
+val with_instrumentation :
+  ?run_id:string -> ?space:string -> t -> (unit -> 'a) -> 'a
+(** Install the event recorder, flight recorder, progress reporter,
+    status heartbeat, metrics registry and/or provenance collector
+    described by the config around the callback; when it returns (or
+    raises) the collected events are written to the trace file in the
+    requested format, the flight rings are dumped (whatever the exit
+    path — that is the point of a flight recorder), the status file is
+    finalized with the {!set_exit_state} state and the metrics go to
     the Prometheus file. Output files are opened before the callback
     runs, so a bad path raises [Sys_error] up front instead of
     discarding a completed run at the end.
+
+    [run_id] and [space] are stamped into the status file and into a
+    ["run:meta"] instant event at the head of the event stream (when
+    any sink is live), which is how stitched traces recover real shard
+    coordinates.
+
+    When both [progress] and [status] are requested the single-slot
+    [Obs] hooks are fanned out to both reporters.
 
     When [explain_out] is set a {!Provenance} collector is ambient for
     the callback's duration; the callback must read

@@ -29,6 +29,7 @@ let unsharded = { shard_index = 0; shard_of = 1 }
 
 type t = {
   space : string;
+  run_id : string option;
   shard : shard;
   survivors : int;
   loop_iterations : int;
@@ -37,11 +38,12 @@ type t = {
   provenance : Provenance.summary option;
 }
 
-let of_stats ~(plan : Plan.t) ?(shard = unsharded) ?metrics ?provenance
+let of_stats ~(plan : Plan.t) ?run_id ?(shard = unsharded) ?metrics ?provenance
     (stats : Engine.stats) =
   let depth0 = Plan.depth0_constraints plan in
   {
     space = plan.Plan.space_name;
+    run_id;
     shard;
     survivors = stats.Engine.survivors;
     loop_iterations = stats.Engine.loop_iterations;
@@ -89,6 +91,11 @@ let to_json t =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"space\": \"%s\",\n" (escape_string t.space);
+  (* Only present on request (an explicit --run-id): a minted id would
+     break the byte-identity of instrumented vs plain stats files. *)
+  (match t.run_id with
+  | None -> ()
+  | Some id -> add "  \"run_id\": \"%s\",\n" (escape_string id));
   add "  \"shard\": { \"index\": %d, \"of\": %d },\n" t.shard.shard_index
     t.shard.shard_of;
   add "  \"survivors\": %d,\n" t.survivors;
@@ -167,6 +174,8 @@ let of_json text =
       Ok
         {
           space = Jsonx.to_str "space" (Jsonx.member "space" json);
+          run_id =
+            Option.map (Jsonx.to_str "run_id") (Jsonx.member_opt "run_id" json);
           shard =
             {
               shard_index = Jsonx.to_int "index" (Jsonx.member "index" shard_json);
@@ -289,6 +298,9 @@ let merge = function
             Ok
               {
                 space = first.space;
+                (* Each shard ran as its own process with its own id;
+                   the merged file describes no single run. *)
+                run_id = None;
                 shard = unsharded;
                 survivors = sum (fun s -> s.survivors);
                 loop_iterations = sum (fun s -> s.loop_iterations);

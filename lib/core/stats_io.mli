@@ -29,6 +29,11 @@ val unsharded : shard
 
 type t = {
   space : string;
+  run_id : string option;
+      (** the writing run's id, present only when the run was given an
+          explicit [--run-id] (a minted id would break the byte-identity
+          of instrumented vs uninstrumented stats files); dropped by
+          {!merge} *)
   shard : shard;
   survivors : int;
   loop_iterations : int;
@@ -43,7 +48,8 @@ type t = {
 }
 
 val of_stats :
-  plan:Plan.t -> ?shard:shard -> ?metrics:Beast_obs.Metrics.snapshot ->
+  plan:Plan.t -> ?run_id:string -> ?shard:shard ->
+  ?metrics:Beast_obs.Metrics.snapshot ->
   ?provenance:Provenance.summary ->
   Engine.stats -> t
 (** Tag engine statistics with the plan's constraint metadata. [plan]

@@ -48,6 +48,32 @@ let parse_exn s =
     end
     else fail "invalid literal"
   in
+  (* \uXXXX escapes decode to UTF-8; surrogate pairs combine into the
+     astral code point, lone surrogates are rejected. *)
+  let read_u4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let hex = String.sub s !pos 4 in
+    pos := !pos + 4;
+    try int_of_string ("0x" ^ hex) with _ -> fail "invalid \\u escape %s" hex
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -71,15 +97,23 @@ let parse_exn s =
           | 'b' -> Buffer.add_char buf '\b'
           | 'f' -> Buffer.add_char buf '\012'
           | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail "invalid \\u escape %s" hex
-            in
-            if code > 0x7f then fail "non-ASCII \\u escape unsupported";
-            Buffer.add_char buf (Char.chr code)
+            let code = read_u4 () in
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              (* High surrogate: must be chased by \uDC00-\uDFFF. *)
+              if
+                not
+                  (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+              then fail "unpaired high surrogate \\u%04X" code;
+              pos := !pos + 2;
+              let low = read_u4 () in
+              if not (low >= 0xDC00 && low <= 0xDFFF) then
+                fail "invalid low surrogate \\u%04X" low;
+              add_utf8 buf
+                (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+            end
+            else if code >= 0xDC00 && code <= 0xDFFF then
+              fail "unpaired low surrogate \\u%04X" code
+            else add_utf8 buf code
           | c -> fail "invalid escape \\%c" c);
           go ())
       | Some c ->

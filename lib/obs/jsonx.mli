@@ -4,9 +4,11 @@
     Parsing only — each serializer keeps its own deterministic writer.
     Integers and floats are distinct constructors so count fields
     round-trip exactly: a number parses to {!Float} iff its lexeme
-    contains ['.'], ['e'] or ['E']. Strings are ASCII with the usual
-    escapes ([\uXXXX] above 0x7f is rejected — nothing we emit needs
-    it). *)
+    contains ['.'], ['e'] or ['E']. Strings carry the usual escapes;
+    [\uXXXX] escapes decode to UTF-8 bytes, with surrogate pairs
+    combined into the astral code point (lone surrogates are
+    rejected), so event labels survive a JSONL round-trip whatever
+    their alphabet. *)
 
 type t =
   | Null

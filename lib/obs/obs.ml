@@ -34,13 +34,24 @@ let null = { emit = ignore; flush = ignore }
 let current = ref null
 let on = ref false
 
-let set_sink s =
+(* Whether a consumer wants the *fine-grained* event stream. Engines
+   compile instrumented closures (per-constraint timings, per-level
+   entry counts, periodic progress ticks) only when this is set: a
+   coarse sink — the flight recorder riding along on an otherwise
+   plain run — still receives the engine-level spans and instants the
+   uninstrumented path emits, without making the sweep pay for
+   full tracing. *)
+let fine_on = ref false
+
+let set_sink ?(fine = true) s =
   current := s;
+  fine_on := fine;
   on := true
 
 let clear_sink () =
   let s = !current in
   on := false;
+  fine_on := false;
   current := null;
   s.flush ()
 
@@ -100,9 +111,13 @@ type progress_fn = dom:int -> points:int -> survivors:int -> frac:float -> unit
 let progress : progress_fn option ref = ref None
 let progress_on = ref false
 
-let set_progress f =
+(* [fine] mirrors {!set_sink}: a coarse hook (the status heartbeat)
+   still receives the once-per-run ticks every engine emits at the end
+   of a sweep or chunk, but does not push the engines onto their
+   instrumented compiled path for intra-run sampling. *)
+let set_progress ?(fine = true) f =
   progress := Some f;
-  progress_on := true
+  if fine then progress_on := true
 
 let clear_progress () =
   progress_on := false;
@@ -133,7 +148,7 @@ let chunk_tick ~completed ~total =
   | None -> ()
   | Some f -> f ~completed ~total
 
-let instrumenting () = !on || !progress_on
+let instrumenting () = !fine_on || !progress_on
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (debug convenience)                                 *)

@@ -44,8 +44,14 @@ type sink = {
 val null : sink
 (** Drops everything. *)
 
-val set_sink : sink -> unit
-(** Install a sink and enable tracing. *)
+val set_sink : ?fine:bool -> sink -> unit
+(** Install a sink and enable tracing. [fine] (default [true]) also
+    turns on {!instrumenting}, making engines compile their
+    instrumented closures (per-constraint timings, per-level entry
+    counts, periodic progress ticks). Pass [~fine:false] for a coarse
+    consumer — the flight recorder on an otherwise plain run — that
+    should only see the engine-level spans and instants the
+    uninstrumented path emits, keeping the sweep at its plain speed. *)
 
 val clear_sink : unit -> unit
 (** Disable tracing, restore {!null}, and flush the old sink. *)
@@ -92,7 +98,12 @@ val complete :
 
 type progress_fn = dom:int -> points:int -> survivors:int -> frac:float -> unit
 
-val set_progress : progress_fn -> unit
+val set_progress : ?fine:bool -> progress_fn -> unit
+(** [fine] mirrors {!set_sink}: with [~fine:false] the hook still
+    receives each engine's end-of-run tick (once per chunk in parallel
+    sweeps) but does not enable {!instrumenting} — how the status
+    heartbeat stays within its overhead budget. *)
+
 val clear_progress : unit -> unit
 val progress_enabled : unit -> bool
 val progress_tick : points:int -> survivors:int -> frac:float -> unit
@@ -113,8 +124,11 @@ val clear_chunk_progress : unit -> unit
 val chunk_tick : completed:int -> total:int -> unit
 
 val instrumenting : unit -> bool
-(** [enabled () || progress_enabled ()]: engines consult this once per
-    run to pick the instrumented code path. *)
+(** Whether any {e fine-grained} consumer is live (a sink or a
+    progress hook installed without [~fine:false]): engines consult
+    this once per run to pick the instrumented code path. A coarse
+    sink or hook leaves it off — the run stays at plain speed and the
+    consumer sees only engine-level events and once-per-run ticks. *)
 
 (** {2 Debug} *)
 

@@ -85,14 +85,14 @@ let render_processes processes =
   let sep () =
     if !first then first := false else Buffer.add_string buf ",\n"
   in
-  List.iteri
-    (fun i (pname, start_ns, events) ->
-      add_process buf ~sep ~pid:(i + 1) ~pname ~start_ns events)
+  List.iter
+    (fun (pid, pname, start_ns, events) ->
+      add_process buf ~sep ~pid ~pname ~start_ns events)
     processes;
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
 let render ?(start_ns = 0) events =
-  render_processes [ ("beast", start_ns, events) ]
+  render_processes [ (1, "beast", start_ns, events) ]
 
 let write ?start_ns oc events = output_string oc (render ?start_ns events)

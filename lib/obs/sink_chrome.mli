@@ -10,11 +10,12 @@
 val render : ?start_ns:int -> Obs.event array -> string
 (** Single process (pid 1, named "beast"). *)
 
-val render_processes : (string * int * Obs.event array) list -> string
-(** Multi-process trace: one [(name, start_ns, events)] group per
-    process, pid assigned from position (1-based). Used by
-    [beast merge --traces] to stitch per-shard traces into one view —
-    shard as process, domain as thread. Each group's timestamps are
-    rendered relative to its own [start_ns]. *)
+val render_processes : (int * string * int * Obs.event array) list -> string
+(** Multi-process trace: one [(pid, name, start_ns, events)] group per
+    process, with the caller assigning pids — [beast merge --traces]
+    stitches per-shard traces into one view (shard as process, domain
+    as thread) and uses the real shard index for the pid, so the
+    [process_name] labels survive re-ordering of the input files. Each
+    group's timestamps are rendered relative to its own [start_ns]. *)
 
 val write : ?start_ns:int -> out_channel -> Obs.event array -> unit

@@ -1,0 +1,287 @@
+(* Heartbeat status file: a small deterministic JSON snapshot of a
+   running sweep, atomically rewritten (temp-then-rename, the
+   Checkpoint discipline) at most once per interval. Anything on the
+   machine — `beast top`, a wrapper script, a future `beast serve`
+   worker poller — can read the file at any instant and always sees a
+   complete, parseable document.
+
+   Feeding mirrors Progress: engines tick per-domain figures through
+   the Obs progress hook, the parallel scheduler ticks chunk
+   completions through the chunk hook, and the pruning-aware ETA is the
+   same chunk-throughput estimate (c_base excludes chunks restored from
+   a checkpoint so resumed runs don't count them as observed
+   throughput). *)
+
+type dom_state = {
+  mutable d_points : int;
+  mutable d_survivors : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  doms : (int, dom_state) Hashtbl.t;
+  path : string;
+  run_id : string option;
+  space : string option;
+  shard : (int * int) option;
+  checkpoint_path : string option;
+  pid : int;
+  interval_ns : int;
+  start_ns : int;
+  mutable last_write_ns : int;
+  mutable c_done : int;
+  mutable c_total : int;
+  mutable c_base : int;
+  mutable finalized : bool;
+}
+
+let create ?(interval_s = 1.0) ?run_id ?space ?shard ?checkpoint_path ~path ()
+    =
+  if interval_s < 0.0 then
+    invalid_arg "Status.create: interval must be non-negative";
+  {
+    mutex = Mutex.create ();
+    doms = Hashtbl.create 8;
+    path;
+    run_id;
+    space;
+    shard;
+    checkpoint_path;
+    pid = Unix.getpid ();
+    interval_ns = int_of_float (interval_s *. 1e9);
+    start_ns = Clock.now_ns ();
+    last_write_ns = 0;
+    c_done = 0;
+    c_total = 0;
+    c_base = -1;
+    finalized = false;
+  }
+
+let path t = t.path
+
+let checkpoint_age_s t =
+  match t.checkpoint_path with
+  | None -> None
+  | Some p -> (
+    match Unix.stat p with
+    | st -> Some (Float.max 0.0 (Unix.gettimeofday () -. st.Unix.st_mtime))
+    | exception Unix.Unix_error _ -> None)
+
+let render t ~state ~now =
+  let points, survivors =
+    Hashtbl.fold
+      (fun _ d (p, s) -> (p + d.d_points, s + d.d_survivors))
+      t.doms (0, 0)
+  in
+  let elapsed = Clock.ns_to_s (now - t.start_ns) in
+  let rate = if elapsed > 0.0 then float_of_int points /. elapsed else 0.0 in
+  let survivor_rate =
+    if points > 0 then float_of_int survivors /. float_of_int points else 0.0
+  in
+  (* Pruning-aware ETA (see Progress): remaining chunks priced at the
+     mean wall time of chunks completed this run. *)
+  let eta_s =
+    let observed = t.c_done - max 0 t.c_base in
+    if t.c_total > 0 && observed > 0 && elapsed > 0.0 then
+      Some (elapsed *. float_of_int (t.c_total - t.c_done) /. float_of_int observed)
+    else None
+  in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let str s = Trace_json.escape buf s in
+  let flt f = Trace_json.float buf f in
+  let opt_float name = function
+    | None -> add ",\n  \"%s\": null" name
+    | Some v ->
+      add ",\n  \"%s\": " name;
+      flt v
+  in
+  add "{\n";
+  add "  \"beast_status\": 1,\n";
+  add "  \"state\": \"%s\",\n" state;
+  (match t.run_id with
+  | None -> ()
+  | Some id ->
+    add "  \"run_id\": ";
+    str id;
+    add ",\n");
+  (match t.space with
+  | None -> ()
+  | Some sp ->
+    add "  \"space\": ";
+    str sp;
+    add ",\n");
+  (match t.shard with
+  | None -> ()
+  | Some (i, n) -> add "  \"shard\": { \"index\": %d, \"of\": %d },\n" i n);
+  add "  \"pid\": %d,\n" t.pid;
+  add "  \"elapsed_s\": ";
+  flt elapsed;
+  add ",\n  \"chunks\": { \"done\": %d, \"total\": %d }" t.c_done t.c_total;
+  add ",\n  \"points\": %d" points;
+  add ",\n  \"survivors\": %d" survivors;
+  add ",\n  \"points_per_s\": ";
+  flt rate;
+  add ",\n  \"survivor_rate\": ";
+  flt survivor_rate;
+  opt_float "eta_s" eta_s;
+  opt_float "checkpoint_age_s" (checkpoint_age_s t);
+  add ",\n  \"domains\": [";
+  let doms =
+    Hashtbl.fold (fun d st acc -> (d, st) :: acc) t.doms []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iteri
+    (fun i (d, st) ->
+      add "%s\n    { \"dom\": %d, \"points\": %d, \"survivors\": %d }"
+        (if i = 0 then "" else ",")
+        d st.d_points st.d_survivors)
+    doms;
+  if doms <> [] then add "\n  ";
+  add "]\n}\n";
+  Buffer.contents buf
+
+(* Temp-then-rename so a reader never sees a torn snapshot; the temp
+   name carries the pid so two runs pointed at one status path (a
+   configuration mistake) cannot corrupt each other's rename. *)
+let write t ~state ~now =
+  let text = render t ~state ~now in
+  let tmp = Printf.sprintf "%s.%d.tmp" t.path t.pid in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc text;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp t.path;
+  t.last_write_ns <- now
+
+let maybe_write t =
+  if not t.finalized then begin
+    let now = Clock.now_ns () in
+    if now - t.last_write_ns >= t.interval_ns then write t ~state:"running" ~now
+  end
+
+let tick t ~dom ~points ~survivors ~frac:_ =
+  Mutex.lock t.mutex;
+  let d =
+    match Hashtbl.find_opt t.doms dom with
+    | Some d -> d
+    | None ->
+      let d = { d_points = 0; d_survivors = 0 } in
+      Hashtbl.replace t.doms dom d;
+      d
+  in
+  d.d_points <- points;
+  d.d_survivors <- survivors;
+  maybe_write t;
+  Mutex.unlock t.mutex
+
+let chunk_tick t ~completed ~total =
+  Mutex.lock t.mutex;
+  if t.c_base < 0 then t.c_base <- completed;
+  t.c_done <- max t.c_done completed;
+  t.c_total <- total;
+  maybe_write t;
+  Mutex.unlock t.mutex
+
+let install t =
+  (* Coarse: end-of-run/chunk ticks are plenty for a 1 Hz heartbeat,
+     and they keep the engines off their instrumented path. *)
+  Obs.set_progress ~fine:false (tick t);
+  Obs.set_chunk_progress (chunk_tick t)
+
+let finalize t ~state =
+  Mutex.lock t.mutex;
+  if not t.finalized then begin
+    t.finalized <- true;
+    write t ~state ~now:(Clock.now_ns ())
+  end;
+  Mutex.unlock t.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Reading (beast top, tests)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  v_state : string;
+  v_run_id : string option;
+  v_space : string option;
+  v_shard : (int * int) option;
+  v_pid : int;
+  v_elapsed_s : float;
+  v_chunks_done : int;
+  v_chunks_total : int;
+  v_points : int;
+  v_survivors : int;
+  v_points_per_s : float;
+  v_survivor_rate : float;
+  v_eta_s : float option;
+  v_checkpoint_age_s : float option;
+  v_domains : (int * int * int) list;  (* dom, points, survivors *)
+}
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Jsonx.Error msg)) fmt
+
+let decode json =
+  (match Jsonx.member_opt "beast_status" json with
+  | None -> fail "not a status file (missing \"beast_status\" tag)"
+  | Some v ->
+    let version = Jsonx.to_int "beast_status" v in
+    if version <> 1 then
+      fail "unsupported status format version %d (this build reads 1)" version);
+  let opt_float name =
+    match Jsonx.member_opt name json with
+    | None | Some Jsonx.Null -> None
+    | Some v -> Some (Jsonx.to_float name v)
+  in
+  let chunks = Jsonx.member "chunks" json in
+  {
+    v_state = Jsonx.to_str "state" (Jsonx.member "state" json);
+    v_run_id = Option.map (Jsonx.to_str "run_id") (Jsonx.member_opt "run_id" json);
+    v_space = Option.map (Jsonx.to_str "space") (Jsonx.member_opt "space" json);
+    v_shard =
+      Option.map
+        (fun s ->
+          ( Jsonx.to_int "index" (Jsonx.member "index" s),
+            Jsonx.to_int "of" (Jsonx.member "of" s) ))
+        (Jsonx.member_opt "shard" json);
+    v_pid = Jsonx.to_int "pid" (Jsonx.member "pid" json);
+    v_elapsed_s = Jsonx.to_float "elapsed_s" (Jsonx.member "elapsed_s" json);
+    v_chunks_done = Jsonx.to_int "done" (Jsonx.member "done" chunks);
+    v_chunks_total = Jsonx.to_int "total" (Jsonx.member "total" chunks);
+    v_points = Jsonx.to_int "points" (Jsonx.member "points" json);
+    v_survivors = Jsonx.to_int "survivors" (Jsonx.member "survivors" json);
+    v_points_per_s =
+      Jsonx.to_float "points_per_s" (Jsonx.member "points_per_s" json);
+    v_survivor_rate =
+      Jsonx.to_float "survivor_rate" (Jsonx.member "survivor_rate" json);
+    v_eta_s = opt_float "eta_s";
+    v_checkpoint_age_s = opt_float "checkpoint_age_s";
+    v_domains =
+      List.map
+        (fun row ->
+          ( Jsonx.to_int "dom" (Jsonx.member "dom" row),
+            Jsonx.to_int "points" (Jsonx.member "points" row),
+            Jsonx.to_int "survivors" (Jsonx.member "survivors" row) ))
+        (Jsonx.to_list "domains" (Jsonx.member "domains" json));
+  }
+
+let of_json text =
+  match Jsonx.parse text with
+  | Error msg -> Error (Printf.sprintf "status: %s" msg)
+  | Ok json -> (
+    try Ok (decode json)
+    with Jsonx.Error msg -> Error (Printf.sprintf "status: %s" msg))
+
+let of_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Printf.sprintf "status: %s" msg)
+  | text -> of_json text

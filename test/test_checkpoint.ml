@@ -178,6 +178,7 @@ let test_interrupt_then_resume_byte_identical () =
           Engine_intf.ck_path = path;
           ck_every_s = 1e9;
           (* periodic writes never fire: only the forced final flush *)
+          ck_run_id = None;
           ck_shard = Stats_io.unsharded;
           ck_base_metrics = None;
         }
@@ -293,6 +294,7 @@ let test_fault_with_checkpoint_and_resume () =
           Engine_intf.ck_path = path;
           ck_every_s = 0.001;
           (* checkpoint after virtually every chunk *)
+          ck_run_id = None;
           ck_shard = Stats_io.unsharded;
           ck_base_metrics = None;
         }

@@ -170,6 +170,7 @@ let record_all r names pick =
 let stats_record ~shard_index ~shard_of metrics =
   {
     Stats_io.space = "gemm_synth";
+    run_id = None;
     shard = { Stats_io.shard_index; shard_of };
     survivors = 0;
     loop_iterations = 0;

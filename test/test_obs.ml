@@ -560,6 +560,63 @@ let test_progress_tty_redraw () =
     (content.[String.length content - 1] = '\n')
 
 (* ------------------------------------------------------------------ *)
+(* Jsonx \uXXXX decoding: escapes above 0x7f become UTF-8 bytes, with  *)
+(* surrogate pairs combined into the astral code point.                *)
+(* ------------------------------------------------------------------ *)
+
+let jsonx_str what text =
+  match Jsonx.parse text with
+  | Ok (Jsonx.Str s) -> s
+  | Ok _ -> Alcotest.failf "%s: parsed to a non-string" what
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let test_jsonx_unicode_escapes () =
+  Alcotest.(check string) "ascii escape" "A" (jsonx_str "u0041" {|"A"|});
+  Alcotest.(check string) "2-byte utf-8 (e acute)" "caf\xc3\xa9"
+    (jsonx_str "u00e9" {|"caf\u00e9"|});
+  Alcotest.(check string) "3-byte utf-8 (euro sign)" "\xe2\x82\xac"
+    (jsonx_str "u20ac" {|"\u20ac"|});
+  Alcotest.(check string) "4-byte utf-8 via surrogate pair"
+    "\xf0\x9f\x98\x80"
+    (jsonx_str "smiley" {|"\ud83d\ude00"|});
+  Alcotest.(check string) "text around the pair survives" "a\xf0\x9f\x98\x80b"
+    (jsonx_str "embedded" {|"a\ud83d\ude00b"|});
+  (* Case-insensitive hex, as in the JSON grammar. *)
+  Alcotest.(check string) "uppercase hex" "\xe2\x82\xac"
+    (jsonx_str "u20AC" {|"\u20AC"|})
+
+let test_jsonx_lone_surrogates_rejected () =
+  let rejects what text =
+    match Jsonx.parse text with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error _ -> ()
+  in
+  rejects "lone high surrogate" {|"\ud83d"|};
+  rejects "high surrogate chased by text" {|"\ud83dxy"|};
+  rejects "high surrogate chased by non-low escape" {|"\ud83dA"|};
+  rejects "lone low surrogate" {|"\ude00"|};
+  rejects "truncated escape" {|"\u00"|};
+  rejects "non-hex escape" {|"\uzzzz"|}
+
+let test_jsonx_unicode_round_trips_jsonl () =
+  (* An event label that needs every escape class must survive
+     write_event → parse_line byte-for-byte. *)
+  let name = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80" in
+  let ev =
+    {
+      Obs.ev_name = name;
+      ev_cat = "test";
+      ev_ts_ns = 1;
+      ev_dom = 0;
+      ev_kind = Obs.Instant;
+      ev_args = [];
+    }
+  in
+  let buf = Buffer.create 64 in
+  Sink_jsonl.write_event buf ev;
+  match Sink_jsonl.parse_line (String.trim (Buffer.contents buf)) with
+  | Error msg -> Alcotest.failf "parse_line: %s" msg
+  | Ok ev' -> Alcotest.(check string) "name round trips" name ev'.Obs.ev_name
 
 let () =
   Alcotest.run "obs"
@@ -598,5 +655,14 @@ let () =
           Alcotest.test_case "reporter output" `Quick
             test_progress_reporter_output;
           Alcotest.test_case "tty redraw mode" `Quick test_progress_tty_redraw;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "unicode escapes decode to utf-8" `Quick
+            test_jsonx_unicode_escapes;
+          Alcotest.test_case "lone surrogates rejected" `Quick
+            test_jsonx_lone_surrogates_rejected;
+          Alcotest.test_case "unicode survives a jsonl round trip" `Quick
+            test_jsonx_unicode_round_trips_jsonl;
         ] );
     ]

@@ -26,6 +26,7 @@ let test_json_roundtrip_escapes () =
   let r =
     {
       Stats_io.space = "we\"ird\\name\n\ttab";
+      run_id = None;
       shard = { Stats_io.shard_index = 2; shard_of = 5 };
       survivors = 0;
       loop_iterations = 0;
