@@ -662,6 +662,85 @@ let ablation_stealing () =
   close_out oc;
   print_endline "wrote BENCH_parallel.json"
 
+(* The full engine ladder of the paper's Figures 17-19: interpreted
+   enumeration, bytecode, staged closures, multicore, and finally the
+   generated C compiled and run as a subprocess — the headline
+   scripting-to-compiled trajectory (264 s vs 66 948 s in the paper,
+   ~253x). Native's time includes fork+exec and stats parsing; its
+   first run (reported separately) also includes the C compile, which
+   the binary cache amortizes away for every later sweep of the same
+   space. BENCH_native.json feeds the regression gate. *)
+let ablation_native () =
+  header
+    "Ablation: the engine ladder on GEMM (Figures 17-19 trajectory).\n\
+     interp -> vm -> staged -> parallel -> native (generated C, compiled,\n\
+     run as a subprocess). BENCH_native.json records the result.";
+  let max_dim = 32 and max_threads = 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let sp = Gemm.space ~settings () in
+  let specs = [ "interp"; "vm"; "staged"; "parallel:4"; "native" ] in
+  let native_cold = ref 0.0 in
+  let results =
+    List.map
+      (fun spec ->
+        match Engine_registry.find spec with
+        | Error msg -> failwith ("bench: " ^ spec ^ ": " ^ msg)
+        | Ok (module E : Engine_intf.S) ->
+          (* Warm-up run: native pays its one-time C compile here (kept
+             as the cold figure), parallel its domain spawn; then time
+             the steady state every later sweep sees. *)
+          let _, t_cold = time_once (fun () -> E.run_space sp) in
+          if spec = "native" then native_cold := t_cold;
+          let stats, t = time_once (fun () -> E.run_space sp) in
+          Printf.printf "%-12s %8.3f s, survivors %d\n" spec t
+            stats.Engine.survivors;
+          (spec, stats, t))
+      specs
+  in
+  let _, ref_stats, _ = List.hd results in
+  let engines_agree =
+    List.for_all (fun (_, s, _) -> s = ref_stats) results
+  in
+  let time_of spec =
+    let _, _, t = List.find (fun (s, _, _) -> s = spec) results in
+    t
+  in
+  let native_s = time_of "native" in
+  let native_fastest =
+    List.for_all
+      (fun (spec, _, t) -> spec = "native" || native_s < t)
+      results
+  in
+  Printf.printf "native first run (includes the C compile): %8.3f s\n"
+    !native_cold;
+  Printf.printf "all five engines agree: %b; native strictly fastest: %b\n"
+    engines_agree native_fastest;
+  let oc = open_out "BENCH_native.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"ablation-native\",\n\
+    \  \"space\": \"gemm\",\n\
+    \  \"max_dim\": %d,\n\
+    \  \"max_threads\": %d,\n\
+    \  \"survivors\": %d,\n\
+    \  \"loop_iterations\": %d,\n\
+    \  \"engines_agree\": %b,\n\
+    \  \"native_fastest\": %b,\n\
+    \  \"interp_s\": %.6f,\n\
+    \  \"vm_s\": %.6f,\n\
+    \  \"staged_s\": %.6f,\n\
+    \  \"parallel_s\": %.6f,\n\
+    \  \"native_s\": %.6f,\n\
+    \  \"native_cold_s\": %.6f\n\
+     }\n"
+    max_dim max_threads ref_stats.Engine.survivors
+    ref_stats.Engine.loop_iterations engines_agree native_fastest
+    (time_of "interp") (time_of "vm") (time_of "staged")
+    (time_of "parallel:4") native_s !native_cold;
+  close_out oc;
+  print_endline "wrote BENCH_native.json"
+
 let ablation_obs_overhead () =
   header
     "Ablation: observability overhead on the staged GEMM sweep.\n\
@@ -912,6 +991,35 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
            "overhead_pct" b_over c_over;
        raise Exit
      end;
+     if bench_kind = "ablation-native" then begin
+       exact_str "bench";
+       exact_str "space";
+       exact_int "max_dim";
+       exact_int "max_threads";
+       exact_int "survivors";
+       exact_int "loop_iterations";
+       check "engines_agree"
+         (Jsonx.to_bool "engines_agree" (Jsonx.member "engines_agree" cur))
+         "all five engines must produce identical statistics";
+       check "native_fastest"
+         (Jsonx.to_bool "native_fastest" (Jsonx.member "native_fastest" cur))
+         "the compiled tier must be strictly fastest of the five engines";
+       let b_native = Jsonx.to_float "native_s" (Jsonx.member "native_s" base)
+       and c_native = Jsonx.to_float "native_s" (Jsonx.member "native_s" cur)
+       and c_staged = Jsonx.to_float "staged_s" (Jsonx.member "staged_s" cur)
+       and c_interp = Jsonx.to_float "interp_s" (Jsonx.member "interp_s" cur) in
+       if gate_timing then
+         check "native_s"
+           (c_native <= b_native *. (1.0 +. (threshold_pct /. 100.0)))
+           (Printf.sprintf "baseline %.4fs, current %.4fs (threshold +%.0f%%)"
+              b_native c_native threshold_pct)
+       else
+         Printf.printf
+           "  %-28s info  native %.4fs vs staged %.4fs vs interp %.4fs (not \
+            gated; pass --gate-timing)\n"
+           "native_s" c_native c_staged c_interp;
+       raise Exit
+     end;
      if bench_kind = "ablation-provenance" then begin
        exact_str "bench";
        exact_str "space";
@@ -1076,6 +1184,7 @@ let () =
   ablation_provenance ();
   ablation_checkpoint ();
   ablation_status ();
+  ablation_native ();
   (match trace with
   | None -> ()
   | Some _ -> Obs.clear_sink ());

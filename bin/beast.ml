@@ -379,6 +379,13 @@ let with_config ?space ?engine cfg f =
     finalize_manifest 1;
     Format.eprintf "beast: %s@." msg;
     exit 1
+  | exception Engine_native.Error msg ->
+    (* Graceful degradation for the compiled tier: untranslatable space,
+       missing compiler, failed compile — one actionable line, exit 2,
+       never an exception trace. *)
+    finalize_manifest 2;
+    Format.eprintf "beast: %s@." msg;
+    exit 2
   | exception e ->
     (* Cmdliner maps an uncaught exception to its internal-error code. *)
     finalize_manifest 125;
@@ -1331,6 +1338,27 @@ let runs_cmd =
           time — or inspect a single manifest file")
     Term.(const run $ target_arg)
 
+(* ------------------------------------------------------------------ *)
+(* engines                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let engines_cmd =
+  (* Generated from the registry's catalog, so this listing (and the
+     --engine help text above) can never drift from what [find]
+     accepts. *)
+  let run () =
+    List.iter
+      (fun (spec, desc) -> Format.printf "%-18s  %s@." spec desc)
+      Engine_registry.catalog
+  in
+  Cmd.v
+    (Cmd.info "engines"
+       ~doc:
+         "List the evaluation engines accepted by --engine, with their \
+          parameters and one-line descriptions (generated from the engine \
+          registry)")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "beast" ~version:"1.0.0"
@@ -1339,6 +1367,6 @@ let main =
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
       funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd;
-      top_cmd; runs_cmd ]
+      top_cmd; runs_cmd; engines_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -6,7 +6,12 @@
     The emitted translation unit contains:
     - [beast_sweep_slice(slice_index, slice_count, prune_counts,
       loop_iterations, survivor_hook)] enumerating a round-robin slice of
-      the outermost loop (slice 0 of 1 is the whole space);
+      the outermost loop (slice 0 of 1 is the whole space). Steps before
+      the first loop execute in every slice, but only slice 0 counts
+      their statistics (depth-0 constraint firings, the yield of a
+      loop-free plan), so per-slice totals sum to exactly the
+      sequential run's — the invariant {!Engine_native} relies on for
+      byte-identical multithreaded stats;
     - [beast_sweep(...)] — the single-threaded entry;
     - a [main] that runs the sweep (across [threads] POSIX threads when
       [threads > 1]) and prints the statistics in a stable, parseable

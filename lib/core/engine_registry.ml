@@ -63,7 +63,49 @@ let parallel domains : (module Engine_intf.S) =
             ~domains plan)
   end)
 
-let names = [ "interp-naive"; "interp"; "vm"; "staged"; "parallel[:DOMAINS]" ]
+module Native : Engine_intf.S = struct
+  let name = "native"
+  let plan_based = true
+  let run_space ?on_hit space = Engine_native.run_space ?on_hit space
+  let run_plan ?on_hit plan = Engine_native.run ?on_hit plan
+  let resumable = None
+end
+
+let default_native_threads = 1
+
+let native threads : (module Engine_intf.S) =
+  if threads < 1 then invalid_arg "Engine_registry.native: threads < 1";
+  (module struct
+    let name = Printf.sprintf "native-%d" threads
+    let plan_based = true
+
+    let run_space ?on_hit space =
+      Engine_native.run_space ?on_hit ~threads space
+
+    let run_plan ?on_hit plan = Engine_native.run ?on_hit ~threads plan
+    let resumable = None
+  end)
+
+(* The single source of truth for what engines exist: [names] (help
+   text, error messages) and the [beast engines] listing both derive
+   from it, so neither can drift from [find]. *)
+let catalog =
+  [
+    ( "interp-naive",
+      "tree-walking interpreter, nothing hoisted (the paper's \
+       scripting-language baseline)" );
+    ("interp", "tree-walking interpreter over the hoisted plan");
+    ("vm", "bytecode compiler + stack VM");
+    ("staged", "closure-staged compiler (the default)");
+    ( "parallel[:DOMAINS]",
+      "work-stealing staged sweep across OCaml domains (default 4); the \
+       only resumable engine" );
+    ( "native[:THREADS]",
+      "generated C compiled with $BEAST_CC/cc -O2 and run as a subprocess \
+       (default 1 thread)" );
+  ]
+
+let names = List.map fst catalog
 
 let find spec : ((module Engine_intf.S), string) result =
   let base, param =
@@ -96,6 +138,16 @@ let find spec : ((module Engine_intf.S), string) result =
       | None ->
         Error
           (Printf.sprintf "parallel: expected a domain count, got %S" p)))
+  | "native" -> (
+    match param with
+    | None -> Ok (module Native : Engine_intf.S)
+    | Some p -> (
+      match int_of_string_opt p with
+      | Some n when n >= 1 -> Ok (native n)
+      | Some n ->
+        Error (Printf.sprintf "native: need at least 1 thread (got %d)" n)
+      | None ->
+        Error (Printf.sprintf "native: expected a thread count, got %S" p)))
   | _ ->
     Error
       (Printf.sprintf "unknown engine %s (try: %s)" spec

@@ -9,6 +9,7 @@ module Interp_naive : Engine_intf.S
 module Interp : Engine_intf.S
 module Vm : Engine_intf.S
 module Staged : Engine_intf.S
+module Native : Engine_intf.S
 
 val default_parallel_domains : int
 (** 4 — what bare ["parallel"] resolves to. *)
@@ -18,8 +19,22 @@ val parallel : int -> (module Engine_intf.S)
     only engine whose [resumable] is populated.
     @raise Invalid_argument if [domains < 1]. *)
 
+val default_native_threads : int
+(** 1 — what bare ["native"] resolves to. *)
+
+val native : int -> (module Engine_intf.S)
+(** The compiled tier ({!Engine_native}) with the given pthread fan-out
+    baked into the generated [main].
+    @raise Invalid_argument if [threads < 1]. *)
+
+val catalog : (string * string) list
+(** Accepted specs with their one-line descriptions — what
+    [beast engines] prints. {!names} derives from it, so the listing,
+    the help text and {!find} can never drift apart. *)
+
 val names : string list
-(** Accepted specs, for help text and error messages. *)
+(** Accepted specs ([List.map fst catalog]), for help text and error
+    messages. *)
 
 val find : string -> ((module Engine_intf.S), string) result
 (** Resolve an engine spec: a bare name (["staged"], ["parallel"]) or a
