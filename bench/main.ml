@@ -24,6 +24,13 @@ let quick = Sys.getenv_opt "BEAST_BENCH_QUICK" <> None
 let fast = quick || Sys.getenv_opt "BEAST_BENCH_FAST" <> None
 let scale n = if fast then n / 10 else n
 
+(* Version of the BENCH_*.json field layout. Stamped into every artifact
+   this harness writes; the gate refuses a --baseline whose version
+   differs (an absent field reads as 0, covering pre-versioning
+   baselines) instead of failing one field at a time with misleading
+   diffs. Bump it when a bench record's fields change shape. *)
+let bench_schema_version = 1
+
 let line () = print_endline (String.make 72 '-')
 
 let header title =
@@ -642,6 +649,7 @@ let ablation_stealing () =
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"ablation-stealing\",\n\
+    \  \"bench_schema\": %d,\n\
     \  \"space\": \"gemm+skew_blocking\",\n\
     \  \"max_dim\": %d,\n\
     \  \"domains\": %d,\n\
@@ -655,7 +663,8 @@ let ablation_stealing () =
     \  \"speedup\": %.3f,\n\
     \  \"stats_match_sequential\": %b\n\
      }\n"
-    max_dim domains n_chunks seq.Engine.survivors seq.Engine.loop_iterations
+    bench_schema_version max_dim domains n_chunks seq.Engine.survivors
+    seq.Engine.loop_iterations
     (String.concat ", "
        (List.map (fun s -> Printf.sprintf "%.2f" s) slice_shares))
     max_chunk_share t_static t_steal (t_static /. t_steal) agree;
@@ -720,6 +729,7 @@ let ablation_native () =
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"ablation-native\",\n\
+    \  \"bench_schema\": %d,\n\
     \  \"space\": \"gemm\",\n\
     \  \"max_dim\": %d,\n\
     \  \"max_threads\": %d,\n\
@@ -734,7 +744,7 @@ let ablation_native () =
     \  \"native_s\": %.6f,\n\
     \  \"native_cold_s\": %.6f\n\
      }\n"
-    max_dim max_threads ref_stats.Engine.survivors
+    bench_schema_version max_dim max_threads ref_stats.Engine.survivors
     ref_stats.Engine.loop_iterations engines_agree native_fastest
     (time_of "interp") (time_of "vm") (time_of "staged")
     (time_of "parallel:4") native_s !native_cold;
@@ -809,6 +819,7 @@ let ablation_provenance () =
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"ablation-provenance\",\n\
+    \  \"bench_schema\": %d,\n\
     \  \"space\": \"gemm\",\n\
     \  \"max_dim\": %d,\n\
     \  \"survivors\": %d,\n\
@@ -818,8 +829,8 @@ let ablation_provenance () =
     \  \"on_ms\": %.3f,\n\
     \  \"overhead_pct\": %.1f\n\
      }\n"
-    max_dim stats.Engine.survivors removed exact (off *. 1e-6) (on *. 1e-6)
-    overhead_pct;
+    bench_schema_version max_dim stats.Engine.survivors removed exact
+    (off *. 1e-6) (on *. 1e-6) overhead_pct;
   close_out oc;
   print_endline "wrote BENCH_provenance.json"
 
@@ -886,6 +897,7 @@ let ablation_status () =
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"ablation-status\",\n\
+    \  \"bench_schema\": %d,\n\
     \  \"space\": \"gemm\",\n\
     \  \"max_dim\": %d,\n\
     \  \"survivors\": %d,\n\
@@ -895,8 +907,8 @@ let ablation_status () =
     \  \"on_ms\": %.3f,\n\
     \  \"overhead_pct\": %.1f\n\
      }\n"
-    max_dim stats.Engine.survivors status_parses flight_nonempty (off *. 1e-6)
-    (on *. 1e-6) overhead_pct;
+    bench_schema_version max_dim stats.Engine.survivors status_parses
+    flight_nonempty (off *. 1e-6) (on *. 1e-6) overhead_pct;
   close_out oc;
   print_endline "wrote BENCH_status.json"
 
@@ -931,6 +943,22 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
   in
   let base = load "baseline" baseline_file in
   let cur = load "current" current_file in
+  (* Refuse a baseline from a different field layout outright: gating
+     current fields against a stale shape fails one field at a time with
+     misleading diffs. An absent field reads as version 0 (pre-versioning
+     files). *)
+  let base_schema =
+    match Jsonx.member_opt "bench_schema" base with
+    | None -> 0
+    | Some v -> ( try Jsonx.to_int "bench_schema" v with Jsonx.Error _ -> 0)
+  in
+  if base_schema <> bench_schema_version then begin
+    Printf.eprintf
+      "bench gate: baseline %s has bench_schema %d but this harness writes \
+       %d; regenerate it with --write-baseline\n"
+      baseline_file base_schema bench_schema_version;
+    exit 1
+  end;
   header
     (Printf.sprintf "Regression gate: %s vs baseline %s" current_file
        baseline_file);
@@ -1107,16 +1135,77 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
   end
   else print_endline "bench gate: all checks passed"
 
+(* Canonicalize a bench artifact into a committed baseline: parse,
+   stamp the current bench_schema right after the dispatch field, and
+   re-emit through the deterministic Jsonx printer, so regenerated
+   baselines differ only where the measurements did. *)
+let write_baseline_file ~current_file ~out_file =
+  match load_bench_json current_file with
+  | Error msg ->
+    Printf.eprintf "bench: cannot read %s: %s\n" current_file msg;
+    exit 1
+  | Ok json ->
+    let json =
+      match json with
+      | Jsonx.Obj members ->
+        let members =
+          List.filter (fun (k, _) -> k <> "bench_schema") members
+        in
+        let stamp = ("bench_schema", Jsonx.Int bench_schema_version) in
+        Jsonx.Obj
+          (match members with
+          | ("bench", v) :: rest -> ("bench", v) :: stamp :: rest
+          | rest -> stamp :: rest)
+      | other -> other
+    in
+    let oc = open_out_bin out_file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Jsonx.pretty json));
+    Printf.printf "wrote baseline %s (bench_schema %d)\n" out_file
+      bench_schema_version
+
+(* Append the ablation artifacts to the cross-run archive, so
+   [beast trends] sees the bench timeline alongside sweep records. *)
+let archive_bench_results dir =
+  let commit = Archive.commit_from_env () in
+  let host = Unix.gethostname () in
+  List.iter
+    (fun file ->
+      if Sys.file_exists file then
+        match load_bench_json file with
+        | Error msg ->
+          Printf.eprintf "bench: archive: %s: %s\n" file msg;
+          exit 1
+        | Ok payload -> (
+          match Archive.ingest ~dir ?commit ~host payload with
+          | Ok (r, true) ->
+            Printf.printf "archived %s as %s (seq %d)\n" file
+              r.Archive.meta.Archive.a_id r.Archive.meta.Archive.a_seq
+          | Ok (r, false) ->
+            Printf.printf "%s already archived as %s\n" file
+              r.Archive.meta.Archive.a_id
+          | Error msg ->
+            Printf.eprintf "bench: archive: %s: %s\n" file msg;
+            exit 1))
+    [
+      "BENCH_parallel.json"; "BENCH_native.json"; "BENCH_provenance.json";
+      "BENCH_status.json";
+    ]
+
 let () =
   let baseline = ref None in
   let threshold = ref 25.0 in
   let compare_only = ref false in
   let gate_timing = ref false in
   let current_file = ref "BENCH_parallel.json" in
+  let write_baseline = ref None in
+  let archive_dir = ref None in
   let usage () =
     prerr_endline
       "usage: main.exe [--baseline FILE] [--current FILE] [--threshold PCT] \
-       [--gate-timing] [--compare-only]";
+       [--gate-timing] [--compare-only] [--write-baseline FILE] \
+       [--archive DIR]";
     exit 2
   in
   let rec parse = function
@@ -1139,14 +1228,31 @@ let () =
     | "--gate-timing" :: rest ->
       gate_timing := true;
       parse rest
+    | "--write-baseline" :: f :: rest ->
+      write_baseline := Some f;
+      parse rest
+    | "--archive" :: d :: rest ->
+      archive_dir := Some d;
+      parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !compare_only then begin
+    (match !write_baseline with
+    | Some out -> write_baseline_file ~current_file:!current_file ~out_file:out
+    | None -> ());
+    (match !archive_dir with
+    | Some dir -> archive_bench_results dir
+    | None -> ());
     match !baseline with
     | None ->
-      prerr_endline "bench gate: --compare-only needs --baseline FILE";
-      exit 2
+      if !write_baseline = None && !archive_dir = None then begin
+        prerr_endline
+          "bench gate: --compare-only needs --baseline, --write-baseline or \
+           --archive";
+        exit 2
+      end
+      else exit 0
     | Some baseline_file ->
       compare_baseline ~baseline_file ~current_file:!current_file
         ~threshold_pct:!threshold ~gate_timing:!gate_timing;
@@ -1198,6 +1304,12 @@ let () =
     Printf.printf "wrote %d trace events to %s\n" (Recorder.event_count r) file);
   line ();
   print_endline "done; see EXPERIMENTS.md for paper-vs-measured discussion.";
+  (match !write_baseline with
+  | Some out -> write_baseline_file ~current_file:!current_file ~out_file:out
+  | None -> ());
+  (match !archive_dir with
+  | Some dir -> archive_bench_results dir
+  | None -> ());
   match !baseline with
   | None -> ()
   | Some baseline_file ->

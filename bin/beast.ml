@@ -262,6 +262,23 @@ let run_id_arg =
   in
   Arg.(value & opt (some string) None & info [ "run-id" ] ~docv:"ID" ~doc)
 
+let archive_flag_arg =
+  let doc =
+    "On clean completion, ingest the run's statistics (funnel, \
+     per-constraint fired counts, metrics and provenance when recorded) \
+     into the cross-run performance archive; compare runs with \
+     $(b,beast diff) and watch the timeline with $(b,beast trends)."
+  in
+  Arg.(value & flag & info [ "archive" ] ~doc)
+
+let archive_dir_arg =
+  let doc =
+    "Archive directory for --archive (default: $(b,\\$BEAST_ARCHIVE) or \
+     $(b,.beast/archive))."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "archive-dir" ] ~docv:"DIR" ~doc)
+
 (* The observability settings shared by every instrumented subcommand,
    assembled into one Run_config record instead of a dozen loose values
    threaded through each term. *)
@@ -293,7 +310,8 @@ let obs_config_term =
 (* Sweep adds sharding, the checkpoint/resume/fault settings and the
    provenance collector on top. *)
 let sweep_config_term =
-  let build cfg shard checkpoint checkpoint_every_s resume fault explain_out =
+  let build cfg shard checkpoint checkpoint_every_s resume fault explain_out
+      archive archive_dir =
     {
       cfg with
       Run_config.shard;
@@ -302,11 +320,14 @@ let sweep_config_term =
       resume;
       fault;
       explain_out;
+      archive;
+      archive_dir;
     }
   in
   Term.(
     const build $ obs_config_term $ shard_arg $ checkpoint_arg
-    $ checkpoint_every_arg $ resume_arg $ fault_arg $ explain_out_arg)
+    $ checkpoint_every_arg $ resume_arg $ fault_arg $ explain_out_arg
+    $ archive_flag_arg $ archive_dir_arg)
 
 (* Validate the config, then run [f] under its instrumentation. [f]
    receives the effective run id (explicit --run-id, or freshly minted
@@ -642,6 +663,39 @@ let sweep_term =
                    stats);
               Format.eprintf "wrote pruning provenance to %s@." file
             | _ -> ());
+            (* Archive ingestion happens last and never fails the run: a
+               completed sweep's exit code should not depend on the
+               history store. The payload carries the minted run id, so
+               repeated identical sweeps archive as distinct records and
+               the trends timeline actually accumulates. *)
+            (if cfg.Run_config.archive then begin
+               let dir =
+                 match cfg.Run_config.archive_dir with
+                 | Some d -> d
+                 | None -> Archive.default_dir ()
+               in
+               let record =
+                 Stats_io.of_stats ~plan ?run_id ~shard:shard_info
+                   ?metrics:(pooled_metrics resume_ck)
+                   ?provenance:
+                     (Option.map Provenance.summary (Provenance.current ()))
+                   stats
+               in
+               match
+                 Archive.ingest ~dir ~engine:E.name
+                   ?commit:(Archive.commit_from_env ())
+                   ~host:(Unix.gethostname ())
+                   (Stats_io.to_jsonx record)
+               with
+               | Ok (r, true) ->
+                 Format.eprintf "archived run as %s (seq %d) in %s@."
+                   r.Archive.meta.Archive.a_id r.Archive.meta.Archive.a_seq
+                   dir
+               | Ok (r, false) ->
+                 Format.eprintf "run already archived as %s in %s@."
+                   r.Archive.meta.Archive.a_id dir
+               | Error msg -> Format.eprintf "beast: archive: %s@." msg
+             end);
             0))
   in
   Term.(
@@ -1310,8 +1364,112 @@ let runs_cmd =
     Format.printf "%-12s  %-14s  %-7s  %-10s  %-11s  %-4s  %s@." "run" "space"
       "shard" "engine" "status" "exit" "wall"
   in
-  let run target =
+  let prune_arg =
+    let doc =
+      "Remove finished and unreadable manifests from the directory \
+       (running manifests whose process is still alive are always \
+       kept); restrict with --keep/--older-than, preview with \
+       --dry-run."
+    in
+    Arg.(value & flag & info [ "prune" ] ~doc)
+  in
+  let keep_arg =
+    let doc = "With --prune: keep the $(docv) most recently written manifests." in
+    Arg.(value & opt (some int) None & info [ "keep" ] ~docv:"N" ~doc)
+  in
+  let older_than_arg =
+    let doc =
+      "With --prune: only remove manifests last written more than \
+       $(docv) seconds ago."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "older-than" ] ~docv:"SECONDS" ~doc)
+  in
+  let dry_run_arg =
+    let doc = "With --prune: print what would be removed, remove nothing." in
+    Arg.(value & flag & info [ "dry-run" ] ~doc)
+  in
+  (* A "running" manifest may belong to a process that died without
+     finalizing (SIGKILL, power loss); signal 0 probes liveness. EPERM
+     means the pid exists under another user — treat it as alive. *)
+  let pid_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception _ -> true
+  in
+  let prune_dir dir ~keep ~older_than ~dry_run =
+    let now = Unix.gettimeofday () in
+    let entries =
+      Run_meta.entries ~dir
+      |> List.map (fun (file, r) ->
+             let mtime =
+               match Unix.stat file with
+               | st -> st.Unix.st_mtime
+               | exception Unix.Unix_error _ -> 0.0
+             in
+             (file, r, mtime))
+      (* Newest first, so --keep N protects the N most recent. *)
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    in
+    let keep_n = Option.value keep ~default:0 in
+    let victims =
+      List.filteri
+        (fun pos (_, r, mtime) ->
+          pos >= keep_n
+          && (match older_than with
+             | Some s -> now -. mtime > s
+             | None -> true)
+          &&
+          match r with
+          | Error _ -> true (* unreadable: prune *)
+          | Ok m ->
+            not (m.Run_meta.status = Run_meta.Running && pid_alive m.Run_meta.pid))
+        entries
+    in
+    List.iter
+      (fun (file, r, _) ->
+        let why =
+          match r with
+          | Error _ -> "unreadable"
+          | Ok m -> Run_meta.status_name m.Run_meta.status
+        in
+        if dry_run then Format.printf "would remove %s (%s)@." file why
+        else begin
+          (try Sys.remove file with Sys_error _ -> ());
+          Format.printf "removed %s (%s)@." file why
+        end)
+      victims;
+    Format.printf "%s %d of %d manifest file%s in %s@."
+      (if dry_run then "would prune" else "pruned")
+      (List.length victims) (List.length entries)
+      (if List.length entries = 1 then "" else "s")
+      dir
+  in
+  let run target prune keep older_than dry_run =
+    if (keep <> None || older_than <> None || dry_run) && not prune then begin
+      Format.eprintf
+        "beast runs: --keep, --older-than and --dry-run need --prune@.";
+      exit 2
+    end;
+    (match keep with
+    | Some n when n < 0 ->
+      Format.eprintf "beast runs: --keep must be non-negative@.";
+      exit 2
+    | _ -> ());
+    (match older_than with
+    | Some s when s < 0.0 ->
+      Format.eprintf "beast runs: --older-than must be non-negative@.";
+      exit 2
+    | _ -> ());
     if Sys.file_exists target && not (Sys.is_directory target) then begin
+      if prune then begin
+        Format.eprintf
+          "beast runs: --prune needs a runs directory, not a file@.";
+        exit 2
+      end;
       match Run_meta.of_file target with
       | Error msg ->
         Format.eprintf "beast runs: %s: %s@." target msg;
@@ -1320,10 +1478,21 @@ let runs_cmd =
         header ();
         describe m
     end
+    else if prune then prune_dir target ~keep ~older_than ~dry_run
     else begin
-      match Run_meta.list ~dir:target with
+      let entries = Run_meta.entries ~dir:target in
+      List.iter
+        (fun (file, r) ->
+          match r with
+          | Error msg ->
+            Format.eprintf "beast runs: skipping %s: %s@." file msg
+          | Ok _ -> ())
+        entries;
+      match
+        List.filter_map (fun (_, r) -> Result.to_option r) entries
+      with
       | [] ->
-        Format.eprintf "beast runs: no manifests in %s@." target;
+        Format.eprintf "beast runs: no readable manifests in %s@." target;
         exit 1
       | manifests ->
         header ();
@@ -1335,8 +1504,523 @@ let runs_cmd =
        ~doc:
          "List the run manifests in a runs directory (sweep --runs DIR): \
           run id, space, shard, engine, outcome, exit code and wall \
-          time — or inspect a single manifest file")
-    Term.(const run $ target_arg)
+          time — or inspect a single manifest file. With --prune, \
+          remove finished and unreadable manifests (never a live run's)")
+    Term.(
+      const run $ target_arg $ prune_arg $ keep_arg $ older_than_arg
+      $ dry_run_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-run archive: beast archive / diff / trends                    *)
+(* ------------------------------------------------------------------ *)
+
+let archive_store_arg =
+  let doc =
+    "Archive directory (default: $(b,\\$BEAST_ARCHIVE) or \
+     $(b,.beast/archive))."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let resolve_archive_dir = function
+  | Some d -> d
+  | None -> Archive.default_dir ()
+
+let read_text file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> Ok text
+
+let describe_record (r : Archive.record) =
+  let m = r.Archive.meta in
+  Printf.sprintf "%s %s%s%s" m.Archive.a_kind m.Archive.a_label
+    (match m.Archive.a_engine with
+    | None -> ""
+    | Some e -> " · engine " ^ e)
+    (if m.Archive.a_seq > 0 then
+       Printf.sprintf " · %s (seq %d)" m.Archive.a_id m.Archive.a_seq
+     else "")
+
+let archive_ingest_cmd =
+  let files_arg =
+    let doc =
+      "Sweep statistics files (sweep --stats-out/--explain-out) or \
+       BENCH_*.json ablation results to append to the archive."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc)
+  in
+  let engine_override_arg =
+    let doc = "Record $(docv) as the producing engine spec." in
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc)
+  in
+  let run_id_override_arg =
+    let doc =
+      "Record $(docv) as the run id when the payload carries none \
+       (distinct run ids keep otherwise-identical payloads as separate \
+       timeline points)."
+    in
+    Arg.(value & opt (some string) None & info [ "run-id" ] ~docv:"ID" ~doc)
+  in
+  let commit_override_arg =
+    let doc =
+      "Record $(docv) as the producing git commit (default: \
+       $(b,\\$BEAST_COMMIT), then $(b,\\$GITHUB_SHA))."
+    in
+    Arg.(value & opt (some string) None & info [ "commit" ] ~docv:"SHA" ~doc)
+  in
+  let host_override_arg =
+    let doc = "Record $(docv) as the producing host (default: this host)." in
+    Arg.(value & opt (some string) None & info [ "host" ] ~docv:"NAME" ~doc)
+  in
+  let run files dir engine run_id commit host =
+    let dir = resolve_archive_dir dir in
+    let commit =
+      match commit with Some _ as c -> c | None -> Archive.commit_from_env ()
+    in
+    let host =
+      match host with Some _ as h -> h | None -> Some (Unix.gethostname ())
+    in
+    let failed = ref false in
+    List.iter
+      (fun file ->
+        let outcome =
+          match read_text file with
+          | Error msg -> Error msg
+          | Ok text -> (
+            match Jsonx.parse text with
+            | Error msg -> Error msg
+            | Ok payload ->
+              Archive.ingest ~dir ?engine ?run_id ?commit ?host payload)
+        in
+        match outcome with
+        | Ok (r, true) ->
+          Format.printf "archived %s as %s (seq %d)@." file
+            r.Archive.meta.Archive.a_id r.Archive.meta.Archive.a_seq
+        | Ok (r, false) ->
+          Format.printf "%s already archived as %s@." file
+            r.Archive.meta.Archive.a_id
+        | Error msg ->
+          Format.eprintf "beast archive: %s: %s@." file msg;
+          failed := true)
+      files;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Append run results to the archive: one content-addressed \
+          record per file, deduplicated by content, tagged with engine, \
+          commit and host")
+    Term.(
+      const run $ files_arg $ archive_store_arg $ engine_override_arg
+      $ run_id_override_arg $ commit_override_arg $ host_override_arg)
+
+let archive_list_cmd =
+  let space_filter_arg =
+    let doc = "Only records of this space (or bench name)." in
+    Arg.(value & opt (some string) None & info [ "space" ] ~docv:"NAME" ~doc)
+  in
+  let engine_filter_arg =
+    let doc = "Only records produced by this engine spec." in
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc)
+  in
+  let commit_filter_arg =
+    let doc = "Only records produced at this git commit." in
+    Arg.(value & opt (some string) None & info [ "commit" ] ~docv:"SHA" ~doc)
+  in
+  let run dir space engine commit =
+    let dir = resolve_archive_dir dir in
+    let records, errors = Archive.load ~dir in
+    List.iter
+      (fun (file, msg) ->
+        Format.eprintf "beast archive: skipping %s: %s@." file msg)
+      errors;
+    let keep (r : Archive.record) =
+      let m = r.Archive.meta in
+      (match space with None -> true | Some s -> m.Archive.a_label = s)
+      && (match engine with
+         | None -> true
+         | Some e -> m.Archive.a_engine = Some e)
+      && match commit with
+         | None -> true
+         | Some c -> m.Archive.a_commit = Some c
+    in
+    match List.filter keep records with
+    | [] ->
+      Format.eprintf "beast archive: no matching records in %s@." dir;
+      exit 1
+    | records ->
+      Format.printf "%-4s  %-12s  %-6s  %-18s  %-12s  %-12s  %-8s  %s@." "seq"
+        "id" "kind" "label" "engine" "run" "commit" "host";
+      List.iter
+        (fun (r : Archive.record) ->
+          let m = r.Archive.meta in
+          let opt = Option.value ~default:"-" in
+          let commit8 =
+            match m.Archive.a_commit with
+            | None -> "-"
+            | Some c -> if String.length c > 8 then String.sub c 0 8 else c
+          in
+          Format.printf "%-4d  %-12s  %-6s  %-18s  %-12s  %-12s  %-8s  %s@."
+            m.Archive.a_seq m.Archive.a_id m.Archive.a_kind m.Archive.a_label
+            (opt m.Archive.a_engine) (opt m.Archive.a_run_id) commit8
+            (opt m.Archive.a_host))
+        records
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List archive records, filterable by space, engine and commit")
+    Term.(
+      const run $ archive_store_arg $ space_filter_arg $ engine_filter_arg
+      $ commit_filter_arg)
+
+let archive_show_cmd =
+  let id_arg =
+    let doc = "Record id (a unique prefix suffices)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run dir id =
+    let dir = resolve_archive_dir dir in
+    match Archive.find ~dir id with
+    | Error msg ->
+      Format.eprintf "beast archive: %s@." msg;
+      exit 1
+    | Ok r ->
+      let m = r.Archive.meta in
+      let opt = Option.value ~default:"-" in
+      Format.printf "id      %s  (seq %d)@." m.Archive.a_id m.Archive.a_seq;
+      Format.printf "kind    %s@." m.Archive.a_kind;
+      Format.printf "label   %s@." m.Archive.a_label;
+      Format.printf "engine  %s@." (opt m.Archive.a_engine);
+      Format.printf "run     %s@." (opt m.Archive.a_run_id);
+      Format.printf "commit  %s@." (opt m.Archive.a_commit);
+      Format.printf "host    %s@." (opt m.Archive.a_host);
+      Format.printf "series  (%d)@." (List.length r.Archive.series);
+      List.iter
+        (fun (name, value) ->
+          Format.printf "  %-52s %14s@." name (Units.float_g value))
+        r.Archive.series
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Show one archive record: identity metadata and every extracted \
+          series value (a tampered record is rejected, not shown)")
+    Term.(const run $ archive_store_arg $ id_arg)
+
+let archive_cmd =
+  Cmd.group
+    (Cmd.info "archive"
+       ~doc:
+         "The cross-run performance archive: append-only, \
+          content-addressed records of sweep statistics and bench \
+          results under \\$BEAST_ARCHIVE (default .beast/archive)")
+    [ archive_ingest_cmd; archive_list_cmd; archive_show_cmd ]
+
+let flag_name = function
+  | Archive.Same -> "same"
+  | Archive.Changed -> "changed"
+  | Archive.Regressed -> "regressed"
+  | Archive.Only_a -> "only A"
+  | Archive.Only_b -> "only B"
+
+let diff_cmd =
+  let a_arg =
+    let doc =
+      "Baseline run: a stats/bench/record file, or an archive id prefix."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc =
+      "Candidate run: a stats/bench/record file, or an archive id prefix."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Allowed growth of a timing series from A to B, in percent; \
+       count series flag on any change."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the machine-readable verdict as JSON on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  (* An operand that names an existing file is loaded directly (an
+     archive record file revalidates; anything else ingests transiently
+     without touching the store); otherwise it resolves as an id prefix
+     in the archive directory. *)
+  let resolve dir spec =
+    if Sys.file_exists spec && not (Sys.is_directory spec) then
+      match read_text spec with
+      | Error msg -> Error (Printf.sprintf "%s: %s" spec msg)
+      | Ok text -> (
+        match Jsonx.parse text with
+        | Error msg -> Error (Printf.sprintf "%s: %s" spec msg)
+        | Ok json ->
+          if Jsonx.member_opt "beast_archive" json <> None then
+            Result.map_error
+              (fun msg -> Printf.sprintf "%s: %s" spec msg)
+              (Archive.of_json text)
+          else
+            Result.map_error
+              (fun msg -> Printf.sprintf "%s: %s" spec msg)
+              (Archive.make ~seq:0 json))
+    else Archive.find ~dir spec
+  in
+  let run a b dir threshold json =
+    let dir = resolve_archive_dir dir in
+    let get spec =
+      match resolve dir spec with
+      | Ok r -> r
+      | Error msg ->
+        Format.eprintf "beast diff: %s@." msg;
+        exit 1
+    in
+    let ra = get a and rb = get b in
+    let deltas = Archive.diff ~threshold_pct:threshold ra rb in
+    let flagged = Archive.regressions deltas in
+    if json then begin
+      let num = function
+        | None -> Jsonx.Null
+        | Some v -> Jsonx.Float v
+      in
+      let delta_json (d : Archive.delta) =
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str d.Archive.d_name);
+            ( "class",
+              Jsonx.Str (if d.Archive.d_timing then "timing" else "count") );
+            ("a", num d.Archive.d_a);
+            ("b", num d.Archive.d_b);
+            ("flag", Jsonx.Str (flag_name d.Archive.d_flag));
+          ]
+      in
+      print_string
+        (Jsonx.pretty
+           (Jsonx.Obj
+              [
+                ("beast_diff", Jsonx.Int 1);
+                ("a", Jsonx.Str (describe_record ra));
+                ("b", Jsonx.Str (describe_record rb));
+                ("threshold_pct", Jsonx.Float threshold);
+                ("compared", Jsonx.Int (List.length deltas));
+                ("deltas", Jsonx.Arr (List.map delta_json deltas));
+                ( "regressions",
+                  Jsonx.Arr
+                    (List.map
+                       (fun (d : Archive.delta) -> Jsonx.Str d.Archive.d_name)
+                       flagged) );
+                ( "verdict",
+                  Jsonx.Str (if flagged = [] then "ok" else "regression") );
+              ]))
+    end
+    else begin
+      Format.printf "A: %s@." (describe_record ra);
+      Format.printf "B: %s@." (describe_record rb);
+      Format.printf "%-52s %14s %14s %10s  %s@." "series" "A" "B" "delta"
+        "flag";
+      List.iter
+        (fun (d : Archive.delta) ->
+          let fmt = function
+            | None -> "-"
+            | Some v -> Units.float_g v
+          in
+          let rel =
+            match (d.Archive.d_a, d.Archive.d_b) with
+            | Some x, Some y when x <> 0.0 ->
+              Units.signed_pct (100.0 *. (y -. x) /. x)
+            | _ -> "n/a"
+          in
+          Format.printf "%-52s %14s %14s %10s  %s@." d.Archive.d_name
+            (fmt d.Archive.d_a) (fmt d.Archive.d_b) rel
+            (if d.Archive.d_flag = Archive.Same then ""
+             else flag_name d.Archive.d_flag))
+        deltas;
+      Format.printf "compared %d series: %d identical, %d flagged@."
+        (List.length deltas)
+        (List.length deltas - List.length flagged)
+        (List.length flagged);
+      if flagged = [] then
+        Format.printf "verdict: OK (no regressions at threshold %g%%)@."
+          threshold
+      else
+        Format.printf "verdict: REGRESSION (%s)@."
+          (String.concat ", "
+             (List.map (fun (d : Archive.delta) -> d.Archive.d_name) flagged))
+    end;
+    if flagged <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two archived (or on-disk) run results series by \
+          series: funnel counts and per-constraint fired counts flag on \
+          any change, timing series (bench timings, histogram \
+          percentiles) on growth beyond --threshold. Exit 0 when clean, \
+          4 on regression")
+    Term.(
+      const run $ a_arg $ b_arg $ archive_store_arg $ threshold_arg $ json_arg)
+
+let trends_cmd =
+  let space_filter_arg =
+    let doc = "Only timelines of this space (or bench name)." in
+    Arg.(value & opt (some string) None & info [ "space" ] ~docv:"NAME" ~doc)
+  in
+  let engine_filter_arg =
+    let doc = "Only timelines produced by this engine spec." in
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"NAME" ~doc)
+  in
+  let series_filter_arg =
+    let doc = "Only series whose name starts with $(docv)." in
+    Arg.(value & opt (some string) None & info [ "series" ] ~docv:"PREFIX" ~doc)
+  in
+  let gate_arg =
+    let doc =
+      "Exit 4 if any timing series' detected shift is an active upward \
+       regression beyond --threshold — the trajectory-aware CI gate."
+    in
+    Arg.(value & flag & info [ "gate" ] ~doc)
+  in
+  let threshold_arg =
+    let doc = "Allowed upward shift of a timing series, in percent." in
+    Arg.(value & opt float 25.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let run dir space engine series gate threshold =
+    let dir = resolve_archive_dir dir in
+    let records, errors = Archive.load ~dir in
+    List.iter
+      (fun (file, msg) ->
+        Format.eprintf "beast trends: skipping %s: %s@." file msg)
+      errors;
+    let records =
+      List.filter
+        (fun (r : Archive.record) ->
+          let m = r.Archive.meta in
+          (match space with None -> true | Some s -> m.Archive.a_label = s)
+          && match engine with
+             | None -> true
+             | Some e -> m.Archive.a_engine = Some e)
+        records
+    in
+    if records = [] then begin
+      Format.eprintf
+        "beast trends: no archive records in %s (archive runs with sweep \
+         --archive or beast archive ingest)@."
+        dir;
+      exit 1
+    end;
+    let groups = Archive.trends ?series_prefix:series records in
+    List.iter
+      (fun (g : Archive.group) ->
+        Format.printf "%s · %s%s  (%d record%s)@." g.Archive.g_label
+          g.Archive.g_kind
+          (match g.Archive.g_engine with
+          | None -> ""
+          | Some e -> " · engine " ^ e)
+          g.Archive.g_records
+          (if g.Archive.g_records = 1 then "" else "s");
+        Format.printf "  %-46s %3s  %-14s %12s %10s %12s  %s@." "series" "n"
+          "trend" "median" "mad" "last" "shift";
+        List.iter
+          (fun (t : Archive.trend) ->
+            let values =
+              Array.of_list
+                (List.map (fun (p : Archive.point) -> p.Archive.p_value)
+                   t.Archive.t_points)
+            in
+            let n = Array.length values in
+            let window =
+              if n <= 14 then values else Array.sub values (n - 14) 14
+            in
+            let shift =
+              match t.Archive.t_shift with
+              | None -> "-"
+              | Some s ->
+                let p = List.nth t.Archive.t_points s.Archive.c_index in
+                Printf.sprintf "%s -> %s @seq %d%s"
+                  (Units.float_g s.Archive.c_before)
+                  (Units.float_g s.Archive.c_after)
+                  p.Archive.p_seq
+                  (match p.Archive.p_commit with
+                  | None -> ""
+                  | Some c ->
+                    Printf.sprintf " (commit %s)"
+                      (if String.length c > 8 then String.sub c 0 8 else c))
+            in
+            Format.printf "  %-46s %3d  %-14s %12s %10s %12s  %s@."
+              t.Archive.t_name n
+              (Report.sparkline window)
+              (Units.float_g t.Archive.t_median)
+              (Units.float_g t.Archive.t_mad)
+              (if n = 0 then "-" else Units.float_g values.(n - 1))
+              shift)
+          g.Archive.g_trends;
+        Format.printf "@.")
+      groups;
+    if gate then begin
+      (* The gate only fires on timing series whose shift is still the
+         current regime: the change-point grew past the threshold AND
+         the latest point is still above it. A regression that was since
+         fixed keeps its historical shift in the table but stops failing
+         CI. Count drift is the deterministic baseline gate's job. *)
+      let failures =
+        List.concat_map
+          (fun (g : Archive.group) ->
+            List.filter_map
+              (fun (t : Archive.trend) ->
+                match t.Archive.t_shift with
+                | Some s when t.Archive.t_timing ->
+                  let limit =
+                    s.Archive.c_before *. (1.0 +. (threshold /. 100.0))
+                  in
+                  let last =
+                    match List.rev t.Archive.t_points with
+                    | p :: _ -> p.Archive.p_value
+                    | [] -> 0.0
+                  in
+                  if s.Archive.c_after > limit && last > limit then
+                    Some
+                      (Printf.sprintf "%s %s: %s -> %s (last %s)"
+                         g.Archive.g_label t.Archive.t_name
+                         (Units.float_g s.Archive.c_before)
+                         (Units.float_g s.Archive.c_after)
+                         (Units.float_g last))
+                  else None
+                | _ -> None)
+              g.Archive.g_trends)
+          groups
+      in
+      if failures = [] then
+        Format.printf
+          "trends gate: trajectory clean (threshold %g%%, %d record%s)@."
+          threshold (List.length records)
+          (if List.length records = 1 then "" else "s")
+      else begin
+        List.iter
+          (fun f -> Format.eprintf "trends gate: regression: %s@." f)
+          failures;
+        exit 4
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "trends"
+       ~doc:
+         "Render the archived timeline of every series as a sparkline \
+          table with robust (median/MAD) change-point detection, \
+          flagging the first record — and commit — where a series \
+          shifted; with --gate, exit 4 when a timing series' active \
+          regime is an upward regression beyond --threshold")
+    Term.(
+      const run $ archive_store_arg $ space_filter_arg $ engine_filter_arg
+      $ series_filter_arg $ gate_arg $ threshold_arg)
 
 (* ------------------------------------------------------------------ *)
 (* engines                                                             *)
@@ -1367,6 +2051,6 @@ let main =
           reproduction)")
     [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
       funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd;
-      top_cmd; runs_cmd; engines_cmd ]
+      top_cmd; runs_cmd; archive_cmd; diff_cmd; trends_cmd; engines_cmd ]
 
 let () = exit (Cmd.eval main)

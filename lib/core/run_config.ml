@@ -35,6 +35,8 @@ type t = {
   status_every_s : float;
   flight : string option;
   flight_capacity : int;
+  archive : bool;
+  archive_dir : string option;
 }
 
 let default =
@@ -57,13 +59,15 @@ let default =
     status_every_s = 1.0;
     flight = None;
     flight_capacity = Flight.default_capacity;
+    archive = false;
+    archive_dir = None;
   }
 
 let metrics_enabled t = t.metrics || t.metrics_out <> None
 
 let introspected t =
   t.runs_dir <> None || t.status <> None || t.flight <> None
-  || t.trace <> None || t.run_id <> None
+  || t.trace <> None || t.run_id <> None || t.archive
 
 (* The shard bounds used to be checked only by the CLI argument parser;
    a config built programmatically (or a future config file) could slip

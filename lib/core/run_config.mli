@@ -54,6 +54,12 @@ type t = {
       (** keep a flight-recorder ring of recent events and dump it here
           as JSONL at exit (clean, interrupted or crashed) *)
   flight_capacity : int;  (** ring capacity per domain *)
+  archive : bool;
+      (** ingest the run's stats record into the cross-run archive on
+          clean completion *)
+  archive_dir : string option;
+      (** archive directory; defaults to
+          {!Beast_obs.Archive.default_dir} *)
 }
 
 val default : t
@@ -66,7 +72,7 @@ val metrics_enabled : t -> bool
 
 val introspected : t -> bool
 (** Whether the run wants a run id minted: any of [runs_dir], [status],
-    [flight], [trace] or an explicit [run_id] is set. *)
+    [flight], [trace], [archive] or an explicit [run_id] is set. *)
 
 val validate : t -> (unit, string) result
 (** Reject configurations that would otherwise fail silently: shard

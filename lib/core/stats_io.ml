@@ -124,6 +124,10 @@ let to_json t =
   add "\n}\n";
   Buffer.contents buf
 
+(* Going through the serialized text keeps exactly one encoding of a
+   stats record in the tree; the cost is one parse of a small file. *)
+let to_jsonx t = Jsonx.parse_exn (to_json t)
+
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
 (* ------------------------------------------------------------------ *)

@@ -64,6 +64,11 @@ val to_json : t -> string
     constraint per line, trailing newline. Equal values encode to equal
     bytes. *)
 
+val to_jsonx : t -> Beast_obs.Jsonx.t
+(** The parsed form of {!to_json} — the payload shape
+    {!Beast_obs.Archive.ingest} consumes when a sweep archives
+    itself. *)
+
 val of_json : string -> (t, string) result
 val of_file : string -> (t, string) result
 val write_file : string -> t -> unit

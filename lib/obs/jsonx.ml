@@ -135,7 +135,16 @@ let parse_exn s =
         digits ()
       | _ -> ()
     in
-    digits ();
+    (* RFC 8259 integer part: "0" or a nonzero digit followed by more
+       digits — "01" is not a number. *)
+    (match peek () with
+    | Some '0' -> (
+      advance ();
+      match peek () with
+      | Some '0' .. '9' -> fail "leading zero in number"
+      | _ -> ())
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected a number");
     (match peek () with
     | Some '.' ->
       is_float := true;
@@ -152,7 +161,6 @@ let parse_exn s =
       digits ()
     | _ -> ());
     let lexeme = String.sub s start (!pos - start) in
-    if lexeme = "" || lexeme = "-" then fail "expected a number";
     if !is_float then
       match float_of_string_opt lexeme with
       | Some f -> Float f
@@ -160,7 +168,12 @@ let parse_exn s =
     else
       match int_of_string_opt lexeme with
       | Some k -> Int k
-      | None -> fail "invalid integer %s" lexeme
+      | None -> (
+        (* Integer lexeme overflowing the native 63-bit int: keep the
+           value, at float precision, rather than rejecting the file. *)
+        match float_of_string_opt lexeme with
+        | Some f -> Float f
+        | None -> fail "invalid integer %s" lexeme)
   in
   let rec parse_value () =
     skip_ws ();
@@ -263,3 +276,109 @@ let to_bool name = function
 let to_list name = function
   | Arr l -> l
   | _ -> error "%s: expected an array" name
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic writer                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The writer is a fixed point of the parser: for any [v],
+   [write (parse_exn (to_string v))] produces the same bytes as
+   [write v]. Integer-valued floats print without a fraction (so they
+   reparse as [Int], which prints identically); everything else uses
+   ["%.17g"], which round-trips doubles exactly. NaN and infinities
+   have no JSON spelling and print as [null]. *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else if f = 0.0 then Buffer.add_char buf '0' (* normalizes -0. *)
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int k -> Buffer.add_string buf (string_of_int k)
+  | Float f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | Arr l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ", ";
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj members ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_escaped buf k;
+        Buffer.add_string buf ": ";
+        write buf v)
+      members;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pretty v =
+  let buf = Buffer.create 256 in
+  let scalar = function Arr _ | Obj _ -> false | _ -> true in
+  let rec go indent = function
+    | Arr l when l <> [] && List.for_all scalar l ->
+      (* Scalar arrays stay on one line; they read as tuples. *)
+      write buf (Arr l)
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr l ->
+      Buffer.add_string buf "[\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          go (indent + 2) v)
+        l;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+      Buffer.add_string buf "{\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          go (indent + 2) v)
+        members;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf '}'
+    | v -> write buf v
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

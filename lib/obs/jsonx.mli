@@ -1,10 +1,12 @@
-(** Minimal JSON reader shared by the tooling paths (stats files, JSONL
-    traces, metrics snapshots, bench baselines).
+(** Minimal JSON reader and deterministic writer shared by the tooling
+    paths (stats files, JSONL traces, metrics snapshots, bench
+    baselines, the run archive).
 
-    Parsing only — each serializer keeps its own deterministic writer.
     Integers and floats are distinct constructors so count fields
     round-trip exactly: a number parses to {!Float} iff its lexeme
-    contains ['.'], ['e'] or ['E']. Strings carry the usual escapes;
+    contains ['.'], ['e'] or ['E']. Integer lexemes that overflow the
+    native 63-bit [int] degrade to {!Float} instead of failing; leading
+    zeros are rejected per RFC 8259. Strings carry the usual escapes;
     [\uXXXX] escapes decode to UTF-8 bytes, with surrogate pairs
     combined into the astral code point (lone surrogates are
     rejected), so event labels survive a JSONL round-trip whatever
@@ -39,3 +41,23 @@ val to_float : string -> t -> float
 val to_str : string -> t -> string
 val to_bool : string -> t -> bool
 val to_list : string -> t -> t list
+
+(** {2 Writer}
+
+    A fixed point of the parser: [write (parse_exn (to_string v))]
+    emits the same bytes as [write v], which is what lets the archive
+    content-address payloads by their canonical serialization.
+    Integer-valued floats below 1e15 print without a fraction (and so
+    reparse as {!Int}, printing identically); other floats use
+    ["%.17g"], which round-trips doubles exactly; [-0.] normalizes to
+    [0]; NaN and infinities print as [null]. Object member order is
+    preserved as given. *)
+
+val write : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact single-line form, [", "]/[": "] separated. *)
+
+val pretty : t -> string
+(** Multi-line, two-space indent, scalar-only arrays kept on one line;
+    ends with a newline. Used for committed baselines and archive
+    records so diffs stay reviewable. *)

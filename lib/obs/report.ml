@@ -6,6 +6,32 @@
 
 let pct = [ (0.50, "p50"); (0.95, "p95"); (0.99, "p99") ]
 
+(* Eight block glyphs, min-to-max scaled per series. A flat series
+   renders mid-height so "no movement" looks calm, not empty. *)
+let sparkline values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let blocks =
+      [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+         "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+    in
+    let lo = Array.fold_left min values.(0) values in
+    let hi = Array.fold_left max values.(0) values in
+    let buf = Buffer.create (n * 3) in
+    Array.iter
+      (fun v ->
+        let idx =
+          if hi = lo || Float.is_nan v then 3
+          else
+            let scaled = (v -. lo) /. (hi -. lo) *. 7.0 in
+            max 0 (min 7 (int_of_float (Float.round scaled)))
+        in
+        Buffer.add_string buf blocks.(idx))
+      values;
+    Buffer.contents buf
+  end
+
 let label snap key =
   match List.assoc_opt key snap with Some v -> v | None -> "?"
 

@@ -6,3 +6,8 @@ val write : ?top:int -> Format.formatter -> Metrics.snapshot -> unit
     (default 10), per-depth loop entries, scheduler chunk-duration skew,
     then remaining counters/gauges. Prints a pointer at [--metrics] when
     the snapshot is empty. *)
+
+val sparkline : float array -> string
+(** One UTF-8 block glyph per value, scaled min-to-max over the series
+    (["▁▂▅█"]); a constant series renders at mid height, an empty one
+    as [""]. Used by [beast trends] timeline tables. *)

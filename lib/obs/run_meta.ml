@@ -179,13 +179,17 @@ let of_file file =
   | exception Sys_error msg -> Error (Printf.sprintf "manifest: %s" msg)
   | text -> of_json text
 
-let list ~dir =
+let entries ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".json")
     |> List.sort String.compare
-    |> List.filter_map (fun f ->
-           match of_file (Filename.concat dir f) with
-           | Ok t -> Some t
-           | Error _ -> None)
+    |> List.map (fun f ->
+           let file = Filename.concat dir f in
+           (file, of_file file))
+
+let list ~dir =
+  entries ~dir
+  |> List.filter_map (fun (_, r) ->
+         match r with Ok t -> Some t | Error _ -> None)

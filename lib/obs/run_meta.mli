@@ -60,3 +60,9 @@ val of_file : string -> (t, string) result
 val list : dir:string -> t list
 (** All parseable manifests in [dir], sorted by run id. An absent
     directory is an empty list. *)
+
+val entries : dir:string -> (string * (t, string) result) list
+(** Every [*.json] file in [dir] with its parse outcome, path included,
+    filename-sorted. Lets [beast runs]/[beast top] warn about (and
+    [--prune] collect) unreadable manifests instead of silently
+    dropping them; {!list} is the [Ok]-only projection. *)

@@ -32,3 +32,12 @@ let si_int n =
   else if f < 1e6 then sign ^ Printf.sprintf "%.1fk" (f /. 1e3)
   else if f < 1e9 then sign ^ Printf.sprintf "%.2fM" (f /. 1e6)
   else sign ^ Printf.sprintf "%.2fG" (f /. 1e9)
+
+let float_g f =
+  if Float.is_nan f then "nan"
+  else if Float.is_integer f && Float.abs f < 1e7 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+let signed_pct f =
+  if Float.is_nan f then "n/a" else Printf.sprintf "%+.1f%%" f

@@ -10,3 +10,12 @@ val duration_ns_f : float -> string
 
 val si_int : int -> string
 (** Compact count: ["9500"], ["10.5k"], ["1.25M"], ["3.10G"]. *)
+
+val float_g : float -> string
+(** Unitless archive-series value: integers below 1e7 print exactly
+    (["2080"]), everything else at four significant digits
+    (["0.002752"], ["1.234e+09"]). *)
+
+val signed_pct : float -> string
+(** Signed relative delta for diff tables: ["+5.3%"], ["-0.8%"];
+    ["n/a"] for NaN (no baseline to divide by). *)

@@ -618,6 +618,78 @@ let test_jsonx_unicode_round_trips_jsonl () =
   | Error msg -> Alcotest.failf "parse_line: %s" msg
   | Ok ev' -> Alcotest.(check string) "name round trips" name ev'.Obs.ev_name
 
+let test_jsonx_numeric_edges () =
+  let value what text =
+    match Jsonx.parse text with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "%s: %s" what msg
+  in
+  let rejects what text =
+    match Jsonx.parse text with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error _ -> ()
+  in
+  (* Exponent notation always reads as a float, even when integral. *)
+  (match value "1e3" "1e3" with
+  | Jsonx.Float f -> Alcotest.(check (float 0.0)) "1e3" 1000.0 f
+  | _ -> Alcotest.fail "1e3: expected Float");
+  (match value "0e3" "0e3" with
+  | Jsonx.Float f -> Alcotest.(check (float 0.0)) "0e3" 0.0 f
+  | _ -> Alcotest.fail "0e3: expected Float");
+  (* A literal beyond OCaml's 63-bit int falls back to Float instead of
+     erroring out (9223372036854775807 = Int64 max > OCaml max_int). *)
+  (match value "int64 max" "9223372036854775807" with
+  | Jsonx.Float f ->
+    Alcotest.(check (float 0.0)) "int64 max" 9.223372036854775807e18 f
+  | _ -> Alcotest.fail "int64 max: expected Float fallback");
+  (* OCaml's own max_int still reads exactly as an Int. *)
+  (match value "ocaml max_int" (string_of_int max_int) with
+  | Jsonx.Int k -> Alcotest.(check int) "ocaml max_int" max_int k
+  | _ -> Alcotest.fail "ocaml max_int: expected Int");
+  (match value "-0" "-0" with
+  | Jsonx.Int 0 -> ()
+  | _ -> Alcotest.fail "-0: expected Int 0");
+  (match value "0" "0" with
+  | Jsonx.Int 0 -> ()
+  | _ -> Alcotest.fail "0: expected Int 0");
+  (match value "0.5" "0.5" with
+  | Jsonx.Float f -> Alcotest.(check (float 0.0)) "0.5" 0.5 f
+  | _ -> Alcotest.fail "0.5: expected Float");
+  (* The JSON grammar forbids leading zeros and bare signs. *)
+  rejects "01" "01";
+  rejects "-012" "-012";
+  rejects "00" "00";
+  rejects "bare minus" "-";
+  rejects "minus-dot" "-.5"
+
+let test_jsonx_writer_fixed_point () =
+  (* The writer must be a fixed point of the parser: re-parsing emitted
+     text and writing it again reproduces the same bytes. This is what
+     makes archive-record validation an exact comparison. *)
+  let check_fp what v =
+    let s = Jsonx.to_string v in
+    match Jsonx.parse s with
+    | Error msg -> Alcotest.failf "%s: reparse failed: %s" what msg
+    | Ok v' -> Alcotest.(check string) what s (Jsonx.to_string v')
+  in
+  check_fp "mixed object"
+    (Jsonx.Obj
+       [
+         ("a", Jsonx.Int 42);
+         ("b", Jsonx.Float 0.1);
+         ("c", Jsonx.Float 99.97);
+         ("d", Jsonx.Float 1e20);
+         ("e", Jsonx.Float (-0.0));
+         ("f", Jsonx.Arr [ Jsonx.Bool true; Jsonx.Null; Jsonx.Str "x\n" ]);
+       ]);
+  check_fp "integral float" (Jsonx.Float 1000.0);
+  check_fp "tiny float" (Jsonx.Float 1e-300);
+  (* Non-finite values have no JSON spelling and normalize to null. *)
+  Alcotest.(check string) "nan is null" "null" (Jsonx.to_string (Jsonx.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Jsonx.to_string (Jsonx.Float Float.infinity));
+  Alcotest.(check string) "neg zero is 0" "0" (Jsonx.to_string (Jsonx.Float (-0.0)))
+
 let () =
   Alcotest.run "obs"
     [
@@ -664,5 +736,9 @@ let () =
             test_jsonx_lone_surrogates_rejected;
           Alcotest.test_case "unicode survives a jsonl round trip" `Quick
             test_jsonx_unicode_round_trips_jsonl;
+          Alcotest.test_case "numeric edge cases" `Quick
+            test_jsonx_numeric_edges;
+          Alcotest.test_case "writer is a parser fixed point" `Quick
+            test_jsonx_writer_fixed_point;
         ] );
     ]
