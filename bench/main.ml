@@ -505,7 +505,7 @@ let ablation_parallel () =
       match Engine_registry.find spec with
       | Error msg -> Printf.printf "%s: %s\n" spec msg
       | Ok (module E : Engine_intf.S) ->
-        let s, t = time_once (fun () -> E.run_plan plan) in
+        let s, t = time_once (fun () -> E.run (Engine_intf.Plan plan)) in
         Printf.printf "%-12s %8.3f s, survivors %d\n" E.name t
           s.Engine.survivors)
     [ "parallel:1"; "parallel:2"; "parallel:4" ]
@@ -699,9 +699,13 @@ let ablation_native () =
           (* Warm-up run: native pays its one-time C compile here (kept
              as the cold figure), parallel its domain spawn; then time
              the steady state every later sweep sees. *)
-          let _, t_cold = time_once (fun () -> E.run_space sp) in
+          let _, t_cold =
+            time_once (fun () -> E.run (Engine_intf.Space sp))
+          in
           if spec = "native" then native_cold := t_cold;
-          let stats, t = time_once (fun () -> E.run_space sp) in
+          let stats, t =
+            time_once (fun () -> E.run (Engine_intf.Space sp))
+          in
           Printf.printf "%-12s %8.3f s, survivors %d\n" spec t
             stats.Engine.survivors;
           (spec, stats, t))
@@ -833,6 +837,76 @@ let ablation_provenance () =
     (off *. 1e-6) (on *. 1e-6) overhead_pct;
   close_out oc;
   print_endline "wrote BENCH_provenance.json"
+
+(* The constraint-propagation ablation: the interval pre-pass must keep
+   the staged sweep's statistics byte-identical (dead values are
+   replayed as bookkeeping) while the feasible-set diagram counts a
+   billion-point constrained space exactly without enumerating it.
+   BENCH_propagate.json feeds the regression gate. *)
+let ablation_propagate () =
+  header
+    "Ablation: constraint-propagation pre-pass on the staged GEMM sweep\n\
+     (propagation off vs on; statistics must match exactly), plus exact\n\
+     feasible-set counting of a ~1.5e9-point constrained space.\n\
+     BENCH_propagate.json records the result.";
+  let max_dim = if fast then 20 else 32 in
+  let max_threads = if fast then 96 else 128 in
+  let device = Device.scale ~max_dim ~max_threads Device.tesla_k40c in
+  let settings = { Gemm.default_settings with Gemm.device } in
+  let plan = Plan.make_exn (Gemm.space ~settings ()) in
+  let propagated = Plan.optimize ~passes:[ Propagate.pass ] plan in
+  ignore (Engine_staged.run plan) (* warm up *);
+  let off =
+    ns_per_run "staged-prop-off" (fun () -> ignore (Engine_staged.run plan))
+  in
+  let on =
+    ns_per_run "staged-prop-on" (fun () ->
+        ignore (Engine_staged.run propagated))
+  in
+  let s_off = Engine_staged.run plan in
+  let s_on = Engine_staged.run propagated in
+  let identical = s_off = s_on in
+  let delta_pct = 100.0 *. ((on /. off) -. 1.0) in
+  Printf.printf "propagation off: %10.3f ms/run\n" (off *. 1e-6);
+  Printf.printf "propagation on:  %10.3f ms/run  (%+.1f%%)\n" (on *. 1e-6)
+    delta_pct;
+  Printf.printf "%d survivors; statistics identical: %b\n"
+    s_off.Engine.survivors identical;
+  let synth_plan =
+    Plan.optimize ~passes:[ Propagate.pass ]
+      (Plan.make_exn (Synth.space ()))
+  in
+  let feas, count_s =
+    time_once (fun () ->
+        match Feasible.build synth_plan with
+        | Ok f -> f
+        | Error msg -> failwith ("bench: feasible build failed: " ^ msg))
+  in
+  let synth_count = Feasible.count feas in
+  let synth_count_ok = synth_count = Synth.expected_survivors () in
+  Printf.printf "synth feasible count: %d in %.3f ms (expected: %b)\n"
+    synth_count (count_s *. 1e3) synth_count_ok;
+  let oc = open_out "BENCH_propagate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"ablation-propagate\",\n\
+    \  \"bench_schema\": %d,\n\
+    \  \"space\": \"gemm\",\n\
+    \  \"max_dim\": %d,\n\
+    \  \"survivors\": %d,\n\
+    \  \"stats_identical\": %b,\n\
+    \  \"off_ms\": %.3f,\n\
+    \  \"on_ms\": %.3f,\n\
+    \  \"delta_pct\": %.1f,\n\
+    \  \"synth_count\": %d,\n\
+    \  \"synth_count_ok\": %b,\n\
+    \  \"synth_count_ms\": %.3f\n\
+     }\n"
+    bench_schema_version max_dim s_off.Engine.survivors identical
+    (off *. 1e-6) (on *. 1e-6) delta_pct synth_count synth_count_ok
+    (count_s *. 1e3);
+  close_out oc;
+  print_endline "wrote BENCH_propagate.json"
 
 (* The live-introspection companion: the same staged sweep with the
    heartbeat status file and the flight recorder installed vs plain.
@@ -1048,6 +1122,35 @@ let compare_baseline ~baseline_file ~current_file ~threshold_pct ~gate_timing =
            "native_s" c_native c_staged c_interp;
        raise Exit
      end;
+     if bench_kind = "ablation-propagate" then begin
+       exact_str "bench";
+       exact_str "space";
+       exact_int "max_dim";
+       exact_int "survivors";
+       exact_int "synth_count";
+       check "stats_identical"
+         (Jsonx.to_bool "stats_identical" (Jsonx.member "stats_identical" cur))
+         "the propagated plan's statistics must match the plain plan's \
+          exactly";
+       check "synth_count_ok"
+         (Jsonx.to_bool "synth_count_ok" (Jsonx.member "synth_count_ok" cur))
+         "the feasible-set count of the synthetic billion-point space must \
+          equal the closed form";
+       let b_delta = Jsonx.to_float "delta_pct" (Jsonx.member "delta_pct" base)
+       and c_delta = Jsonx.to_float "delta_pct" (Jsonx.member "delta_pct" cur) in
+       if gate_timing then
+         check "delta_pct"
+           (c_delta <= b_delta +. threshold_pct)
+           (Printf.sprintf
+              "baseline %+.1f%%, current %+.1f%% (threshold +%.0f points)"
+              b_delta c_delta threshold_pct)
+       else
+         Printf.printf
+           "  %-28s info  baseline %+.1f%%, current %+.1f%% (not gated; pass \
+            --gate-timing)\n"
+           "delta_pct" b_delta c_delta;
+       raise Exit
+     end;
      if bench_kind = "ablation-provenance" then begin
        exact_str "bench";
        exact_str "space";
@@ -1190,7 +1293,7 @@ let archive_bench_results dir =
             exit 1))
     [
       "BENCH_parallel.json"; "BENCH_native.json"; "BENCH_provenance.json";
-      "BENCH_status.json";
+      "BENCH_status.json"; "BENCH_propagate.json";
     ]
 
 let () =
@@ -1288,6 +1391,7 @@ let () =
   ablation_parallel ();
   ablation_stealing ();
   ablation_provenance ();
+  ablation_propagate ();
   ablation_checkpoint ();
   ablation_status ();
   ablation_native ();

@@ -307,14 +307,29 @@ let obs_config_term =
     $ status_every_arg $ flight_arg $ flight_size_arg $ runs_dir_arg
     $ run_id_arg)
 
-(* Sweep adds sharding, the checkpoint/resume/fault settings and the
-   provenance collector on top. *)
+let propagate_arg =
+  let doc =
+    "Constraint-propagation pre-pass: $(b,on) removes statically-dead \
+     iterator values from the loop nest before enumeration (statistics \
+     stay byte-identical — the dead values are replayed as bookkeeping), \
+     $(b,off) runs the plan as built. The default comes from the \
+     engine's registry entry: on everywhere except interp-naive, whose \
+     unoptimized cost model is the point."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("on", true); ("off", false) ])) None
+    & info [ "propagate" ] ~docv:"on|off" ~doc)
+
+(* Sweep adds sharding, propagation, the checkpoint/resume/fault
+   settings and the provenance collector on top. *)
 let sweep_config_term =
-  let build cfg shard checkpoint checkpoint_every_s resume fault explain_out
-      archive archive_dir =
+  let build cfg shard propagate checkpoint checkpoint_every_s resume fault
+      explain_out archive archive_dir =
     {
       cfg with
       Run_config.shard;
+      propagate;
       checkpoint;
       checkpoint_every_s;
       resume;
@@ -325,9 +340,9 @@ let sweep_config_term =
     }
   in
   Term.(
-    const build $ obs_config_term $ shard_arg $ checkpoint_arg
-    $ checkpoint_every_arg $ resume_arg $ fault_arg $ explain_out_arg
-    $ archive_flag_arg $ archive_dir_arg)
+    const build $ obs_config_term $ shard_arg $ propagate_arg
+    $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fault_arg
+    $ explain_out_arg $ archive_flag_arg $ archive_dir_arg)
 
 (* Validate the config, then run [f] under its instrumentation. [f]
    receives the effective run id (explicit --run-id, or freshly minted
@@ -450,14 +465,16 @@ let resolve_space name device =
   | "gemm-opt" ->
     Gemm.space_divisor_opt ~settings:{ Gemm.default_settings with Gemm.device } ()
   | "fft" -> Fft.space ~max_size:64 ()
+  | "synth" -> Synth.space ()
   | other ->
     Format.eprintf
-      "unknown space %s (try: gemm, gemm-opt, cholesky, trsm, lu, als, conv2d, fft)@."
+      "unknown space %s (try: gemm, gemm-opt, cholesky, trsm, lu, als, conv2d, \
+       fft, synth)@."
       other;
     exit 2
 
 let space_arg =
-  let doc = "Search space: gemm, gemm-opt, cholesky, trsm, lu, als, fft, or a \\.beast file written in the textual notation (see doc/LANGUAGE.md)." in
+  let doc = "Search space: gemm, gemm-opt, cholesky, trsm, lu, als, fft, synth (a billion-point constrained chain for exercising count/sample), or a \\.beast file written in the textual notation (see doc/LANGUAGE.md)." in
   Arg.(value & pos 0 string "gemm" & info [] ~docv:"SPACE" ~doc)
 
 let objective_for space_name device =
@@ -521,20 +538,35 @@ let sweep_term =
       stats_out cfg =
     let device = resolve_device device max_dim max_threads in
     let sp = resolve_space space_name device in
-    if cfg.Run_config.shard <> None && not E.plan_based then begin
-      Format.eprintf
-        "beast: --shard needs a plan-based engine (vm, staged or parallel)@.";
-      exit 2
-    end;
+    (* Whether the propagation pre-pass runs: --propagate wins, else
+       the engine's catalog entry decides (off only for the
+       deliberately-unoptimized interp-naive baseline). *)
+    let propagate =
+      match cfg.Run_config.propagate with
+      | Some b -> b
+      | None -> (
+        match Engine_registry.entry_of E.name with
+        | Some e -> e.Engine_registry.e_propagate_default
+        | None -> true)
+    in
     let wants_resumable =
       cfg.Run_config.checkpoint <> None
       || cfg.Run_config.resume <> None
       || cfg.Run_config.fault <> None
     in
     if wants_resumable && Option.is_none E.resumable then begin
+      let ledgered =
+        List.filter_map
+          (fun e ->
+            if e.Engine_registry.e_resumable then
+              Some e.Engine_registry.e_spec
+            else None)
+          Engine_registry.catalog
+      in
       Format.eprintf
         "beast: --checkpoint, --resume and --fault-inject need an engine \
-         with a chunk ledger (use --engine parallel)@.";
+         with a chunk ledger (use --engine %s)@."
+        (String.concat " or " ledgered);
       exit 2
     end;
     (* The checkpoint file is read before instrumentation starts: a
@@ -554,12 +586,20 @@ let sweep_term =
         (* The unchunked plan carries the constraint metadata --stats-out
            serializes; sharding restricts a copy of it. *)
         let plan = Plan.make_exn sp in
-        let run_plan, shard_info =
+        let sharded, shard_info =
           match cfg.Run_config.shard with
           | None -> (plan, Stats_io.unsharded)
           | Some (index, of_) ->
             ( Plan.chunk_outer plan ~index ~of_,
               { Stats_io.shard_index = index; shard_of = of_ } )
+        in
+        (* Chunk BEFORE propagating: each shard tightens its own block,
+           so its statistics stay byte-identical to the unpropagated
+           shard's (the pinned safety rail). *)
+        let run_plan =
+          if propagate then
+            Plan.optimize ~passes:[ Propagate.pass ] sharded
+          else sharded
         in
         let resume_check =
           match resume_ck with
@@ -605,9 +645,13 @@ let sweep_term =
               resumable ?checkpoint:sink ?resume:resume_ck
                 ?fault:cfg.Run_config.fault run_plan
             | None ->
+              (* Untouched full-space runs keep the Space target so the
+                 interpreters plan (naive or hoisted) themselves; any
+                 chunked or propagated nest must be executed as given. *)
               Engine_intf.Finished
-                (if E.plan_based then E.run_plan run_plan
-                 else E.run_space sp)
+                (if propagate || cfg.Run_config.shard <> None then
+                   E.run (Engine_intf.Plan run_plan)
+                 else E.run (Engine_intf.Space sp))
           in
           match outcome with
           | Engine_intf.Interrupted { completed; total } ->
@@ -878,6 +922,104 @@ let funnel_cmd =
           reference method)")
     Term.(const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
           $ svg_arg $ prefix_sweeps_arg $ obs_config_term)
+
+(* ------------------------------------------------------------------ *)
+(* count / sample — the compact feasible-set queries                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Both commands run the propagation pre-pass unconditionally: it never
+   changes the feasible set (the identity tests pin that), it only
+   shrinks the diagram construction, and the --bound path reads the
+   Static_prune records it leaves behind. *)
+let feasible_of space_name sp =
+  let plan = Plan.optimize ~passes:[ Propagate.pass ] (Plan.make_exn sp) in
+  (plan, fun () ->
+    match Feasible.build plan with
+    | Ok f -> f
+    | Error msg ->
+      Format.eprintf
+        "%s: cannot build a feasible set: %s@.(opaque computes, dynamic \
+         iterators and post-loop steps defeat the decision diagram; use \
+         'beast sweep' to enumerate instead)@."
+        space_name msg;
+      exit 2)
+
+let count_cmd =
+  let bound_arg =
+    Arg.(
+      value & flag
+      & info [ "bound" ]
+          ~doc:
+            "Print the propagation upper bound — the product of the \
+             per-iterator live ranges left by the interval pre-pass — \
+             instead of building the diagram. Cheaper, never below the \
+             exact count.")
+  in
+  let run space_name device max_dim max_threads bound =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let plan, build = feasible_of space_name sp in
+    if bound then (
+      match Feasible.of_propagation plan with
+      | Ok f -> Format.printf "%d@." (Feasible.count f)
+      | Error msg ->
+        Format.eprintf "%s: cannot bound: %s@." space_name msg;
+        exit 2)
+    else Format.printf "%d@." (Feasible.count (build ()))
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:
+         "Exact number of surviving points, computed over the compact \
+          feasible-set decision diagram instead of full enumeration \
+          (counts billion-point spaces in milliseconds); --bound for the \
+          cheaper propagation-only upper bound")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ bound_arg)
+
+let sample_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "n" ] ~docv:"N" ~doc:"Number of points to draw.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed; omitted, a fixed default state is used.")
+  in
+  let run space_name device max_dim max_threads n seed =
+    let device = resolve_device device max_dim max_threads in
+    let sp = resolve_space space_name device in
+    let _, build = feasible_of space_name sp in
+    let f = build () in
+    let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
+    let ok = ref 0 in
+    for _ = 1 to n do
+      match Feasible.sample ?rng f with
+      | Some point ->
+        incr ok;
+        Format.printf "%s@."
+          (String.concat " "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) point))
+      | None -> ()
+    done;
+    if !ok = 0 && n > 0 then (
+      Format.eprintf "%s: no feasible points@." space_name;
+      exit 1)
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Draw uniform random points from the feasible set — every draw \
+          is a survivor, however sparse the constraints, via exact \
+          indexing of the feasible-set diagram (no rejection loop)")
+    Term.(
+      const run $ space_arg $ device_arg $ max_dim_arg $ max_threads_arg
+      $ n_arg $ seed_arg)
 
 let search_cmd =
   let method_arg =
@@ -2032,7 +2174,19 @@ let engines_cmd =
      accepts. *)
   let run () =
     List.iter
-      (fun (spec, desc) -> Format.printf "%-18s  %s@." spec desc)
+      (fun e ->
+        let caps =
+          List.filter_map
+            (fun (flag, label) -> if flag then Some label else None)
+            [
+              (e.Engine_registry.e_propagate_default, "propagate");
+              (e.Engine_registry.e_opaque, "opaque");
+              (e.Engine_registry.e_resumable, "resumable");
+            ]
+        in
+        Format.printf "%-18s  [%s]  %s@." e.Engine_registry.e_spec
+          (String.concat "," caps)
+          e.Engine_registry.e_descr)
       Engine_registry.catalog
   in
   Cmd.v
@@ -2049,8 +2203,9 @@ let main =
        ~doc:
          "Search space generation and pruning for autotuners (IPDPSW'16 \
           reproduction)")
-    [ sweep_cmd; enumerate_cmd; dot_cmd; codegen_cmd; tune_cmd; occupancy_cmd;
-      funnel_cmd; search_cmd; merge_cmd; report_cmd; explain_cmd; export_cmd;
-      top_cmd; runs_cmd; archive_cmd; diff_cmd; trends_cmd; engines_cmd ]
+    [ sweep_cmd; enumerate_cmd; count_cmd; sample_cmd; dot_cmd; codegen_cmd;
+      tune_cmd; occupancy_cmd; funnel_cmd; search_cmd; merge_cmd; report_cmd;
+      explain_cmd; export_cmd; top_cmd; runs_cmd; archive_cmd; diff_cmd;
+      trends_cmd; engines_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -42,6 +42,8 @@ let rec walk ~choose slots (steps : Plan.step list) =
   | Plan.Check { c_compute; _ } :: rest ->
     if eval_compute slots c_compute <> 0 then false
     else walk ~choose slots rest
+  (* Dead-value bookkeeping, not part of the live nest: skip. *)
+  | Plan.Static_prune _ :: rest -> walk ~choose slots rest
   | Plan.Loop { l_slot; l_iter; l_body; _ } :: rest ->
     let vs = materialize_citer slots l_iter in
     if Array.length vs = 0 then false
@@ -84,6 +86,7 @@ let sample ?rng ?(max_tries = 1000) (plan : Plan.t) =
       dfs rest
     | Plan.Check { c_compute; _ } :: rest ->
       eval_compute slots c_compute = 0 && dfs rest
+    | Plan.Static_prune _ :: rest -> dfs rest
     | Plan.Loop { l_slot; l_iter; l_body; _ } :: rest ->
       let vs = Array.copy (materialize_citer slots l_iter) in
       shuffle_in_place vs;

@@ -135,7 +135,7 @@ let tune ?(engine = default_engine) ?(top_n = 10) ?timeout_s ?(retries = 1)
     Obs.with_span ~cat:"tune"
       ~args:[ ("space", Obs.Str (Space.name space)) ]
       "tune"
-      (fun () -> E.run_space ~on_hit space)
+      (fun () -> E.run ~on_hit (Engine_intf.Space space))
   in
   let elapsed_s = Clock.elapsed_s ~since:t0 in
   let top = !top in
@@ -192,7 +192,7 @@ let pareto ?(engine = default_engine) ?(max_front = 64) ~objectives space =
     (Obs.with_span ~cat:"tune"
        ~args:[ ("space", Obs.Str (Space.name space)) ]
        "pareto"
-       (fun () -> E.run_space ~on_hit space));
+       (fun () -> E.run ~on_hit (Engine_intf.Space space)));
   let sorted =
     List.sort
       (fun a b -> compare (fst b.bi_scores) (fst a.bi_scores))

@@ -105,6 +105,19 @@ let run ?on_hit ?(variant = `Hoisted) space =
         prov_fire c_index
       end
       else exec_steps ~depth rest
+    | Static_prune { sp_slot; sp_dead; _ } :: rest ->
+      let n = Array.length sp_dead in
+      loop_iterations := !loop_iterations + n;
+      if instrument then depth_entries.(depth) <- depth_entries.(depth) + n;
+      (match plocal with
+      | None -> Array.iter (fun (_, c) -> pruned.(c) <- pruned.(c) + 1) sp_dead
+      | Some pl ->
+        Array.iter
+          (fun (v, c) ->
+            pruned.(c) <- pruned.(c) + 1;
+            Provenance.static_fire pl slots ~slot:sp_slot ~value:v c)
+          sp_dead);
+      exec_steps ~depth rest
     | Loop { l_var; l_slot; l_body; _ } :: rest ->
       let it = Hashtbl.find iter_by_name l_var in
       (* Materializing the whole iterator before looping mirrors Python's
@@ -147,6 +160,145 @@ let run ?on_hit ?(variant = `Hoisted) space =
             | `Naive -> "naive") );
       ]
     "sweep:interp"
+    (fun () -> exec_steps ~depth:0 plan.Plan.steps);
+  if instrument then
+    Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries
+      ~level_time;
+  Obs.progress_tick ~points:!loop_iterations ~survivors:!survivors ~frac:1.0;
+  (match (prov, plocal) with
+  | Some collector, Some pl -> Provenance.publish collector ~depth_entries pl
+  | _ -> ());
+  {
+    Engine.survivors = !survivors;
+    loop_iterations = !loop_iterations;
+    pruned =
+      Array.mapi (fun i (n, c) -> (n, c, pruned.(i))) plan.Plan.constraint_info;
+  }
+
+(* Tree-walking evaluation of an existing plan — the Plan-target path of
+   the engine API. No staging: every expression is re-walked through
+   [Plan.eval_cexpr] per visit, keeping the interpreter's cost model
+   while accepting plans the Space path cannot reconstruct (chunked,
+   sliced or propagated ones). *)
+let run_plan ?on_hit (plan : Plan.t) =
+  let prov = Provenance.current () in
+  let plocal =
+    Option.map (fun _ -> Provenance.local_of (Provenance.attribution plan)) prov
+  in
+  let instrument = Obs.instrumenting () || plocal <> None in
+  let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
+  let prov_fire, prov_hit =
+    match plocal with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some pl ->
+      ( (fun c -> Provenance.fire pl slots c),
+        fun () -> Provenance.hit pl slots )
+  in
+  let lookup = Plan.lookup_of_slots plan slots in
+  let eval_compute = function
+    | Plan.CE e -> Plan.eval_cexpr slots e
+    | Plan.CF f -> f slots
+  in
+  let materialize_citer = function
+    | Plan.CRange (a, b, c) ->
+      let start = Plan.eval_cexpr slots a
+      and stop = Plan.eval_cexpr slots b
+      and step = Plan.eval_cexpr slots c in
+      if step = 0 then raise (Expr.Eval_error "Engine_interp: zero range step");
+      Array.init (Plan.trip_count ~start ~stop ~step) (fun i ->
+          start + (i * step))
+    | Plan.CValues vs -> vs
+    | Plan.CDyn f -> f slots
+  in
+  let n_constraints = Array.length plan.Plan.constraint_info in
+  let n_loops = List.length plan.Plan.iter_order in
+  let pruned = Array.make n_constraints 0 in
+  let survivors = ref 0 in
+  let loop_iterations = ref 0 in
+  let check_time = Array.make (max 1 n_constraints) 0 in
+  let depth_entries = Array.make (max 1 n_loops) 0 in
+  let level_time = Array.make (max 1 n_loops) 0 in
+  let outer_total = ref 0 in
+  let outer_done = ref 0 in
+  let sampler = Engine.make_sampler () in
+  let tick () =
+    if !loop_iterations land Engine.sample_mask = 0 then
+      Engine.sample sampler ~points:!loop_iterations ~survivors:!survivors
+        ~frac:
+          (if !outer_total > 0 then
+             float_of_int !outer_done /. float_of_int !outer_total
+           else -1.0)
+  in
+  let rec exec_steps ~depth (steps : Plan.step list) =
+    match steps with
+    | [] -> ()
+    | Yield :: rest ->
+      incr survivors;
+      prov_hit ();
+      (match on_hit with
+      | None -> ()
+      | Some f -> f lookup);
+      exec_steps ~depth rest
+    | Derive { d_slot; d_compute; _ } :: rest ->
+      slots.(d_slot) <- eval_compute d_compute;
+      exec_steps ~depth rest
+    | Check { c_index; c_compute; _ } :: rest ->
+      let fired =
+        if instrument then begin
+          let t0 = Clock.now_ns () in
+          let v = eval_compute c_compute <> 0 in
+          check_time.(c_index) <- check_time.(c_index) + (Clock.now_ns () - t0);
+          v
+        end
+        else eval_compute c_compute <> 0
+      in
+      if fired then begin
+        pruned.(c_index) <- pruned.(c_index) + 1;
+        prov_fire c_index
+      end
+      else exec_steps ~depth rest
+    | Static_prune { sp_slot; sp_dead; _ } :: rest ->
+      let n = Array.length sp_dead in
+      loop_iterations := !loop_iterations + n;
+      if instrument then depth_entries.(depth) <- depth_entries.(depth) + n;
+      (match plocal with
+      | None -> Array.iter (fun (_, c) -> pruned.(c) <- pruned.(c) + 1) sp_dead
+      | Some pl ->
+        Array.iter
+          (fun (v, c) ->
+            pruned.(c) <- pruned.(c) + 1;
+            Provenance.static_fire pl slots ~slot:sp_slot ~value:v c)
+          sp_dead);
+      exec_steps ~depth rest
+    | Loop { l_slot; l_iter; l_body; _ } :: rest ->
+      let vs = materialize_citer l_iter in
+      if instrument then begin
+        let t0 = Clock.now_ns () in
+        if depth = 0 then outer_total := Array.length vs;
+        Array.iteri
+          (fun j v ->
+            slots.(l_slot) <- v;
+            incr loop_iterations;
+            depth_entries.(depth) <- depth_entries.(depth) + 1;
+            if depth = 0 then outer_done := j + 1;
+            tick ();
+            exec_steps ~depth:(depth + 1) l_body)
+          vs;
+        level_time.(depth) <- level_time.(depth) + (Clock.now_ns () - t0)
+      end
+      else
+        Array.iter
+          (fun v ->
+            slots.(l_slot) <- v;
+            incr loop_iterations;
+            exec_steps ~depth:(depth + 1) l_body)
+          vs;
+      exec_steps ~depth rest
+  in
+  let t0 = Clock.now_ns () in
+  Obs.with_span ~cat:"engine"
+    ~args:[ ("space", Obs.Str plan.Plan.space_name) ]
+    "sweep:interp-plan"
     (fun () -> exec_steps ~depth:0 plan.Plan.steps);
   if instrument then
     Engine.emit_run_aggregates ~t0 plan ~pruned ~check_time ~depth_entries

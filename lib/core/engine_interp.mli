@@ -19,3 +19,10 @@ val run :
   Space.t ->
   Engine.stats
 (** Default variant [`Hoisted]. @raise Plan.Error if planning fails. *)
+
+val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
+(** Tree-walk an existing plan (chunked, sliced or propagated — shapes
+    the Space path cannot reconstruct), re-evaluating every expression
+    through {!Plan.eval_cexpr} per visit. The Plan-target path of the
+    engine API; the cost model stays interpretive, but without the
+    string-keyed environment the Space path reproduces. *)

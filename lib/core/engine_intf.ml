@@ -3,6 +3,15 @@
    bench select engines by name through {!Engine_registry} instead of
    each keeping a hand-written match over the engine variant. *)
 
+(* What an engine is asked to enumerate. A [Space] leaves planning to
+   the engine (the interpreters build their own — naive or hoisted —
+   plan; the compiled tiers call [Plan.make]); a [Plan] hands it an
+   exact nest to execute, which is how chunked, sharded and propagated
+   sweeps reach every engine through one entry point. *)
+type target =
+  | Space of Space.t
+  | Plan of Plan.t
+
 type outcome =
   | Finished of Engine.stats
   | Interrupted of { completed : int; total : int }
@@ -34,14 +43,9 @@ type resumable =
 module type S = sig
   val name : string
 
-  val plan_based : bool
-  (* whether [run_plan] works; interpreter engines walk the space
-     directly and cannot take a chunked/sharded plan *)
-
-  val run_space : ?on_hit:Engine.on_hit -> Space.t -> Engine.stats
-
-  val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
-  (* raises [Invalid_argument] when [not plan_based] *)
+  val run : ?on_hit:Engine.on_hit -> target -> Engine.stats
+  (* one entry point for both target shapes; what each engine does with
+     a [Space] (which plan it builds) is the engine's own cost model *)
 
   val resumable : resumable option
   (* checkpoint/resume/fault-injection entry point; only the parallel

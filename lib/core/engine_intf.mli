@@ -5,6 +5,16 @@
     {!Engine_registry} — one code path instead of four hand-written
     match arms. *)
 
+(** What an engine is asked to enumerate. A [Space] leaves planning to
+    the engine — the interpreters build their own (naive or hoisted)
+    plan, reproducing their cost model end to end, and the compiled
+    tiers call [Plan.make]. A [Plan] hands the engine an exact nest to
+    execute as given: chunked, sharded and propagated sweeps all reach
+    every engine through this one shape. *)
+type target =
+  | Space of Space.t
+  | Plan of Plan.t
+
 type outcome =
   | Finished of Engine.stats
   | Interrupted of { completed : int; total : int }
@@ -40,14 +50,9 @@ type resumable =
 module type S = sig
   val name : string
 
-  val plan_based : bool
-  (** whether [run_plan] works; the interpreter engines walk the space
-      directly and cannot take a chunked or sharded plan *)
-
-  val run_space : ?on_hit:Engine.on_hit -> Space.t -> Engine.stats
-
-  val run_plan : ?on_hit:Engine.on_hit -> Plan.t -> Engine.stats
-  (** @raise Invalid_argument when [not plan_based] *)
+  val run : ?on_hit:Engine.on_hit -> target -> Engine.stats
+  (** The one entry point, over both target shapes. Engines never
+      re-plan a handed-in [Plan]. *)
 
   val resumable : resumable option
   (** checkpoint/resume/fault-injection entry point; only the parallel

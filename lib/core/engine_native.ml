@@ -145,7 +145,7 @@ let derive_sequence (plan : Plan.t) =
         match step with
         | Plan.Derive { d_slot; d_compute; _ } -> (d_slot, d_compute) :: acc
         | Plan.Loop { l_body; _ } -> go acc l_body
-        | Plan.Check _ | Plan.Yield -> acc)
+        | Plan.Check _ | Plan.Yield | Plan.Static_prune _ -> acc)
       acc steps
   in
   List.rev (go [] plan.Plan.steps)

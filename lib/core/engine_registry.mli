@@ -3,7 +3,9 @@
     The one place that knows which engine modules exist: the CLI, the
     tuner and the bench all resolve engines through {!find}, so adding
     an engine is one registry entry instead of four hand-written match
-    arms. *)
+    arms. Every engine answers the single {!Engine_intf.S.run} entry
+    point over an {!Engine_intf.target} — interpreters plan a [Space]
+    themselves and execute a handed-in [Plan] as given. *)
 
 module Interp_naive : Engine_intf.S
 module Interp : Engine_intf.S
@@ -27,14 +29,35 @@ val native : int -> (module Engine_intf.S)
     baked into the generated [main].
     @raise Invalid_argument if [threads < 1]. *)
 
-val catalog : (string * string) list
-(** Accepted specs with their one-line descriptions — what
-    [beast engines] prints. {!names} derives from it, so the listing,
-    the help text and {!find} can never drift apart. *)
+(** One catalog row per engine: the accepted spec, its [beast engines]
+    description, and the capability facts the CLI derives its behavior
+    from instead of keeping name lists — whether propagation is on by
+    default ([e_propagate_default], off only for the
+    deliberately-unoptimized baseline), whether the engine can evaluate
+    opaque OCaml closures ([e_opaque], false for the generated-C tier),
+    and whether it keeps a resumable chunk ledger ([e_resumable]). *)
+type entry = {
+  e_spec : string;
+  e_descr : string;
+  e_propagate_default : bool;
+  e_opaque : bool;
+  e_resumable : bool;
+}
+
+val catalog : entry list
+(** Accepted specs with their descriptions and capabilities — what
+    [beast engines] prints. {!names} and {!entry_of} derive from it, so
+    the listing, the help text, the CLI defaults and {!find} can never
+    drift apart. *)
 
 val names : string list
-(** Accepted specs ([List.map fst catalog]), for help text and error
-    messages. *)
+(** Accepted specs ([e_spec] of each catalog row), for help text and
+    error messages. *)
+
+val entry_of : string -> entry option
+(** The catalog row an engine spec resolves against: parameters are
+    stripped (["parallel:8"] matches ["parallel[:DOMAINS]"]). [None]
+    for unknown names. *)
 
 val find : string -> ((module Engine_intf.S), string) result
 (** Resolve an engine spec: a bare name (["staged"], ["parallel"]) or a

@@ -143,6 +143,18 @@ let run ?on_hit (plan : Plan.t) =
       let k = compile_steps rest in
       fun () ->
         if f () <> 0 then pruned.(c_index) <- pruned.(c_index) + 1 else k ()
+    | Static_prune { sp_dead; _ } :: rest ->
+      (* Statistics compensation for statically-removed loop entries:
+         the following loop never visits the dead values, but the stats
+         must read as if it had entered each one and the attributed
+         constraint had fired. *)
+      let k = compile_steps rest in
+      let n = Array.length sp_dead in
+      let counts = Plan.static_prune_counts sp_dead in
+      fun () ->
+        loop_iterations := !loop_iterations + n;
+        Array.iter (fun (c, m) -> pruned.(c) <- pruned.(c) + m) counts;
+        k ()
     | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
       let body = compile_steps l_body in
       let k = compile_steps rest in
@@ -217,6 +229,29 @@ let run ?on_hit (plan : Plan.t) =
       ( (fun c -> Provenance.fire pl slots c),
         fun () -> Provenance.hit pl slots )
   in
+  (* Shared by both instrumented compilers: replay a Static_prune's dead
+     values into the statistics (and, when a provenance collector is
+     installed, into the per-constraint removal/cell accounting, with
+     the dead value substituted into the loop's slot). *)
+  let compile_static_prune ~depth sp_slot (sp_dead : (int * int) array) =
+    let n = Array.length sp_dead in
+    match plocal with
+    | None ->
+      let counts = Plan.static_prune_counts sp_dead in
+      fun () ->
+        loop_iterations := !loop_iterations + n;
+        depth_entries.(depth) <- depth_entries.(depth) + n;
+        Array.iter (fun (c, m) -> pruned.(c) <- pruned.(c) + m) counts
+    | Some pl ->
+      fun () ->
+        loop_iterations := !loop_iterations + n;
+        depth_entries.(depth) <- depth_entries.(depth) + n;
+        Array.iter
+          (fun (v, c) ->
+            pruned.(c) <- pruned.(c) + 1;
+            Provenance.static_fire pl slots ~slot:sp_slot ~value:v c)
+          sp_dead
+  in
   let rec compile_steps_instr ~depth (steps : Plan.step list) : unit -> unit =
     match steps with
     | [] -> fun () -> ()
@@ -259,6 +294,12 @@ let run ?on_hit (plan : Plan.t) =
             prov_fire c_index
           end
           else k ())
+    | Static_prune { sp_slot; sp_dead; _ } :: rest ->
+      let replay = compile_static_prune ~depth sp_slot sp_dead in
+      let k = compile_steps_instr ~depth rest in
+      fun () ->
+        replay ();
+        k ()
     | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
       let body = compile_steps_instr ~depth:(depth + 1) l_body in
       let k = compile_steps_instr ~depth rest in
@@ -342,6 +383,12 @@ let run ?on_hit (plan : Plan.t) =
           prov_fire c_index
         end
         else k ()
+    | Static_prune { sp_slot; sp_dead; _ } :: rest ->
+      let replay = compile_static_prune ~depth sp_slot sp_dead in
+      let k = compile_steps_prov ~depth rest in
+      fun () ->
+        replay ();
+        k ()
     | Loop { l_var; l_slot; l_iter; l_body; _ } :: rest -> (
       let body = compile_steps_prov ~depth:(depth + 1) l_body in
       let k = compile_steps_prov ~depth rest in

@@ -31,6 +31,7 @@ type instr =
   | Iinc of int
   | Itrip of int * int * int * int  (* dst <- trip count of (start stop step) regs *)
   | Iprune of int * int  (* count constraint, jump to loop continuation *)
+  | Isprune of int * int  (* replay dead-value table #id at depth d *)
   | Ihit
   | Iiters
   | Imat of int * int  (* arrays.(aid) <- iterfuns.(iid) regs *)
@@ -51,6 +52,8 @@ type program = {
   iterfuns : (int array -> int array) array;
   static_arrays : (int * int array) list;  (* array id -> contents *)
   n_arrays : int;
+  sprunes : (int * (int * int) array * (int * int) array) array;
+      (* table id -> (slot, dead values, aggregated (c_index, fired)) *)
   instrumented : bool;
 }
 
@@ -136,6 +139,13 @@ let compile ?(instrument = false) (plan : Plan.t) =
     (match contents with
     | Some vs -> static_arrays := (id, vs) :: !static_arrays
     | None -> ());
+    id
+  in
+  let sprunes = ref [] and n_sprunes = ref 0 in
+  let add_sprune slot dead =
+    let id = !n_sprunes in
+    incr n_sprunes;
+    sprunes := (slot, dead, Plan.static_prune_counts dead) :: !sprunes;
     id
   in
   (* Compile an expression so its value lands in [dst]; [tmp] is the first
@@ -232,6 +242,9 @@ let compile ?(instrument = false) (plan : Plan.t) =
       emit a (Iprune (c_index, cont));
       mark a l_pass;
       compile_steps rest ~depth ~cont
+    | Static_prune { sp_slot; sp_dead; _ } :: rest ->
+      emit a (Isprune (add_sprune sp_slot sp_dead, depth));
+      compile_steps rest ~depth ~cont
     | Loop { l_slot; l_iter; l_body; _ } :: rest ->
       let base = loop_reg_base + (4 * depth) in
       let r_step = base and r_n = base + 1 and r_i = base + 2 and r_t = base + 3 in
@@ -296,6 +309,7 @@ let compile ?(instrument = false) (plan : Plan.t) =
     iterfuns = Array.of_list (List.rev !iterfuns);
     static_arrays = !static_arrays;
     n_arrays = max 1 !n_arrays;
+    sprunes = Array.of_list (List.rev !sprunes);
     instrumented = instrument;
   }
 
@@ -399,6 +413,21 @@ let run ?on_hit (p : program) =
       pruned.(c) <- pruned.(c) + 1;
       prov_fire c;
       pc := t
+    | Isprune (id, depth) ->
+      let slot, dead, counts = p.sprunes.(id) in
+      let n = Array.length dead in
+      loop_iterations := !loop_iterations + n;
+      if p.instrumented then depth_entries.(depth) <- depth_entries.(depth) + n;
+      (match plocal with
+      | None ->
+        Array.iter (fun (c, m) -> pruned.(c) <- pruned.(c) + m) counts
+      | Some pl ->
+        Array.iter
+          (fun (v, c) ->
+            pruned.(c) <- pruned.(c) + 1;
+            Provenance.static_fire pl regs ~slot ~value:v c)
+          dead);
+      incr pc
     | Ihit ->
       hit ();
       prov_hit ();
@@ -487,6 +516,7 @@ let instr_to_string = function
   | Itrip (d, s, e, st) ->
     Printf.sprintf "trip    r%d <- trip(r%d, r%d, r%d)" d s e st
   | Iprune (c, t) -> Printf.sprintf "prune   #%d @%d" c t
+  | Isprune (id, d) -> Printf.sprintf "sprune  tbl%d depth %d" id d
   | Ihit -> "hit"
   | Iiters -> "iters"
   | Imat (a, i) -> Printf.sprintf "mat     arr%d <- iter#%d" a i

@@ -1,0 +1,691 @@
+(* Compact feasible sets (ROADMAP item 2, second half).
+
+   A built plan defines a set of feasible points — the assignments that
+   reach [Yield]. Enumerating them is what engines do; this module
+   instead REPRESENTS the set, as a layered decision diagram over the
+   plan's loop order: one layer per iterator, each node mapping the
+   feasible values at that layer (given the outer context the node
+   stands for) to a child node one layer down. Nodes are hash-consed,
+   so identical sub-spaces share structure, and each node's value map
+   is compressed into sorted arithmetic-progression runs — a GEMM-like
+   space whose inner feasibility depends only on a couple of outer
+   parameters collapses to a DAG a few hundred nodes wide no matter
+   how many points it holds.
+
+   Construction is a memoized depth-first walk of the nest: at each
+   loop the walk keys on the projection of the slot state onto the
+   slots the subtree actually reads (its free slots, computed once per
+   plan), so a subtree is evaluated once per DISTINCT outer context
+   rather than once per outer assignment. Opaque computes ([CF]) and
+   dynamic iterators ([CDyn]) are executed concretely — they are plain
+   int functions — but their reads are unknown, so they widen the memo
+   key to the whole slot state; correct, merely less shared.
+
+   The payoff: [count] is exact without enumeration (the CI criterion
+   pins a billion-point space), [nth]/[sample] index the set directly,
+   [union]/[inter] combine sets, and the serialized form is
+   deterministic, so shard planners on different machines agree on
+   equal-cardinality slices ([chunk_outer_balanced]). *)
+
+type node =
+  | Empty
+  | Accept
+  | Node of { nid : int; runs : run array; total : int }
+
+and run = {
+  r_lo : int;  (** first value of the run *)
+  r_step : int;  (** stride between consecutive values (1 for singletons) *)
+  r_len : int;  (** number of values *)
+  r_child : node;  (** sub-diagram shared by every value of the run *)
+}
+
+type t = {
+  f_space : string;
+  f_iters : string array;  (** loop order, outermost first *)
+  f_root : node;
+}
+
+let node_count = function
+  | Empty -> 0
+  | Accept -> 1
+  | Node { total; _ } -> total
+
+let count t = node_count t.f_root
+let space_name t = t.f_space
+let iterators t = Array.to_list t.f_iters
+
+(* ------------------------------------------------------------------ *)
+(* Node arena: hash-consing + run compression                          *)
+(* ------------------------------------------------------------------ *)
+
+let nid_of = function
+  | Empty -> -1
+  | Accept -> -2
+  | Node { nid; _ } -> nid
+
+type arena = {
+  mutable next_nid : int;
+  cons : ((int * int * int * int) list, node) Hashtbl.t;
+      (** (lo, step, len, child nid) per run -> node *)
+}
+
+let arena () = { next_nid = 0; cons = Hashtbl.create 256 }
+
+(* Greedy left-to-right run compression of a sorted, duplicate-free
+   (value, child) list. Greedy is canonical here: a run extends exactly
+   while the child stays the same node and the stride stays constant,
+   so equal maps always compress identically — the property the
+   deterministic serialization and the hash-consing key rely on. *)
+let compress pairs =
+  let close (lo, _last, step, len, child) =
+    if len = 1 then { r_lo = lo; r_step = 1; r_len = 1; r_child = child }
+    else { r_lo = lo; r_step = step; r_len = len; r_child = child }
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (close cur :: acc)
+    | (v, c) :: tl ->
+      let lo, last, step, len, child = cur in
+      if nid_of c = nid_of child && (len = 1 || v - last = step) then
+        go acc (lo, v, (if len = 1 then v - last else step), len + 1, child) tl
+      else go (close cur :: acc) (v, v, 1, 1, c) tl
+  in
+  match pairs with
+  | [] -> [||]
+  | (v, c) :: tl -> Array.of_list (go [] (v, v, 1, 1, c) tl)
+
+(* Build (or reuse) the node for a sorted (value, child) map. Values
+   must be strictly increasing; Empty children must already have been
+   filtered out. *)
+let cons_node a pairs =
+  match pairs with
+  | [] -> Empty
+  | _ ->
+    let runs = compress pairs in
+    let key =
+      Array.to_list
+        (Array.map
+           (fun r -> (r.r_lo, r.r_step, r.r_len, nid_of r.r_child))
+           runs)
+    in
+    (match Hashtbl.find_opt a.cons key with
+    | Some n -> n
+    | None ->
+      let total =
+        Array.fold_left
+          (fun acc r -> acc + (r.r_len * node_count r.r_child))
+          0 runs
+      in
+      let n = Node { nid = a.next_nid; runs; total } in
+      a.next_nid <- a.next_nid + 1;
+      Hashtbl.add a.cons key n;
+      n)
+
+(* ------------------------------------------------------------------ *)
+(* Free-slot analysis (the memo projection)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Slots a program fragment reads from its surrounding context. [All]
+   is the poison for opaque computes/iterators, whose reads cannot be
+   inspected. *)
+type slotset = All | Only of int list (* sorted, distinct *)
+
+let sunion a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Only xs, Only ys ->
+    let rec merge xs ys =
+      match (xs, ys) with
+      | [], r | r, [] -> r
+      | x :: xt, y :: yt ->
+        if x < y then x :: merge xt ys
+        else if x > y then y :: merge xs yt
+        else x :: merge xt yt
+    in
+    Only (merge xs ys)
+
+let sremove s = function
+  | All -> All
+  | Only xs -> Only (List.filter (fun x -> x <> s) xs)
+
+let compute_reads = function
+  | Plan.CE e -> Only (Plan.cexpr_slots e)
+  | Plan.CF _ -> All
+
+let citer_reads = function
+  | Plan.CRange (a, b, c) ->
+    sunion
+      (Only (Plan.cexpr_slots a))
+      (sunion (Only (Plan.cexpr_slots b)) (Only (Plan.cexpr_slots c)))
+  | Plan.CValues _ -> Only []
+  | Plan.CDyn _ -> All
+
+(* ------------------------------------------------------------------ *)
+(* Annotated program                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical nest re-expressed for the walk: [Static_prune] steps
+   vanish (they are statistics, not feasibility), and each loop carries
+   a memo id plus its subtree's free slots. *)
+type aprog =
+  | ADone  (** Yield: the assignment is feasible *)
+  | ANone  (** no Yield below (an emptied chunk): nothing feasible *)
+  | ADerive of int * Plan.compute * aprog
+  | ACheck of Plan.compute * aprog
+  | ALoop of {
+      uid : int;
+      slot : int;
+      iter : Plan.citer;
+      key : slotset;  (** free slots of the whole loop step *)
+      body : aprog;
+    }
+
+exception Unsupported of string
+
+let annotate (steps : Plan.step list) =
+  let uid = ref 0 in
+  let rec go steps =
+    match (steps : Plan.step list) with
+    | [] -> (ANone, Only [])
+    | Plan.Yield :: _ -> (ADone, Only [])
+    | Plan.Static_prune _ :: rest -> go rest
+    | Plan.Derive { d_slot; d_compute; _ } :: rest ->
+      let a, fs = go rest in
+      (ADerive (d_slot, d_compute, a),
+       sunion (compute_reads d_compute) (sremove d_slot fs))
+    | Plan.Check { c_compute; _ } :: rest ->
+      let a, fs = go rest in
+      (ACheck (c_compute, a), sunion (compute_reads c_compute) fs)
+    | Plan.Loop { l_slot; l_iter; l_body; _ } :: rest ->
+      (match go rest with
+      | ANone, _ -> ()
+      | _ ->
+        (* Canonical nests put nothing after a loop; points are defined
+           by the path to Yield, so trailing steps would be ambiguous. *)
+        raise (Unsupported "steps after a loop"));
+      let body, bfs = go l_body in
+      let key = sunion (citer_reads l_iter) (sremove l_slot bfs) in
+      let id = !uid in
+      incr uid;
+      (ALoop { uid = id; slot = l_slot; iter = l_iter; key; body }, key)
+  in
+  fst (go steps)
+
+(* ------------------------------------------------------------------ *)
+(* Building from a plan (exact)                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Too_many_states of int
+exception Duplicate_value of int
+
+let default_max_states = 2_000_000
+
+let build ?(max_states = default_max_states) (plan : Plan.t) :
+    (t, string) result =
+  try
+    let prog = annotate plan.Plan.steps in
+    let slots = Array.make (max 1 plan.Plan.n_slots) 0 in
+    let a = arena () in
+    let memo : (int * int list, node) Hashtbl.t = Hashtbl.create 1024 in
+    let states = ref 0 in
+    let eval_compute = function
+      | Plan.CE e -> Plan.eval_cexpr slots e
+      | Plan.CF f -> f slots
+    in
+    let materialize = function
+      | Plan.CRange (sa, sb, sc) ->
+        let start = Plan.eval_cexpr slots sa
+        and stop = Plan.eval_cexpr slots sb
+        and step = Plan.eval_cexpr slots sc in
+        if step = 0 then
+          raise (Expr.Eval_error "Feasible: zero range step");
+        Array.init (Plan.trip_count ~start ~stop ~step) (fun i ->
+            start + (i * step))
+      | Plan.CValues vs -> vs
+      | Plan.CDyn f -> f slots
+    in
+    let project = function
+      | All -> Array.to_list slots
+      | Only xs -> List.map (fun s -> slots.(s)) xs
+    in
+    let rec exec = function
+      | ADone -> Accept
+      | ANone -> Empty
+      | ADerive (slot, comp, rest) ->
+        slots.(slot) <- eval_compute comp;
+        exec rest
+      | ACheck (comp, rest) -> if eval_compute comp <> 0 then Empty else exec rest
+      | ALoop { uid; slot; iter; key; body } -> (
+        let k = (uid, project key) in
+        match Hashtbl.find_opt memo k with
+        | Some n -> n
+        | None ->
+          incr states;
+          if !states > max_states then raise (Too_many_states max_states);
+          let vs = materialize iter in
+          let pairs =
+            Array.to_list
+              (Array.map
+                 (fun v ->
+                   slots.(slot) <- v;
+                   (v, exec body))
+                 vs)
+          in
+          let pairs =
+            List.sort (fun (x, _) (y, _) -> compare x y) pairs
+          in
+          let rec dedup = function
+            | (x, _) :: ((y, _) :: _ as tl) ->
+              if x = y then raise (Duplicate_value x) else dedup tl
+            | _ -> ()
+          in
+          dedup pairs;
+          let n =
+            cons_node a (List.filter (fun (_, c) -> c <> Empty) pairs)
+          in
+          Hashtbl.add memo k n;
+          n)
+    in
+    Ok
+      {
+        f_space = plan.Plan.space_name;
+        f_iters = Array.of_list plan.Plan.iter_order;
+        f_root = exec prog;
+      }
+  with
+  | Unsupported msg -> Error ("unsupported plan shape: " ^ msg)
+  | Too_many_states cap ->
+    Error
+      (Printf.sprintf
+         "state explosion: more than %d distinct loop contexts (the plan's \
+          constraints could not be factored; raise ?max_states or count by \
+          enumeration)"
+         cap)
+  | Duplicate_value v ->
+    Error (Printf.sprintf "iterator visits value %d twice" v)
+  | Division_by_zero -> Error "division by zero while evaluating the plan"
+  | Expr.Eval_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Upper bound from propagation alone                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The product of the (propagated) iterator domains: every check is
+   assumed to pass, so this is exact precisely when propagation folded
+   every constraint into the iterators, and an upper bound otherwise.
+   Needs every iterator static — symbolic bounds have no fixed domain. *)
+let of_propagation (plan : Plan.t) : (t, string) result =
+  let rec loops acc = function
+    | [] -> List.rev acc
+    | Plan.Loop { l_var; l_iter; l_body; _ } :: _ ->
+      loops ((l_var, l_iter) :: acc) l_body
+    | (Plan.Derive _ | Plan.Check _ | Plan.Static_prune _ | Plan.Yield) :: rest
+      ->
+      loops acc rest
+  in
+  let static = function
+    | Plan.CValues vs -> Some vs
+    | Plan.CRange (sa, sb, sc) -> (
+      match (Plan.static_cexpr sa, Plan.static_cexpr sb, Plan.static_cexpr sc)
+      with
+      | Some start, Some stop, Some step when step <> 0 ->
+        Some
+          (Array.init (Plan.trip_count ~start ~stop ~step) (fun i ->
+               start + (i * step)))
+      | _ -> None)
+    | Plan.CDyn _ -> None
+  in
+  let a = arena () in
+  let rec chain = function
+    | [] -> Ok Accept
+    | (var, iter) :: deeper -> (
+      match static iter with
+      | None -> Error (Printf.sprintf "iterator %s is not static" var)
+      | Some vs -> (
+        match chain deeper with
+        | Error _ as e -> e
+        | Ok child ->
+          let pairs =
+            List.sort_uniq compare (Array.to_list vs)
+            |> List.map (fun v -> (v, child))
+          in
+          Ok (cons_node a pairs)))
+  in
+  match chain (loops [] plan.Plan.steps) with
+  | Error msg -> Error msg
+  | Ok root ->
+    Ok
+      {
+        f_space = plan.Plan.space_name;
+        f_iters = Array.of_list plan.Plan.iter_order;
+        f_root = root;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Indexing: nth and uniform sampling                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Points are totally ordered lexicographically by (sorted) value at
+   each layer, outermost first — a canonical order independent of the
+   plan's trip order, so every consumer of the same set agrees on what
+   "point [i]" means. Cost: one run scan per layer. *)
+let nth t i =
+  if i < 0 || i >= count t then
+    invalid_arg
+      (Printf.sprintf "Feasible.nth: index %d out of bounds [0, %d)" i
+         (count t));
+  let rec go node i acc =
+    match node with
+    | Empty -> assert false
+    | Accept -> List.rev acc
+    | Node { runs; _ } ->
+      let rec scan ri i =
+        let r = runs.(ri) in
+        let per = node_count r.r_child in
+        let here = r.r_len * per in
+        if i < here then begin
+          let k = i / per in
+          let v = r.r_lo + (k * r.r_step) in
+          go r.r_child (i mod per) (v :: acc)
+        end
+        else scan (ri + 1) (i - here)
+      in
+      scan 0 i
+  in
+  List.combine (Array.to_list t.f_iters) (go t.f_root i [])
+
+let default_rng = lazy (Random.State.make [| 0xbea57 |])
+
+let sample ?rng t =
+  let n = count t in
+  if n = 0 then None
+  else
+    let rng =
+      match rng with
+      | Some r -> r
+      | None -> Lazy.force default_rng
+    in
+    let i =
+      if n <= 0x3FFFFFFF then Random.State.int rng n
+      else Int64.to_int (Random.State.int64 rng (Int64.of_int n))
+    in
+    Some (nth t i)
+
+(* ------------------------------------------------------------------ *)
+(* Set algebra                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-node value maps are re-expanded for merging; runs compress huge
+   DOMAINS only when a single layer really holds that many distinct
+   values, so cap the expansion rather than attempt progression
+   intersection algebra. *)
+let expand_cap = 1 lsl 21
+
+exception Run_too_wide of int
+
+let expand_node runs =
+  let total = Array.fold_left (fun acc r -> acc + r.r_len) 0 runs in
+  if total > expand_cap then raise (Run_too_wide total);
+  let out = ref [] in
+  for ri = Array.length runs - 1 downto 0 do
+    let r = runs.(ri) in
+    for k = r.r_len - 1 downto 0 do
+      out := (r.r_lo + (k * r.r_step), r.r_child) :: !out
+    done
+  done;
+  !out
+
+type set_op = Union | Inter
+
+let combine op ta tb : (t, string) result =
+  if ta.f_iters <> tb.f_iters then
+    Error
+      (Printf.sprintf "layer mismatch: [%s] vs [%s]"
+         (String.concat " " (Array.to_list ta.f_iters))
+         (String.concat " " (Array.to_list tb.f_iters)))
+  else
+    try
+      let a = arena () in
+      (* Rebuild a one-sided subtree inside the result arena (union
+         branches present in only one operand). One memo per side: the
+         two operands' node ids come from independent arenas and may
+         collide. *)
+      let importer () =
+        let imported = Hashtbl.create 64 in
+        let rec import node =
+          match node with
+          | Empty -> Empty
+          | Accept -> Accept
+          | Node { nid; runs; _ } -> (
+            match Hashtbl.find_opt imported nid with
+            | Some n -> n
+            | None ->
+              let pairs =
+                List.map (fun (v, c) -> (v, import c)) (expand_node runs)
+              in
+              let n = cons_node a pairs in
+              Hashtbl.add imported nid n;
+              n)
+        in
+        import
+      in
+      let import_a = importer () and import_b = importer () in
+      let memo = Hashtbl.create 256 in
+      let rec go na nb =
+        match (na, nb, op) with
+        | Empty, x, Union -> import_b x
+        | x, Empty, Union -> import_a x
+        | Empty, _, Inter | _, Empty, Inter -> Empty
+        | Accept, Accept, _ -> Accept
+        | (Accept, Node _, _ | Node _, Accept, _) ->
+          (* Equal layer lists put Accept at equal depth everywhere. *)
+          assert false
+        | Node ra, Node rb, _ -> (
+          let k = (ra.nid, rb.nid) in
+          match Hashtbl.find_opt memo k with
+          | Some n -> n
+          | None ->
+            let pa = expand_node ra.runs and pb = expand_node rb.runs in
+            let rec merge pa pb =
+              match (pa, pb) with
+              | [], rest -> begin
+                match op with
+                | Inter -> []
+                | Union -> List.map (fun (v, c) -> (v, import_b c)) rest
+              end
+              | rest, [] -> begin
+                match op with
+                | Inter -> []
+                | Union -> List.map (fun (v, c) -> (v, import_a c)) rest
+              end
+              | (va, ca) :: ta, (vb, cb) :: tb ->
+                if va < vb then begin
+                  match op with
+                  | Inter -> merge ta pb
+                  | Union -> (va, import_a ca) :: merge ta pb
+                end
+                else if va > vb then begin
+                  match op with
+                  | Inter -> merge pa tb
+                  | Union -> (vb, import_b cb) :: merge pa tb
+                end
+                else (va, go ca cb) :: merge ta tb
+            in
+            let pairs =
+              List.filter (fun (_, c) -> c <> Empty) (merge pa pb)
+            in
+            let n = cons_node a pairs in
+            Hashtbl.add memo k n;
+            n)
+      in
+      Ok
+        {
+          f_space =
+            (if ta.f_space = tb.f_space then ta.f_space
+             else ta.f_space ^ "+" ^ tb.f_space);
+          f_iters = ta.f_iters;
+          f_root = go ta.f_root tb.f_root;
+        }
+    with Run_too_wide n ->
+      Error
+        (Printf.sprintf
+           "a layer holds %d distinct values (cap %d): too wide to merge"
+           n expand_cap)
+
+let union = combine Union
+let inter = combine Inter
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic serialization                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Children-first depth-first numbering from the root, runs in sorted
+   value order: structure-equal diagrams print identically no matter
+   what order construction consed their nodes in. *)
+let to_string t =
+  let ids = Hashtbl.create 64 in
+  let order = ref [] in
+  let next = ref 0 in
+  let rec visit node =
+    match node with
+    | Empty | Accept -> ()
+    | Node { nid; runs; _ } ->
+      if not (Hashtbl.mem ids nid) then begin
+        (* Reserve depth-first: children appear before their parent. *)
+        Hashtbl.add ids nid (-1);
+        Array.iter (fun r -> visit r.r_child) runs;
+        Hashtbl.replace ids nid !next;
+        incr next;
+        order := node :: !order
+      end
+  in
+  visit t.f_root;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "beast-feasible 1\n";
+  Buffer.add_string buf ("space " ^ t.f_space ^ "\n");
+  Buffer.add_string buf
+    ("iters " ^ String.concat " " (Array.to_list t.f_iters) ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "count %d\n" (count t));
+  let ref_of = function
+    | Empty -> "E"
+    | Accept -> "A"
+    | Node { nid; _ } -> string_of_int (Hashtbl.find ids nid)
+  in
+  List.iter
+    (fun node ->
+      match node with
+      | Empty | Accept -> ()
+      | Node { runs; _ } ->
+        Buffer.add_string buf (Printf.sprintf "node %s" (ref_of node));
+        Array.iter
+          (fun r ->
+            Buffer.add_string buf
+              (Printf.sprintf " %d:%d:%d:%s" r.r_lo r.r_step r.r_len
+                 (ref_of r.r_child)))
+          runs;
+        Buffer.add_char buf '\n')
+    (List.rev !order);
+  Buffer.add_string buf ("root " ^ ref_of t.f_root ^ "\n");
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Feasible-balanced sharding                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Survivor count below each value of the outermost layer, in iterator
+   trip order (0 for values propagation or the checks already killed). *)
+let outer_counts t values =
+  let lookup v =
+    match t.f_root with
+    | Empty -> 0
+    | Accept -> 0
+    | Node { runs; _ } ->
+      let rec scan ri =
+        if ri >= Array.length runs then 0
+        else
+          let r = runs.(ri) in
+          let off = v - r.r_lo in
+          if
+            off >= 0
+            && off mod r.r_step = 0
+            && off / r.r_step < r.r_len
+          then node_count r.r_child
+          else scan (ri + 1)
+      in
+      scan 0
+  in
+  Array.map lookup values
+
+(* [chunk_outer_balanced feas plan ~index ~of_] is [Plan.chunk_outer]
+   with the cut positions placed by cumulative FEASIBLE count instead
+   of trip count: each chunk covers a contiguous block of the outer
+   trip sequence holding as close to [count/of_] survivors as block
+   boundaries allow. [feas] must describe [plan] (same space, built
+   from it or its propagated form). Falls back to [Plan.chunk_outer]
+   when the outer iterator is not static — the balance information
+   cannot be applied without knowing the trip sequence. *)
+let chunk_outer_balanced feas (plan : Plan.t) ~index ~of_ =
+  if of_ <= 0 then invalid_arg "Feasible.chunk_outer_balanced: of_ must be > 0";
+  if index < 0 || index >= of_ then
+    invalid_arg "Feasible.chunk_outer_balanced: index out of range";
+  let static = function
+    | Plan.CValues vs -> Some vs
+    | Plan.CRange (sa, sb, sc) -> (
+      match (Plan.static_cexpr sa, Plan.static_cexpr sb, Plan.static_cexpr sc)
+      with
+      | Some start, Some stop, Some step when step <> 0 ->
+        Some
+          (Array.init (Plan.trip_count ~start ~stop ~step) (fun i ->
+               start + (i * step)))
+      | _ -> None)
+    | Plan.CDyn _ -> None
+  in
+  let rec outer_iter = function
+    | Plan.Loop { l_iter; _ } :: _ -> Some l_iter
+    | _ :: rest -> outer_iter rest
+    | [] -> None
+  in
+  match Option.bind (outer_iter plan.Plan.steps) static with
+  | None -> Plan.chunk_outer plan ~index ~of_
+  | Some values ->
+    let n = Array.length values in
+    let weights = outer_counts feas values in
+    let total = Array.fold_left ( + ) 0 weights in
+    (* prefix.(p) = survivors under the first p values. *)
+    let prefix = Array.make (n + 1) 0 in
+    for p = 0 to n - 1 do
+      prefix.(p + 1) <- prefix.(p) + weights.(p)
+    done;
+    (* Smallest position whose prefix reaches the i-th equal share;
+       monotone by construction, so blocks tile [0, n). *)
+    let cut i =
+      if i = 0 then 0
+      else if i = of_ then n
+      else begin
+        let target = total * i / of_ in
+        let pos = ref 0 in
+        while !pos < n && prefix.(!pos) < target do
+          incr pos
+        done;
+        !pos
+      end
+    in
+    let lo = cut index and hi = cut (index + 1) in
+    let sub = Array.sub values lo (hi - lo) in
+    (* Dead-value bookkeeping splits by plain block position, exactly
+       like [Plan.chunk_outer]: merged statistics must still sum to the
+       sequential run's. *)
+    let split_dead (dead : (int * int) array) =
+      let nd = Array.length dead in
+      let dlo = nd * index / of_ and dhi = nd * (index + 1) / of_ in
+      Array.sub dead dlo (dhi - dlo)
+    in
+    let rec rebuild = function
+      | Plan.Static_prune { sp_var; sp_slot; sp_dead } :: rest ->
+        Plan.Static_prune { sp_var; sp_slot; sp_dead = split_dead sp_dead }
+        :: rebuild rest
+      | Plan.Loop { l_var; l_slot; l_iter = _; l_body } :: rest ->
+        Plan.Loop { l_var; l_slot; l_iter = Plan.CValues sub; l_body } :: rest
+      | s :: rest -> s :: rebuild rest
+      | [] -> []
+    in
+    { plan with Plan.steps = rebuild plan.Plan.steps }

@@ -33,6 +33,11 @@ type step =
       l_iter : citer;
       l_body : step list;
     }
+  | Static_prune of {
+      sp_var : string;
+      sp_slot : int;
+      sp_dead : (int * int) array;
+    }
   | Yield
 
 type t = {
@@ -491,6 +496,13 @@ let chunk_outer t ~index ~of_ =
     let rec chunk_steps = function
       | [] -> if index = 0 then [] else raise Exit
       | Loop l :: rest -> Loop { l with l_iter = chunk_citer l.l_iter } :: rest
+      | Static_prune p :: rest ->
+        (* The compensation entries for the outer loop's dead values must
+           be counted exactly once across the chunk set, so they block-
+           decompose alongside the live values. *)
+        let lo, hi = block_bounds ~index ~of_ (Array.length p.sp_dead) in
+        Static_prune { p with sp_dead = Array.sub p.sp_dead lo (hi - lo) }
+        :: chunk_steps rest
       | step :: rest -> step :: chunk_steps rest
     in
     match chunk_steps t.steps with
@@ -504,7 +516,7 @@ let depth0_constraints t =
     | Check { c_index; _ } :: rest ->
       mask.(c_index) <- true;
       go rest
-    | (Derive _ | Yield) :: rest -> go rest
+    | (Derive _ | Yield | Static_prune _) :: rest -> go rest
   in
   go t.steps;
   mask
@@ -526,11 +538,47 @@ let slice_outer t ~index ~of_ =
     let rec slice_steps = function
       | [] -> if index = 0 then [] else raise Exit
       | Loop l :: rest -> Loop { l with l_iter = slice_citer l.l_iter } :: rest
+      | Static_prune p :: rest ->
+        Static_prune { p with sp_dead = subsample ~index ~of_ p.sp_dead }
+        :: slice_steps rest
       | step :: rest -> step :: slice_steps rest
     in
     match slice_steps t.steps with
     | steps -> { t with steps }
     | exception Exit -> { t with steps = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Optimization pipeline                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Plan cannot depend on the passes (Propagate sits above it in the
+   dependency order), so the pipeline takes them as plain functions. *)
+let optimize ?(passes = []) t =
+  List.fold_left (fun plan pass -> pass plan) t passes
+
+(* Aggregate a [Static_prune] dead list into per-constraint totals, for
+   engines that only need the statistics deltas (one pass at compile
+   time instead of one per execution). *)
+let static_prune_counts sp_dead =
+  let tbl = Hashtbl.create 4 in
+  Array.iter
+    (fun (_, c) ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    sp_dead;
+  let pairs = Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl [] in
+  Array.of_list (List.sort compare pairs)
+
+let static_pruned t =
+  let rec go acc steps =
+    List.fold_left
+      (fun acc step ->
+        match step with
+        | Static_prune { sp_dead; _ } -> acc + Array.length sp_dead
+        | Loop { l_body; _ } -> go acc l_body
+        | Derive _ | Check _ | Yield -> acc)
+      acc steps
+  in
+  go 0 t.steps
 
 let slot_of t name = Hashtbl.find t.slot_index name
 
@@ -590,6 +638,24 @@ let pp ppf t =
           Format.fprintf ppf "%sfor %s (s%d) in %a:@\n" indent l_var l_slot
             pp_citer l_iter;
           pp_steps (indent ^ "  ") l_body
+        | Static_prune { sp_var; sp_slot; sp_dead } ->
+          let by_constraint = Hashtbl.create 4 in
+          Array.iter
+            (fun (_, c) ->
+              Hashtbl.replace by_constraint c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt by_constraint c)))
+            sp_dead;
+          let parts =
+            List.filter_map
+              (fun c ->
+                Option.map
+                  (fun k -> Printf.sprintf "%s:%d" (fst t.constraint_info.(c)) k)
+                  (Hashtbl.find_opt by_constraint c))
+              (List.init (Array.length t.constraint_info) Fun.id)
+          in
+          Format.fprintf ppf "%sstatic prune %s (s%d): %d dead [%s]@\n" indent
+            sp_var sp_slot (Array.length sp_dead)
+            (String.concat ", " parts)
         | Yield -> Format.fprintf ppf "%syield@\n" indent)
       steps
   in

@@ -58,6 +58,18 @@ type step =
       l_iter : citer;
       l_body : step list;
     }
+  | Static_prune of {
+      sp_var : string;  (** the loop variable whose dead values these are *)
+      sp_slot : int;
+      sp_dead : (int * int) array;
+          (** [(value, c_index)] pairs: values the following loop would
+              have visited but that a statically-evaluable constraint
+              rejects for every surrounding assignment. Engines replay
+              them as statistics only — one loop iteration plus one
+              firing of the attributed constraint each — so a propagated
+              plan's stats stay byte-identical to the unpropagated
+              run's. Emitted by [Propagate.pass], never by {!make}. *)
+    }
   | Yield  (** a full assignment survived every constraint *)
 
 type t = {
@@ -92,6 +104,22 @@ val make : ?hoist:bool -> ?order:string list -> Space.t -> (t, error) result
     permutation of the iterator names compatible with the DAG. *)
 
 val make_exn : ?hoist:bool -> ?order:string list -> Space.t -> t
+
+val optimize : ?passes:(t -> t) list -> t -> t
+(** [optimize ~passes t] folds the given plan-to-plan passes over [t] in
+    order. The pipeline stage the CLI and engines share; passes (such as
+    [Propagate.pass]) live above [Plan] in the dependency order and are
+    supplied by the caller. With no passes this is the identity. *)
+
+val static_prune_counts : (int * int) array -> (int * int) array
+(** Aggregate a {!Static_prune} dead list into sorted
+    [(c_index, fired)] totals — the statistics delta engines apply when
+    they do not replay the dead values one by one. *)
+
+val static_pruned : t -> int
+(** Total dead values recorded by {!Static_prune} steps anywhere in the
+    nest — how many loop entries propagation proved statically
+    infeasible. 0 for plans straight out of {!make}. *)
 
 val slice_outer : t -> index:int -> of_:int -> t
 (** [slice_outer t ~index ~of_] restricts the outermost loop to every

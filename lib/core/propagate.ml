@@ -1,0 +1,486 @@
+(* Constraint-propagation pre-pass (ROADMAP item 2).
+
+   The planner hoists every constraint to its shallowest evaluable
+   depth, but the nest still SPINS over statically-dead iterator
+   values: a hoisted check rejects them one entry at a time, every
+   time the enclosing loops re-enter. This pass runs after [Plan.make]
+   and removes such values from the loop iterators themselves, so the
+   dead region is never entered at all — Willemsen & van Nieuwpoort's
+   observation that constraint propagation builds constrained spaces
+   orders of magnitude faster than rejection sampling over nested
+   loops.
+
+   Soundness contract (the safety rail every engine test pins): a
+   propagated plan's statistics are BYTE-IDENTICAL to the original
+   plan's. Each removed value therefore carries an attribution — the
+   constraint that would have rejected it — recorded in a
+   [Plan.Static_prune] step placed immediately before the loop;
+   engines replay the step as one loop iteration plus one firing of
+   the attributed constraint per dead value, per enclosing-body entry,
+   exactly what the unpruned nest would have counted.
+
+   A value [v] of loop [l] may be removed, attributed to check [c],
+   only when for EVERY assignment of the surrounding loops:
+   - every Derive in l's group prefix before [c] evaluates without
+     raising;
+   - every Check before [c] in the group does not fire;
+   - [c] fires.
+   All three are decided in monotone interval arithmetic over [cexpr]
+   ([ieval]): surrounding slots carry the interval hull of their
+   (possibly already-tightened) iterators, the candidate slot is a
+   singleton, and any operation whose result interval cannot be
+   bounded — an opaque [CF] body, a divisor interval containing zero,
+   arithmetic that might overflow — poisons the evaluation to
+   "unknown", which keeps the value alive. Conservative, never wrong.
+
+   The pass sweeps to a fixpoint (outer hulls tighten inner scans)
+   with a sweep cap; in the canonical nest one sweep almost always
+   converges because checks only ever read slots bound at shallower
+   depths. *)
+
+type interval = { lo : int; hi : int }
+
+let singleton v = { lo = v; hi = v }
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* Definite truthiness of an expression's value interval (a check
+   fires on nonzero). *)
+let definitely_true i = i.lo > 0 || i.hi < 0
+let definitely_false i = i.lo = 0 && i.hi = 0
+
+(* Overflow-guarded scalar arithmetic: a corner that would wrap
+   returns None and poisons the whole interval, so an interval is
+   never narrower than the concrete (wrapping) evaluation. *)
+let add_checked a b =
+  let s = a + b in
+  if a >= 0 = (b >= 0) && s >= 0 <> (a >= 0) then None else Some s
+
+let neg_checked a = if a = min_int then None else Some (-a)
+
+let mul_checked a b =
+  if a = 0 || b = 0 then Some 0
+  else
+    let p = a * b in
+    if p / a <> b then None else Some p
+
+let div_checked a b =
+  if b = 0 || (a = min_int && b = -1) then None else Some (a / b)
+
+let ceil_div_checked a b =
+  match add_checked a (b - 1) with
+  | Some n -> div_checked n b
+  | None -> None
+
+(* Corner combination for operations monotone (in either direction) in
+   each argument over the box — Add, Sub, Mul, and Div/Ceil_div once
+   the divisor interval excludes zero and has a single sign. *)
+let corners f a b =
+  let ( let* ) = Option.bind in
+  let* x1 = f a.lo b.lo in
+  let* x2 = f a.lo b.hi in
+  let* x3 = f a.hi b.lo in
+  let* x4 = f a.hi b.hi in
+  Some
+    {
+      lo = min (min x1 x2) (min x3 x4);
+      hi = max (max x1 x2) (max x3 x4);
+    }
+
+let excludes_zero b = b.lo > 0 || b.hi < 0
+
+(* [ieval box e] returns the value interval (None = unknown) and
+   whether evaluation is provably raise-free over the box. And/Or/CIf
+   mirror [Plan.eval_cexpr]'s short-circuiting: an unsafe right
+   operand is harmless when the left one decides the result. *)
+let rec ieval (box : interval option array) (e : Plan.cexpr) :
+    interval option * bool =
+  match e with
+  | CLit k -> (Some (singleton k), true)
+  | CSlot s -> (box.(s), true)
+  | CUn (Neg, a) ->
+    let ia, sa = ieval box a in
+    let i =
+      match ia with
+      | Some { lo; hi } -> (
+        match (neg_checked hi, neg_checked lo) with
+        | Some lo', Some hi' -> Some { lo = lo'; hi = hi' }
+        | _ -> None)
+      | None -> None
+    in
+    (i, sa)
+  | CUn (Not, a) ->
+    let ia, sa = ieval box a in
+    let i =
+      match ia with
+      | Some v ->
+        if definitely_true v then Some (singleton 0)
+        else if definitely_false v then Some (singleton 1)
+        else Some { lo = 0; hi = 1 }
+      | None -> None
+    in
+    (i, sa)
+  | CBin (And, a, b) -> (
+    let ia, sa = ieval box a in
+    match ia with
+    | Some v when definitely_false v ->
+      (Some (singleton 0), sa) (* b never evaluated *)
+    | _ ->
+      let ib, sb = ieval box b in
+      let i =
+        match (ia, ib) with
+        | Some va, Some vb ->
+          if definitely_false va || definitely_false vb then
+            Some (singleton 0)
+          else if definitely_true va && definitely_true vb then
+            Some (singleton 1)
+          else Some { lo = 0; hi = 1 }
+        | _ -> None
+      in
+      (i, sa && sb))
+  | CBin (Or, a, b) -> (
+    let ia, sa = ieval box a in
+    match ia with
+    | Some v when definitely_true v -> (Some (singleton 1), sa)
+    | _ ->
+      let ib, sb = ieval box b in
+      let i =
+        match (ia, ib) with
+        | Some va, Some vb ->
+          if definitely_true va || definitely_true vb then
+            Some (singleton 1)
+          else if definitely_false va && definitely_false vb then
+            Some (singleton 0)
+          else Some { lo = 0; hi = 1 }
+        | _ -> None
+      in
+      (i, sa && sb))
+  | CBin (op, a, b) ->
+    let ia, sa = ieval box a in
+    let ib, sb = ieval box b in
+    let safe = sa && sb in
+    let i =
+      match (ia, ib) with
+      | Some va, Some vb -> binop_interval op va vb
+      | _ -> None
+    in
+    let safe =
+      match op with
+      | Div | Mod -> (
+        (* Division by zero raises at runtime: only provably-nonzero
+           divisor intervals are safe. *)
+        safe
+        &&
+        match ib with
+        | Some vb -> excludes_zero vb
+        | None -> false)
+      | _ -> safe
+    in
+    (i, safe)
+  | CIf (c, t, f) -> (
+    let ic, sc = ieval box c in
+    match ic with
+    | Some v when definitely_true v ->
+      let it, st = ieval box t in
+      (it, sc && st)
+    | Some v when definitely_false v ->
+      let if_, sf = ieval box f in
+      (if_, sc && sf)
+    | _ ->
+      (* Either branch may run: value is the hull, safety needs both. *)
+      let it, st = ieval box t in
+      let if_, sf = ieval box f in
+      let i =
+        match (it, if_) with
+        | Some a, Some b -> Some (hull a b)
+        | _ -> None
+      in
+      (i, sc && st && sf && ic <> None))
+  | CCall (Min, [ a; b ]) ->
+    let ia, sa = ieval box a in
+    let ib, sb = ieval box b in
+    let i =
+      match (ia, ib) with
+      | Some va, Some vb ->
+        Some { lo = min va.lo vb.lo; hi = min va.hi vb.hi }
+      | _ -> None
+    in
+    (i, sa && sb)
+  | CCall (Max, [ a; b ]) ->
+    let ia, sa = ieval box a in
+    let ib, sb = ieval box b in
+    let i =
+      match (ia, ib) with
+      | Some va, Some vb ->
+        Some { lo = max va.lo vb.lo; hi = max va.hi vb.hi }
+      | _ -> None
+    in
+    (i, sa && sb)
+  | CCall (Abs, [ a ]) ->
+    let ia, sa = ieval box a in
+    let i =
+      match ia with
+      | Some v ->
+        if v.lo >= 0 then Some v
+        else if v.hi <= 0 then
+          (match (neg_checked v.hi, neg_checked v.lo) with
+          | Some lo', Some hi' -> Some { lo = lo'; hi = hi' }
+          | _ -> None)
+        else (
+          match (neg_checked v.lo, Some v.hi) with
+          | Some nl, Some h -> Some { lo = 0; hi = max nl h }
+          | _ -> None)
+      | None -> None
+    in
+    (i, sa)
+  | CCall (Ceil_div, [ a; b ]) ->
+    let ia, sa = ieval box a in
+    let ib, sb = ieval box b in
+    let safe =
+      sa && sb
+      &&
+      match ib with
+      | Some vb -> excludes_zero vb
+      | None -> false
+    in
+    let i =
+      match (ia, ib) with
+      (* Corner monotonicity of ceil-div is only established for
+         all-positive divisors; anything else stays unknown. *)
+      | Some va, Some vb when vb.lo > 0 -> corners ceil_div_checked va vb
+      | _ -> None
+    in
+    (i, safe)
+  | CCall _ -> (None, false)
+
+and binop_interval (op : Expr.binop) a b =
+  match op with
+  | Add -> corners add_checked a b
+  | Sub ->
+    let sub x y = Option.bind (neg_checked y) (add_checked x) in
+    corners sub a b
+  | Mul -> corners mul_checked a b
+  | Div -> if excludes_zero b then corners div_checked a b else None
+  | Mod ->
+    if not (excludes_zero b) then None
+    else if a.lo = a.hi && b.lo = b.hi then
+      Some (singleton (a.lo mod b.lo))
+    else
+      (* OCaml's mod takes the dividend's sign; |result| < max |b|. *)
+      let m = max (abs b.lo) (abs b.hi) - 1 in
+      if a.lo >= 0 then Some { lo = 0; hi = min a.hi m }
+      else if a.hi <= 0 then Some { lo = max a.lo (-m); hi = 0 }
+      else Some { lo = -m; hi = m }
+  | Eq ->
+    if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some (singleton 1)
+    else if a.hi < b.lo || b.hi < a.lo then Some (singleton 0)
+    else Some { lo = 0; hi = 1 }
+  | Ne ->
+    if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some (singleton 0)
+    else if a.hi < b.lo || b.hi < a.lo then Some (singleton 1)
+    else Some { lo = 0; hi = 1 }
+  | Lt ->
+    if a.hi < b.lo then Some (singleton 1)
+    else if a.lo >= b.hi then Some (singleton 0)
+    else Some { lo = 0; hi = 1 }
+  | Le ->
+    if a.hi <= b.lo then Some (singleton 1)
+    else if a.lo > b.hi then Some (singleton 0)
+    else Some { lo = 0; hi = 1 }
+  | Gt ->
+    if a.lo > b.hi then Some (singleton 1)
+    else if a.hi <= b.lo then Some (singleton 0)
+    else Some { lo = 0; hi = 1 }
+  | Ge ->
+    if a.lo >= b.hi then Some (singleton 1)
+    else if a.hi < b.lo then Some (singleton 0)
+    else Some { lo = 0; hi = 1 }
+  | And | Or -> assert false (* short-circuited in ieval *)
+
+let interval_of_cexpr box e = fst (ieval box e)
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Largest static iterator the dead-value scan will enumerate; bigger
+   loops keep their (interval-hulled) bounds and are skipped. *)
+let scan_cap = 4_000_000
+
+let materialize_static (it : Plan.citer) : int array option =
+  match it with
+  | Plan.CValues vs ->
+    if Array.length vs <= scan_cap then Some vs else None
+  | Plan.CRange (a, b, c) -> (
+    match (Plan.static_cexpr a, Plan.static_cexpr b, Plan.static_cexpr c) with
+    | Some start, Some stop, Some step when step <> 0 ->
+      let n = Plan.trip_count ~start ~stop ~step in
+      if n <= scan_cap then
+        Some (Array.init n (fun i -> start + (i * step)))
+      else None
+    | _ -> None)
+  | Plan.CDyn _ -> None
+
+let interval_of_values vs =
+  if Array.length vs = 0 then None
+  else
+    Some
+      {
+        lo = Array.fold_left min max_int vs;
+        hi = Array.fold_left max min_int vs;
+      }
+
+(* Value hull of a symbolic iterator under the box: for a range with a
+   static step every visited value lies strictly inside [start, stop)
+   (or (stop, start] for negative steps). *)
+let citer_interval box (it : Plan.citer) =
+  match it with
+  | Plan.CValues vs -> interval_of_values vs
+  | Plan.CRange (a, b, c) -> (
+    match Plan.static_cexpr c with
+    | Some step when step <> 0 -> (
+      match (interval_of_cexpr box a, interval_of_cexpr box b) with
+      | Some ia, Some ib ->
+        if step > 0 then
+          if ib.hi = min_int then None
+          else Some { lo = ia.lo; hi = ib.hi - 1 }
+        else if ib.lo = max_int then None
+        else Some { lo = ib.lo + 1; hi = ia.hi }
+      | _ -> None)
+    | _ -> None)
+  | Plan.CDyn _ -> None
+
+(* Scan one static loop's candidates against its group prefix (the
+   Derive/Check run before the first nested loop). Returns the dead
+   (value, c_index) pairs and the surviving values, both in original
+   trip order, or None when nothing could be removed. *)
+let scan_loop box l_slot body candidates =
+  let rec prefix acc = function
+    | ((Plan.Derive _ | Plan.Check _) as s) :: rest -> prefix (s :: acc) rest
+    | _ -> List.rev acc
+  in
+  let group = prefix [] body in
+  let has_check =
+    List.exists
+      (function
+        | Plan.Check _ -> true
+        | _ -> false)
+      group
+  in
+  if not has_check then None
+  else begin
+    let dead = ref [] and n_dead = ref 0 in
+    let live = ref [] in
+    let scratch = Array.copy box in
+    Array.iter
+      (fun v ->
+        Array.blit box 0 scratch 0 (Array.length box);
+        scratch.(l_slot) <- Some (singleton v);
+        let rec go = function
+          | [] -> live := v :: !live
+          | Plan.Derive { d_slot; d_compute; _ } :: rest -> (
+            match d_compute with
+            | Plan.CF _ ->
+              (* Opaque body: value unknown but evaluation may also
+                 raise — past this point nothing can be attributed. *)
+              live := v :: !live
+            | Plan.CE e ->
+              let i, safe = ieval scratch e in
+              if not safe then live := v :: !live
+              else begin
+                scratch.(d_slot) <- i;
+                go rest
+              end)
+          | Plan.Check { c_index; c_compute; _ } :: rest -> (
+            match c_compute with
+            | Plan.CF _ -> live := v :: !live
+            | Plan.CE e -> (
+              match ieval scratch e with
+              | Some i, true when definitely_true i ->
+                incr n_dead;
+                dead := (v, c_index) :: !dead
+              | Some i, true when definitely_false i -> go rest
+              | _ -> live := v :: !live))
+          | (Plan.Loop _ | Plan.Yield | Plan.Static_prune _) :: _ ->
+            assert false
+        in
+        go group)
+      candidates;
+    if !n_dead = 0 then None
+    else
+      Some
+        ( Array.of_list (List.rev !dead),
+          Array.of_list (List.rev !live) )
+  end
+
+(* Re-encode the surviving values: an arithmetic progression becomes a
+   literal range (what Codegen_c turns into a plain for loop), anything
+   irregular a value table. Trip order is preserved either way, so
+   on_hit callback order matches the unpropagated run. *)
+let rebuild_iter live =
+  let n = Array.length live in
+  if n < 2 then Plan.CValues live
+  else begin
+    let d = live.(1) - live.(0) in
+    let progression = ref (d <> 0) in
+    for i = 1 to n - 2 do
+      if live.(i + 1) - live.(i) <> d then progression := false
+    done;
+    if !progression then
+      Plan.CRange
+        (Plan.CLit live.(0), Plan.CLit (live.(n - 1) + d), Plan.CLit d)
+    else Plan.CValues live
+  end
+
+let sweep (plan : Plan.t) =
+  let changed = ref false in
+  let box = Array.make (max 1 plan.Plan.n_slots) None in
+  let rec go steps =
+    match (steps : Plan.step list) with
+    | [] -> []
+    | (Plan.Derive { d_slot; d_compute; _ } as s) :: rest ->
+      (match d_compute with
+      | Plan.CE e -> box.(d_slot) <- interval_of_cexpr box e
+      | Plan.CF _ -> box.(d_slot) <- None);
+      s :: go rest
+    | ((Plan.Check _ | Plan.Static_prune _ | Plan.Yield) as s) :: rest ->
+      s :: go rest
+    | Plan.Loop ({ l_var; l_slot; l_iter; l_body } as l) :: rest -> (
+      let static = materialize_static l_iter in
+      let scanned =
+        match static with
+        | Some candidates when Array.length candidates > 0 ->
+          scan_loop box l_slot l_body candidates
+        | _ -> None
+      in
+      match scanned with
+      | Some (dead, live) ->
+        changed := true;
+        box.(l_slot) <- interval_of_values live;
+        let body' = go l_body in
+        box.(l_slot) <- None;
+        Plan.Static_prune { sp_var = l_var; sp_slot = l_slot; sp_dead = dead }
+        :: Plan.Loop { l with l_iter = rebuild_iter live; l_body = body' }
+        :: go rest
+      | None ->
+        box.(l_slot) <-
+          (match static with
+          | Some vs -> interval_of_values vs
+          | None -> citer_interval box l_iter);
+        let body' = go l_body in
+        box.(l_slot) <- None;
+        Plan.Loop { l with l_body = body' } :: go rest)
+  in
+  let steps = go plan.Plan.steps in
+  if !changed then Some { plan with Plan.steps } else None
+
+let default_sweeps = 4
+
+let pass ?(sweeps = default_sweeps) plan =
+  let rec fix k plan =
+    if k <= 0 then plan
+    else
+      match sweep plan with
+      | Some plan' -> fix (k - 1) plan'
+      | None -> plan
+  in
+  fix sweeps plan

@@ -1,0 +1,40 @@
+(** Constraint-propagation pre-pass over built plans (ROADMAP item 2).
+
+    Tightens each statically-enumerable loop iterator by removing the
+    values a hoisted first-order constraint provably rejects for every
+    assignment of the surrounding loops, so the nest never enters the
+    dead region. Every removed value is recorded in a
+    {!Plan.Static_prune} step with the constraint that would have
+    rejected it; engines replay those steps as statistics (one loop
+    iteration plus one firing per dead value, per enclosing entry),
+    which keeps a propagated plan's stats {e byte-identical} to the
+    unpropagated run's — the safety rail the equivalence suite pins.
+
+    Decisions are made in monotone interval arithmetic over
+    {!Plan.cexpr}: surrounding slots carry the interval hull of their
+    (already-tightened) iterators, opaque [CF] bodies and [CDyn]
+    iterators poison affected slots to "unknown", and a removal
+    additionally requires every earlier Derive/Check in the group to be
+    provably raise-free and non-firing. Unknown always means "keep the
+    value": the pass can only ever be less effective, never wrong. *)
+
+type interval = { lo : int; hi : int }
+
+val interval_of_cexpr : interval option array -> Plan.cexpr -> interval option
+(** Monotone interval evaluation of a lowered expression under per-slot
+    bounds ([None] = unknown slot). Returns [None] whenever the result
+    cannot be bounded — overflow, a divisor interval containing zero,
+    an opaque call. Exposed for tests and for {!Feasible}. *)
+
+val default_sweeps : int
+(** Fixpoint sweep cap (the canonical nest converges in one sweep;
+    extra sweeps confirm and cost one no-change pass each). *)
+
+val pass : ?sweeps:int -> Plan.t -> Plan.t
+(** The pipeline stage: repeatedly sweep the nest, scanning each
+    static iterator (up to an enumeration cap of 4M values) against
+    its group's checks and splitting it into surviving values (kept in
+    trip order, re-encoded as a literal range when they form an
+    arithmetic progression) plus a {!Plan.Static_prune} record of the
+    dead ones, until a sweep changes nothing or [sweeps] is reached.
+    Plans with nothing statically removable are returned unchanged. *)

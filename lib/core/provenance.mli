@@ -69,6 +69,15 @@ val fire : local -> int array -> int -> unit
     given slot bindings; accumulate its subtree product and charge the
     current outer-value cell (when the firing is below depth 0). *)
 
+val static_fire : local -> int array -> slot:int -> value:int -> int -> unit
+(** [static_fire local slots ~slot ~value c_index]: replay one
+    {!Plan.Static_prune} dead value — the engine never binds it, so the
+    rejected loop value is substituted into [slots] at [slot] for the
+    duration of the firing and restored afterwards. Removal counts and
+    density cells accumulate exactly as if the constraint had fired
+    live; the removal delta is additionally tracked as statically
+    removed ({!summary}'s [pv_static]). *)
+
 val hit : local -> int array -> unit
 (** A point survived: credit the current outer-value cell. *)
 
@@ -106,6 +115,10 @@ type summary = {
   pv_iters : string list;  (** loop variables, outermost first *)
   pv_constraints : crow list;  (** by [c_index] *)
   pv_depth_entries : int list;  (** loop entries per depth *)
+  pv_static : int;
+      (** points removed via {!Plan.Static_prune} replay (a subset of
+          the per-constraint totals); 0 for unpropagated runs and for
+          files written before propagation existed *)
   pv_cells : cell list;  (** sorted by [cell_value] *)
 }
 

@@ -24,6 +24,7 @@ type t = {
   metrics : bool;
   metrics_out : string option;
   shard : (int * int) option;
+  propagate : bool option;
   checkpoint : string option;
   checkpoint_every_s : float;
   resume : string option;
@@ -48,6 +49,7 @@ let default =
     metrics = false;
     metrics_out = None;
     shard = None;
+    propagate = None;
     checkpoint = None;
     checkpoint_every_s = 5.0;
     resume = None;

@@ -33,6 +33,10 @@ type t = {
   metrics_out : string option;
       (** write Prometheus text exposition here (implies [metrics]) *)
   shard : (int * int) option;  (** [(i, n)]: run block [i] of an n-way split *)
+  propagate : bool option;
+      (** force the constraint-propagation pre-pass on ([Some true]) or
+          off ([Some false]); [None] defers to the engine's catalog
+          default ({!Engine_registry.entry}) *)
   checkpoint : string option;  (** periodically snapshot progress here *)
   checkpoint_every_s : float;  (** seconds between checkpoint writes *)
   resume : string option;  (** checkpoint file to resume from *)

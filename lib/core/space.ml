@@ -170,6 +170,12 @@ let validate t =
   | Ok _ -> Ok ()
   | Error e -> Error e
 
+let build ?name f =
+  let t = create ?name () in
+  match f t with
+  | () -> ( match validate t with Ok () -> Ok t | Error e -> Error e)
+  | exception Error e -> Error e
+
 let to_dot t =
   match dag t with
   | Error e -> raise (Error e)

@@ -62,6 +62,15 @@ exception Error of error
 val create : ?name:string -> unit -> t
 val name : t -> string
 
+val build : ?name:string -> (t -> unit) -> (t, error) result
+(** [build ?name f] creates a space, runs [f] to populate it, and
+    validates the result — the one construction path that turns every
+    declaration error ([Duplicate_name], raised mid-[f]) and every
+    validation error ([Undefined_reference], [Cyclic]) into a [result]
+    instead of an exception. The DSL parser and the CLI route through
+    it, so a malformed space is a one-line diagnostic, never a
+    backtrace. *)
+
 val setting : t -> string -> Value.t -> unit
 val setting_i : t -> string -> int -> unit
 val setting_s : t -> string -> string -> unit

@@ -31,7 +31,7 @@ let evaluation_order (plan : Plan.t) =
         match step with
         | Plan.Check { c_name; c_class; _ } -> (c_name, c_class) :: acc
         | Plan.Loop { l_body; _ } -> walk acc l_body
-        | Plan.Derive _ | Plan.Yield -> acc)
+        | Plan.Derive _ | Plan.Yield | Plan.Static_prune _ -> acc)
       acc steps
   in
   List.rev (walk [] plan.Plan.steps)

@@ -23,7 +23,7 @@ let module_of : engine -> (module Engine_intf.S) = function
 
 let run ?(engine = Staged) ?on_hit space =
   let (module E : Engine_intf.S) = module_of engine in
-  E.run_space ?on_hit space
+  E.run ?on_hit (Engine_intf.Space space)
 
 let survivors ?engine ?limit space =
   let plan = Plan.make_exn space in

@@ -485,19 +485,19 @@ let space_of_string ?(name = "space") text =
           | _ -> ()
         end)
       lines;
-    let sp = Space.create ~name:(Option.value !sp_name ~default:name) () in
     let seen_name = ref None in
-    List.iter (parse_declaration sp seen_name) lines;
-    (match Space.validate sp with
-    | Ok () -> ()
+    (* Space.build funnels declaration errors (Duplicate_name raised by
+       the mutators) and validation errors (Undefined_reference, Cyclic)
+       into one result, so the parser only translates the payload. *)
+    match
+      Space.build
+        ~name:(Option.value !sp_name ~default:name)
+        (fun sp -> List.iter (parse_declaration sp seen_name) lines)
+    with
+    | Ok sp -> Ok sp
     | Error e ->
-      raise
-        (Parse_error { line = 0; message = Format.asprintf "%a" Space.pp_error e }));
-    Ok sp
-  with
-  | Parse_error e -> Error e
-  | Space.Error e ->
-    Error { line = 0; message = Format.asprintf "%a" Space.pp_error e }
+      Error { line = 0; message = Format.asprintf "%a" Space.pp_error e }
+  with Parse_error e -> Error e
 
 let space_of_file path =
   let name = Filename.remove_extension (Filename.basename path) in

@@ -1,0 +1,39 @@
+open Beast_core
+open Expr.Infix
+
+(* A synthetic chain space built to be enormous yet exactly countable:
+   [chain] iterators over [0, width) constrained to be non-decreasing
+   (each link prunes against only its predecessor), times a parity
+   iterator. The ordered-chain structure is the adversarial case for
+   nested-loop enumeration — survivors are a vanishing fraction of the
+   product space — but factors perfectly for [Feasible.build]: each
+   link's subtree reads only the previous link's value, so the
+   memoized walk visits O(chain * width^2) contexts no matter how many
+   points the space holds. The default shape exceeds 10^9 survivors
+   inside a 4.5 * 10^11-point product space; CI pins its exact count. *)
+
+let name k = Printf.sprintf "link%d" k
+
+let space ?(width = 256) ?(chain = 4) () =
+  if width < 1 || chain < 1 then invalid_arg "Synth.space";
+  let sp = Space.create ~name:"synth" () in
+  for k = 0 to chain - 1 do
+    Space.iterator sp (name k) (Iter.range_i 0 width);
+    if k > 0 then
+      Space.constrain sp
+        (Printf.sprintf "descending%d" k)
+        (Expr.var (name k) <: Expr.var (name (k - 1)))
+  done;
+  Space.iterator sp "p" (Iter.range_i 0 16);
+  Space.constrain sp "odd_p" (Expr.var "p" %: Expr.int 2 =: Expr.int 1);
+  sp
+
+(* C(width + chain - 1, chain) non-decreasing chains, times the 8 even
+   parity values. Multiplication last keeps the binomial intermediate
+   exact in 63-bit ints for any realistic shape. *)
+let expected_survivors ?(width = 256) ?(chain = 4) () =
+  let binom = ref 1 in
+  for k = 1 to chain do
+    binom := !binom * (width + chain - k) / k
+  done;
+  !binom * 8

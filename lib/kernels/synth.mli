@@ -1,0 +1,19 @@
+(** A synthetic chain space, enormous yet exactly countable — the CI
+    fixture for counting without enumeration ({!Beast_core.Feasible}).
+
+    [chain] iterators over [0, width) constrained to be non-decreasing
+    (each link checked against only its predecessor), times a parity
+    iterator [p] over [0, 16) with odd values pruned. The default
+    shape (width 256, chain 4) holds
+    [C(259, 4) * 8 = 1_465_451_008] survivors inside a
+    4.5e11-point product space: hopeless to enumerate in a test, but
+    the memoized feasible-set walk visits only O(chain * width^2)
+    contexts because each link's subtree reads just the previous
+    link. *)
+
+val space : ?width:int -> ?chain:int -> unit -> Beast_core.Space.t
+(** @raise Invalid_argument when [width] or [chain] is below 1. *)
+
+val expected_survivors : ?width:int -> ?chain:int -> unit -> int
+(** [C(width + chain - 1, chain) * 8], the closed form the space was
+    designed around. *)

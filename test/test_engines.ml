@@ -399,26 +399,55 @@ let test_registry_engines_agree () =
       let (module E : Engine_intf.S) = find_exn spec in
       Alcotest.(check int)
         (E.name ^ " survivors via registry")
-        expected (E.run_space sp).Engine.survivors)
+        expected
+        (E.run (Engine_intf.Space sp)).Engine.survivors)
     [ "interp-naive"; "interp"; "vm"; "staged"; "parallel:3" ]
 
-let test_registry_plan_based_flags () =
-  let check spec expected =
-    let (module E : Engine_intf.S) = find_exn spec in
-    Alcotest.(check bool) (spec ^ " plan_based") expected E.plan_based
+let test_registry_catalog_capabilities () =
+  let entry spec =
+    match Engine_registry.entry_of spec with
+    | Some e -> e
+    | None -> Alcotest.failf "%S has no catalog entry" spec
   in
-  check "interp-naive" false;
-  check "interp" false;
-  check "vm" true;
-  check "staged" true;
-  check "parallel" true;
-  (* Space-only engines must refuse run_plan loudly, not silently
-     re-plan and drop the caller's plan. *)
-  let plan = Plan.make_exn (Support.triangle_space ()) in
-  let (module Naive : Engine_intf.S) = find_exn "interp-naive" in
-  (match Naive.run_plan plan with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "interp-naive accepted a plan")
+  let check spec ~propagate ~opaque ~resumable =
+    let e = entry spec in
+    Alcotest.(check bool)
+      (spec ^ " propagate default")
+      propagate e.Engine_registry.e_propagate_default;
+    Alcotest.(check bool) (spec ^ " opaque") opaque e.Engine_registry.e_opaque;
+    Alcotest.(check bool)
+      (spec ^ " resumable")
+      resumable e.Engine_registry.e_resumable
+  in
+  check "interp-naive" ~propagate:false ~opaque:true ~resumable:false;
+  check "interp" ~propagate:true ~opaque:true ~resumable:false;
+  check "vm" ~propagate:true ~opaque:true ~resumable:false;
+  check "staged" ~propagate:true ~opaque:true ~resumable:false;
+  check "parallel:8" ~propagate:true ~opaque:true ~resumable:true;
+  check "parallel-8" ~propagate:true ~opaque:true ~resumable:true;
+  check "native" ~propagate:true ~opaque:false ~resumable:false;
+  Alcotest.(check bool) "unknown spec" true (Engine_registry.entry_of "jit" = None);
+  (* names derives from the catalog, so listing and lookup can't drift *)
+  Alcotest.(check (list string))
+    "names = catalog specs"
+    (List.map (fun e -> e.Engine_registry.e_spec) Engine_registry.catalog)
+    Engine_registry.names
+
+let test_registry_plan_target () =
+  (* Every engine executes a handed-in plan as given — including
+     interp-naive, whose naive cost model only applies to spaces it
+     plans itself. *)
+  let sp = Support.triangle_space () in
+  let plan = Plan.make_exn sp in
+  let expected = Engine_staged.run plan in
+  List.iter
+    (fun spec ->
+      let (module E : Engine_intf.S) = find_exn spec in
+      Alcotest.check Support.stats_testable
+        (E.name ^ " plan target = staged")
+        expected
+        (E.run (Engine_intf.Plan plan)))
+    [ "interp-naive"; "interp"; "vm"; "staged"; "parallel:2" ]
 
 let test_registry_resumable_only_parallel () =
   List.iter
@@ -494,8 +523,10 @@ let () =
             test_registry_rejects_bad_specs;
           Alcotest.test_case "engines agree via registry" `Quick
             test_registry_engines_agree;
-          Alcotest.test_case "plan_based flags" `Quick
-            test_registry_plan_based_flags;
+          Alcotest.test_case "catalog capabilities" `Quick
+            test_registry_catalog_capabilities;
+          Alcotest.test_case "plan target runs as given" `Quick
+            test_registry_plan_target;
           Alcotest.test_case "only parallel is resumable" `Quick
             test_registry_resumable_only_parallel;
           Alcotest.test_case "resumable closure runs" `Quick

@@ -1,0 +1,327 @@
+open Beast_core
+
+let build_exn plan =
+  match Feasible.build plan with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail ("Feasible.build: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Exact counts vs the enumeration funnel                              *)
+(* ------------------------------------------------------------------ *)
+
+let parity_space () =
+  let open Expr.Infix in
+  let sp = Space.create ~name:"parity" () in
+  Space.iterator sp "x" (Iter.range_i 0 10);
+  Space.constrain sp "odd_x" (Expr.var "x" %: Expr.int 2 =: Expr.int 1);
+  Space.iterator sp "y" (Iter.range_i 0 3);
+  sp
+
+let gemm_scaled () =
+  let open Beast_kernels in
+  Gemm.space
+    ~settings:
+      {
+        Gemm.default_settings with
+        Gemm.device =
+          Beast_gpu.Device.scale ~max_dim:16 ~max_threads:64
+            Beast_gpu.Device.tesla_k40c;
+      }
+    ()
+
+let count_spaces () =
+  [
+    ("parity", parity_space ());
+    ("triangle", Support.triangle_space ());
+    ("mixed", Support.mixed_space ());
+    ("gemm", gemm_scaled ());
+    ("conv2d", Beast_kernels.Conv2d.space ());
+  ]
+
+let test_count_equals_survivors () =
+  List.iter
+    (fun (name, sp) ->
+      let plan = Plan.make_exn sp in
+      Alcotest.(check int)
+        (name ^ ": count = funnel survivors")
+        (Engine_staged.run plan).Engine.survivors
+        (Feasible.count (build_exn plan)))
+    (count_spaces ())
+
+(* The CI criterion: a >10^9-point constrained space counted exactly,
+   with no enumeration anywhere near the point count. *)
+let test_count_billion () =
+  let plan = Plan.make_exn (Beast_kernels.Synth.space ()) in
+  let t = build_exn plan in
+  Alcotest.(check int)
+    "synth chain space, closed form" 1_465_451_008 (Feasible.count t);
+  Alcotest.(check int)
+    "closed-form helper agrees"
+    (Beast_kernels.Synth.expected_survivors ())
+    (Feasible.count t)
+
+(* Propagation folds the dead values out of the iterators but may not
+   change the SET; the diagram must come out structurally identical
+   (dead values produce Empty children, which are never stored). *)
+let test_propagated_same_set () =
+  List.iter
+    (fun (name, sp) ->
+      let plan = Plan.make_exn sp in
+      let a = build_exn plan and b = build_exn (Propagate.pass plan) in
+      Alcotest.(check int)
+        (name ^ ": same count after propagation")
+        (Feasible.count a) (Feasible.count b);
+      Alcotest.(check string)
+        (name ^ ": same serialized diagram")
+        (Feasible.to_string a) (Feasible.to_string b))
+    (count_spaces ())
+
+(* ------------------------------------------------------------------ *)
+(* nth / sample                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_points t =
+  List.init (Feasible.count t) (fun i -> Feasible.nth t i)
+
+let engine_points plan =
+  let acc = ref [] in
+  let names = plan.Plan.iter_order in
+  ignore
+    (Engine_staged.run
+       ~on_hit:(fun lookup ->
+         acc :=
+           List.map
+             (fun n ->
+               match lookup n with
+               | Value.Int v -> (n, v)
+               | _ -> Alcotest.fail "non-int iterator value")
+             names
+           :: !acc)
+       plan);
+  List.rev !acc
+
+let test_nth_enumerates_the_set () =
+  let plan = Plan.make_exn (Support.mixed_space ()) in
+  let t = build_exn plan in
+  let ours = all_points t in
+  let theirs = engine_points plan in
+  Alcotest.(check int) "same cardinality" (List.length theirs)
+    (List.length ours);
+  (* Same set; nth's canonical (sorted-per-layer) order need not match
+     the engine's trip order. *)
+  Alcotest.(check bool)
+    "same point set" true
+    (List.sort compare ours = List.sort compare theirs);
+  Alcotest.(check bool)
+    "nth order strictly increasing" true
+    (let rec sorted = function
+       | a :: (b :: _ as tl) -> compare a b < 0 && sorted tl
+       | _ -> true
+     in
+     sorted (List.map (List.map snd) ours))
+
+let test_nth_out_of_bounds () =
+  let t = build_exn (Plan.make_exn (parity_space ())) in
+  Alcotest.check_raises "past the end"
+    (Invalid_argument "Feasible.nth: index 15 out of bounds [0, 15)")
+    (fun () -> ignore (Feasible.nth t 15))
+
+let test_sample () =
+  let plan = Plan.make_exn (Support.mixed_space ()) in
+  let t = build_exn plan in
+  let members = List.sort compare (all_points t) in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    match Feasible.sample ~rng t with
+    | None -> Alcotest.fail "sample of a non-empty set"
+    | Some p ->
+      if not (List.mem p members) then
+        Alcotest.fail "sampled point not in the set"
+  done;
+  (* Empty set: a depth-0-false space. *)
+  let open Expr.Infix in
+  let dead = Space.create ~name:"dead" () in
+  Space.iterator dead "x" (Iter.range_i 0 5);
+  Space.constrain dead "always" (Expr.var "x" >=: Expr.int 0);
+  let td = build_exn (Plan.make_exn dead) in
+  Alcotest.(check int) "dead space count" 0 (Feasible.count td);
+  Alcotest.(check bool) "dead space sample" true (Feasible.sample td = None)
+
+(* ------------------------------------------------------------------ *)
+(* of_propagation: upper bound, exact when propagation is complete     *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_propagation () =
+  (* Parity: the one constraint folds entirely into the iterator, so
+     the bound is exact. *)
+  let plan = Propagate.pass (Plan.make_exn (parity_space ())) in
+  (match Feasible.of_propagation plan with
+  | Error msg -> Alcotest.fail msg
+  | Ok ub ->
+    Alcotest.(check int) "parity: bound is exact" 15 (Feasible.count ub));
+  (* Coupled constraint: propagation cannot touch it, the bound is the
+     full product. *)
+  let open Expr.Infix in
+  let sp = Space.create ~name:"coupled" () in
+  Space.iterator sp "x" (Iter.range_i 0 5);
+  Space.iterator sp "y" (Iter.range_i 0 5);
+  Space.constrain sp "sum_cap" (Expr.var "x" +: Expr.var "y" >: Expr.int 6);
+  let plan = Propagate.pass (Plan.make_exn sp) in
+  match Feasible.of_propagation plan with
+  | Error msg -> Alcotest.fail msg
+  | Ok ub ->
+    let exact = Feasible.count (build_exn plan) in
+    Alcotest.(check int) "coupled: product bound" 25 (Feasible.count ub);
+    Alcotest.(check int) "coupled: exact below bound" 22 exact
+
+(* ------------------------------------------------------------------ *)
+(* Set algebra                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let constrained_xy name expr =
+  let sp = Space.create ~name () in
+  Space.iterator sp "x" (Iter.range_i 0 10);
+  Space.constrain sp name expr;
+  Space.iterator sp "y" (Iter.range_i 0 3);
+  sp
+
+let test_union_inter () =
+  let open Expr.Infix in
+  (* A: odd x pruned -> x in {0,2,4,6,8}; B: x >= 6 pruned -> x in 0..5. *)
+  let ta =
+    build_exn
+      (Plan.make_exn (constrained_xy "odd" (Expr.var "x" %: Expr.int 2 =: Expr.int 1)))
+  in
+  let tb =
+    build_exn (Plan.make_exn (constrained_xy "high" (Expr.var "x" >=: Expr.int 6)))
+  in
+  let ok = function
+    | Ok t -> t
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "inter" (3 * 3) (Feasible.count (ok (Feasible.inter ta tb)));
+  Alcotest.(check int) "union" (8 * 3) (Feasible.count (ok (Feasible.union ta tb)));
+  Alcotest.(check int) "self union" (Feasible.count ta)
+    (Feasible.count (ok (Feasible.union ta ta)));
+  Alcotest.(check int) "self inter" (Feasible.count tb)
+    (Feasible.count (ok (Feasible.inter tb tb)));
+  (* Inter with the propagation upper bound recovers the exact set. *)
+  let plan = Propagate.pass (Plan.make_exn (parity_space ())) in
+  let exact = build_exn plan in
+  (match Feasible.of_propagation plan with
+  | Error msg -> Alcotest.fail msg
+  | Ok ub ->
+    Alcotest.(check string) "exact inter bound = exact"
+      (Feasible.to_string exact)
+      (Feasible.to_string (ok (Feasible.inter exact ub))));
+  (* Mismatched layers refuse. *)
+  let other = Space.create ~name:"other" () in
+  Space.iterator other "a" (Iter.range_i 0 4);
+  let tc = build_exn (Plan.make_exn other) in
+  match Feasible.union ta tc with
+  | Ok _ -> Alcotest.fail "layer mismatch accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic_serialization () =
+  List.iter
+    (fun (name, sp) ->
+      let s1 = Feasible.to_string (build_exn (Plan.make_exn sp)) in
+      let again =
+        List.assoc name (count_spaces ())
+      in
+      let s2 = Feasible.to_string (build_exn (Plan.make_exn again)) in
+      Alcotest.(check string) (name ^ ": independent builds agree") s1 s2)
+    (count_spaces ())
+
+(* ------------------------------------------------------------------ *)
+(* Survivor-balanced sharding                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* All survivors live under x = 0: equal-trip chunking puts all the
+   work in chunk 0 of 2; balanced chunking must cut after the single
+   heavy value. *)
+let skewed_space () =
+  let open Expr.Infix in
+  let sp = Space.create ~name:"skewed" () in
+  Space.iterator sp "x" (Iter.range_i 0 10);
+  Space.constrain sp "xpos" (Expr.var "x" >: Expr.int 0);
+  Space.iterator sp "y" (Iter.range_i 0 10);
+  sp
+
+let outer_values plan =
+  let rec go = function
+    | Plan.Loop { l_iter = Plan.CValues vs; _ } :: _ -> vs
+    | Plan.Loop _ :: _ -> Alcotest.fail "outer iterator not CValues"
+    | _ :: rest -> go rest
+    | [] -> Alcotest.fail "no loop"
+  in
+  go plan.Plan.steps
+
+let test_balanced_chunks () =
+  let plan = Plan.make_exn (skewed_space ()) in
+  let feas = build_exn plan in
+  let c0 = Feasible.chunk_outer_balanced feas plan ~index:0 ~of_:2 in
+  let c1 = Feasible.chunk_outer_balanced feas plan ~index:1 ~of_:2 in
+  Alcotest.(check (array int)) "heavy value isolated" [| 0 |] (outer_values c0);
+  Alcotest.(check (array int))
+    "light tail together"
+    [| 1; 2; 3; 4; 5; 6; 7; 8; 9 |]
+    (outer_values c1);
+  (* The chunks still tile the space: merged statistics equal the
+     sequential run's. *)
+  let seq = Engine_staged.run plan in
+  let s0 = Engine_staged.run c0 and s1 = Engine_staged.run c1 in
+  Alcotest.(check int) "survivors tile" seq.Engine.survivors
+    (s0.Engine.survivors + s1.Engine.survivors);
+  Alcotest.(check int) "iterations tile" seq.Engine.loop_iterations
+    (s0.Engine.loop_iterations + s1.Engine.loop_iterations);
+  Array.iteri
+    (fun ci (cname, _, k) ->
+      let _, _, k0 = s0.Engine.pruned.(ci) and _, _, k1 = s1.Engine.pruned.(ci) in
+      Alcotest.(check int) ("pruned tile: " ^ cname) k (k0 + k1))
+    seq.Engine.pruned;
+  (* Balanced chunks of a propagated plan keep the byte-identity rail:
+     the propagated chunk's stats equal the unpropagated chunk's. *)
+  let prop = Propagate.pass plan in
+  let feas_p = build_exn prop in
+  let p0 = Feasible.chunk_outer_balanced feas_p prop ~index:0 ~of_:2 in
+  let sp0 = Engine_staged.run p0 in
+  Alcotest.(check int) "propagated balanced chunk survivors"
+    s0.Engine.survivors sp0.Engine.survivors
+
+let () =
+  Alcotest.run "feasible"
+    [
+      ( "count",
+        [
+          Alcotest.test_case "equals funnel survivors" `Quick
+            test_count_equals_survivors;
+          Alcotest.test_case "billion-point space, exact" `Quick
+            test_count_billion;
+          Alcotest.test_case "propagation preserves the set" `Quick
+            test_propagated_same_set;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "nth enumerates the set" `Quick
+            test_nth_enumerates_the_set;
+          Alcotest.test_case "nth bounds" `Quick test_nth_out_of_bounds;
+          Alcotest.test_case "sample" `Quick test_sample;
+        ] );
+      ( "bound",
+        [ Alcotest.test_case "of_propagation" `Quick test_of_propagation ] );
+      ( "algebra",
+        [ Alcotest.test_case "union and inter" `Quick test_union_inter ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "serialization" `Quick
+            test_deterministic_serialization;
+        ] );
+      ( "sharding",
+        [ Alcotest.test_case "balanced chunks" `Quick test_balanced_chunks ]
+      );
+    ]

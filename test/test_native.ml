@@ -307,7 +307,12 @@ let test_registry_specs () =
   (match Engine_registry.find "native" with
   | Ok (module E : Engine_intf.S) ->
     Alcotest.(check string) "bare spec" "native" E.name;
-    Alcotest.(check bool) "plan based" true E.plan_based
+    (match Engine_registry.entry_of "native" with
+    | Some e ->
+      Alcotest.(check bool)
+        "catalog: native cannot evaluate opaque closures" false
+        e.Engine_registry.e_opaque
+    | None -> Alcotest.fail "native has no catalog entry")
   | Error e -> Alcotest.failf "native spec rejected: %s" e);
   (match Engine_registry.find "native:3" with
   | Ok (module E : Engine_intf.S) ->
@@ -322,7 +327,8 @@ let test_registry_specs () =
   Alcotest.(check bool) "catalog lists the native spec" true
     (List.mem "native[:THREADS]" Engine_registry.names);
   Alcotest.(check bool) "names derive from the catalog" true
-    (Engine_registry.names = List.map fst Engine_registry.catalog)
+    (Engine_registry.names
+    = List.map (fun e -> e.Engine_registry.e_spec) Engine_registry.catalog)
 
 let test_registry_run () =
   in_workdir (fun _ ->
@@ -331,7 +337,8 @@ let test_registry_run () =
       | Ok (module E : Engine_intf.S) ->
         let sp = Support.triangle_space () in
         let expected = Engine_staged.run_space sp in
-        check_stats "registry-resolved native run" expected (E.run_space sp))
+        check_stats "registry-resolved native run" expected
+          (E.run (Engine_intf.Space sp)))
 
 let () =
   Random.self_init ();
